@@ -1,0 +1,43 @@
+"""Ablation: margin loss (Weller et al.) vs. softmax cross-entropy.
+
+The paper trains on output voltages with a margin-style objective; this
+bench quantifies how much the choice matters on two representative
+datasets.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import save_and_print
+from repro.core import PrintedNeuralNetwork, TrainConfig, evaluate_mc, train_pnn
+from repro.datasets import load_splits
+
+DATASETS = ("iris", "seeds")
+
+
+def _train_and_score(splits, bundle, loss: str, profile) -> float:
+    pnn = PrintedNeuralNetwork(
+        [splits.n_features, profile.hidden, splits.n_classes],
+        bundle,
+        rng=np.random.default_rng(1),
+    )
+    config = TrainConfig(
+        loss=loss, max_epochs=profile.max_epochs, patience=profile.patience, seed=1
+    )
+    train_pnn(pnn, splits.x_train, splits.y_train, splits.x_val, splits.y_val, config)
+    return evaluate_mc(pnn, splits.x_test, splits.y_test, epsilon=0.0).mean
+
+
+def test_ablation_loss_function(benchmark, output_dir, profile, bundle):
+    splits = {name: load_splits(name, seed=0, max_train=profile.max_train) for name in DATASETS}
+    benchmark.pedantic(
+        lambda: _train_and_score(splits["iris"], bundle, "margin", profile),
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = [f"{'dataset':12s}{'margin loss':>14s}{'cross-entropy':>15s}"]
+    for name in DATASETS:
+        margin = _train_and_score(splits[name], bundle, "margin", profile)
+        ce = _train_and_score(splits[name], bundle, "ce", profile)
+        lines.append(f"{name:12s}{margin:>14.3f}{ce:>15.3f}")
+    save_and_print(output_dir, "ablation_loss", "\n".join(lines))

@@ -1,0 +1,47 @@
+"""Ablation: Monte-Carlo sample count N_train in variation-aware training.
+
+The paper fixes N_train = 20; this bench shows the accuracy/robustness vs.
+training-cost trade-off of cheaper estimates.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import save_and_print
+from repro.core import PrintedNeuralNetwork, TrainConfig, evaluate_mc, train_pnn
+from repro.datasets import load_splits
+
+N_TRAIN_GRID = (2, 5, 20)
+EPSILON = 0.10
+
+
+def test_ablation_mc_sample_count(benchmark, output_dir, profile, bundle):
+    splits = load_splits("seeds", seed=0, max_train=profile.max_train)
+
+    def run(n_mc: int):
+        pnn = PrintedNeuralNetwork(
+            [splits.n_features, profile.hidden, splits.n_classes],
+            bundle,
+            rng=np.random.default_rng(2),
+        )
+        config = TrainConfig(
+            epsilon=EPSILON, n_mc_train=n_mc,
+            max_epochs=profile.max_epochs, patience=profile.patience, seed=2,
+        )
+        start = time.perf_counter()
+        train_pnn(pnn, splits.x_train, splits.y_train, splits.x_val, splits.y_val, config)
+        elapsed = time.perf_counter() - start
+        accuracy = evaluate_mc(
+            pnn, splits.x_test, splits.y_test, epsilon=EPSILON,
+            n_test=profile.n_test, seed=2,
+        )
+        return accuracy, elapsed
+
+    benchmark.pedantic(lambda: run(2), rounds=1, iterations=1)
+
+    lines = [f"{'N_train':>8s}{'accuracy':>12s}{'std':>9s}{'train time':>12s}"]
+    for n_mc in N_TRAIN_GRID:
+        accuracy, elapsed = run(n_mc)
+        lines.append(f"{n_mc:>8d}{accuracy.mean:>12.3f}{accuracy.std:>9.3f}{elapsed:>10.1f} s")
+    save_and_print(output_dir, "ablation_mc_samples", "\n".join(lines))

@@ -1,0 +1,46 @@
+"""Ablation: one shared activation circuit per layer vs. one per neuron.
+
+The paper learns a shared bespoke activation per layer (Fig. 5); printing
+allows going further and giving every neuron its own circuit.  This bench
+quantifies the benefit of the extra freedom.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import save_and_print
+from repro.core import PrintedNeuralNetwork, TrainConfig, evaluate_mc, train_pnn
+from repro.datasets import load_splits
+
+DATASET = "vertebral_3c"
+
+
+def test_ablation_per_neuron_activation(benchmark, output_dir, profile, bundle):
+    splits = load_splits(DATASET, seed=0, max_train=profile.max_train)
+
+    def run(per_neuron: bool):
+        pnn = PrintedNeuralNetwork(
+            [splits.n_features, profile.hidden, splits.n_classes],
+            bundle,
+            per_neuron_activation=per_neuron,
+            rng=np.random.default_rng(3),
+        )
+        config = TrainConfig(
+            epsilon=0.10, n_mc_train=profile.n_mc_train,
+            max_epochs=profile.max_epochs, patience=profile.patience, seed=3,
+        )
+        train_pnn(pnn, splits.x_train, splits.y_train, splits.x_val, splits.y_val, config)
+        return evaluate_mc(
+            pnn, splits.x_test, splits.y_test, epsilon=0.10,
+            n_test=profile.n_test, seed=3,
+        )
+
+    benchmark.pedantic(lambda: run(False), rounds=1, iterations=1)
+
+    shared = run(False)
+    bespoke = run(True)
+    lines = [
+        f"dataset: {DATASET}, ϵ = 10% (variation-aware training)",
+        f"  shared activation per layer : {shared}",
+        f"  bespoke activation per neuron: {bespoke}",
+    ]
+    save_and_print(output_dir, "ablation_sharing", "\n".join(lines))

@@ -1,0 +1,65 @@
+"""Extension bench: aging-aware training (from the paper's reference [5]).
+
+Compares a nominally-trained pNN against an aging-aware one over the
+device lifetime, reproducing the *shape* of the aging-aware-training
+result the paper cites as related work.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import save_and_print
+from repro.core import PrintedNeuralNetwork, TrainConfig, train_pnn
+from repro.core.aging import AgingModel, evaluate_lifetime
+from repro.datasets import load_splits
+
+DATASET = "seeds"
+TIMES = (0.0, 0.5, 1.0, 2.0, 5.0)
+DRIFT = 0.18
+
+
+def test_ext_aging_aware_training(benchmark, output_dir, profile, bundle):
+    splits = load_splits(DATASET, seed=0, max_train=profile.max_train)
+
+    def train(aging_aware: bool):
+        pnn = PrintedNeuralNetwork(
+            [splits.n_features, profile.hidden, splits.n_classes],
+            bundle,
+            rng=np.random.default_rng(5),
+        )
+        config = TrainConfig(
+            max_epochs=profile.max_epochs, patience=profile.patience,
+            n_mc_train=profile.n_mc_train, seed=5,
+        )
+        overrides = {}
+        if aging_aware:
+            overrides = {
+                "variation": AgingModel(drift_rate=DRIFT, spread=0.02,
+                                        time_horizon=TIMES[-1], seed=5),
+                "val_variation": AgingModel(drift_rate=DRIFT, spread=0.02,
+                                            time_horizon=TIMES[-1], seed=77),
+            }
+        train_pnn(pnn, splits.x_train, splits.y_train,
+                  splits.x_val, splits.y_val, config, **overrides)
+        return pnn
+
+    benchmark.pedantic(lambda: train(False), rounds=1, iterations=1)
+
+    nominal = train(False)
+    aware = train(True)
+    aging = AgingModel(drift_rate=DRIFT, spread=0.02, seed=9)
+
+    lines = [f"dataset: {DATASET}, drift δ = {DRIFT}, accuracy over device age:"]
+    lines.append(f"{'age':>6s}{'nominal training':>20s}{'aging-aware training':>22s}")
+    rows = {}
+    for label, pnn in (("nominal", nominal), ("aware", aware)):
+        rows[label] = evaluate_lifetime(
+            pnn, splits.x_test, splits.y_test, aging, TIMES,
+            n_test=max(10, profile.n_test // 4), seed=9,
+        )
+    for i, age in enumerate(TIMES):
+        lines.append(
+            f"{age:>6.1f}"
+            f"{rows['nominal'][i].mean:>14.3f} ± {rows['nominal'][i].std:.3f}"
+            f"{rows['aware'][i].mean:>16.3f} ± {rows['aware'][i].std:.3f}"
+        )
+    save_and_print(output_dir, "ext_aging", "\n".join(lines))

@@ -1,0 +1,35 @@
+"""Fig. 2: characteristic curves of the ptanh and negative-weight circuits.
+
+Sweeps several QMC-sampled design points through the DC solver and renders
+both curve families; the timed section measures one full circuit sweep.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import save_and_print
+from repro.circuits import simulate_ptanh_curve
+from repro.experiments.figures import ascii_curves, figure2_series
+
+
+def test_fig2_characteristic_curves(benchmark, output_dir):
+    omega = np.array([200.0, 80.0, 100e3, 40e3, 100e3, 500.0, 30.0])
+    benchmark(lambda: simulate_ptanh_curve(omega, n_points=41))
+
+    series = figure2_series(n_curves=5, n_points=41, seed=3)
+    lines = ["Fig. 2 (left): ptanh circuit characteristic curves", ""]
+    lines.append(ascii_curves(series.v_in, series.ptanh_curves))
+    lines.append("")
+    lines.append("Fig. 2 (right): negative-weight circuit characteristic curves")
+    lines.append("")
+    lines.append(ascii_curves(series.v_in, series.negweight_curves))
+    lines.append("")
+    lines.append("design points ω = [R1, R2, R3, R4, R5, W, L]:")
+    for marker, omega_row in zip("abcde", series.omegas):
+        lines.append(
+            f"  {marker}: " + " ".join(f"{value:.3g}" for value in omega_row)
+        )
+
+    swings = series.ptanh_curves.max(axis=1) - series.ptanh_curves.min(axis=1)
+    assert np.all(swings > 0.15), "curves must be expressive, as in the figure"
+    assert np.all(series.negweight_curves <= 0.0)
+    save_and_print(output_dir, "fig2_characteristics", "\n".join(lines))

@@ -1,0 +1,62 @@
+"""Fig. 4: η fitting (left) and surrogate regression quality (right).
+
+Runs the complete Fig. 3 pipeline at a reduced point count: QMC sample →
+DC sweeps → η fits → surrogate MLP training, then reports the
+train/val/test scatter statistics that Fig. 4 (right) plots.  The timed
+section measures the η extraction fit.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import save_and_print
+from repro.circuits import simulate_ptanh_curve
+from repro.experiments.figures import figure4_left, figure4_right
+from repro.surrogate import build_surrogate_dataset, fit_ptanh, train_surrogate
+
+
+def test_fig4_left_parameter_fitting(benchmark, output_dir):
+    omega = np.array([200.0, 80.0, 100e3, 40e3, 100e3, 500.0, 30.0])
+    v_in, v_out = simulate_ptanh_curve(omega, n_points=41)
+    fit = benchmark(lambda: fit_ptanh(v_in, v_out))
+
+    left = figure4_left(seed=5)
+    lines = [
+        "Fig. 4 (left): tanh-like fit to a simulated sweep",
+        f"  fitted η = [{', '.join(f'{v:.4f}' for v in left.eta)}]",
+        f"  fit RMSE = {left.rmse:.2e} V over {len(left.v_in)} sweep points",
+        f"  benchmarked fit converged: {fit.converged}, RMSE {fit.rmse:.2e}",
+    ]
+    assert left.rmse < 0.02
+    save_and_print(output_dir, "fig4_left_fit", "\n".join(lines))
+
+
+def test_fig4_right_surrogate_quality(benchmark, output_dir, profile):
+    if profile.patience >= 5000:       # paper profile
+        points = 10_000
+    elif profile.max_epochs > 200:     # fast profile
+        points = 1024
+    else:                              # smoke profile
+        points = 256
+
+    dataset = build_surrogate_dataset("ptanh", n_points=points, sweep_points=33, seed=1)
+    result = benchmark.pedantic(
+        lambda: train_surrogate(dataset, max_epochs=2500, patience=400, seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    right = figure4_right(dataset, result)
+
+    lines = [
+        "Fig. 4 (right): surrogate predicted η̃ vs true η̃",
+        f"  dataset: {len(dataset)} identifiable curves from {points} QMC points",
+        f"  validation MSE {result.val_mse:.2e}, test MSE {result.test_mse:.2e}",
+        f"  per-η test R²: {np.round(result.r2_per_eta, 3)}",
+    ]
+    for split in ("train", "val", "test"):
+        corr = np.corrcoef(right.true[split].ravel(), right.predicted[split].ravel())[0, 1]
+        lines.append(f"  {split:5s} scatter correlation: {corr:.4f}")
+
+    # Paper conclusion: no overfitting, acceptable predictions.
+    assert result.val_mse < 10 * result.train_mse + 1e-3
+    assert result.r2_per_eta.mean() > 0.7
+    save_and_print(output_dir, "fig4_right_surrogate", "\n".join(lines))

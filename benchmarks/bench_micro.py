@@ -1,0 +1,82 @@
+"""Microbenchmarks of the substrates: circuit solver, autodiff, pNN forward.
+
+These track the per-operation costs that every experiment above is built
+from; regressions here multiply through the whole harness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.circuits.ptanh import build_ptanh_netlist
+from repro.core import PrintedNeuralNetwork, VariationModel
+from repro.core.losses import MarginLoss
+from repro.spice import solve_dc
+from repro.surrogate import AnalyticSurrogate, sample_design_points
+
+OMEGA = np.array([200.0, 80.0, 100e3, 40e3, 100e3, 500.0, 30.0])
+
+
+def test_micro_mna_operating_point(benchmark):
+    netlist = build_ptanh_netlist(OMEGA, vin=0.5)
+    result = benchmark(lambda: solve_dc(netlist))
+    assert 0.0 <= result.voltage("out") <= 1.0
+
+
+def test_micro_autodiff_mlp_step(benchmark):
+    rng = np.random.default_rng(0)
+    w1 = Tensor(rng.normal(size=(10, 32)), requires_grad=True)
+    w2 = Tensor(rng.normal(size=(32, 4)), requires_grad=True)
+    x = Tensor(rng.normal(size=(128, 10)))
+
+    def step():
+        from repro.autograd import functional as F
+
+        w1.zero_grad()
+        w2.zero_grad()
+        loss = (F.tanh(x @ w1) @ w2).mean()
+        loss.backward()
+        return loss
+
+    benchmark(step)
+    assert w1.grad is not None
+
+
+@pytest.fixture(scope="module")
+def pnn():
+    surrogates = (AnalyticSurrogate("ptanh"), AnalyticSurrogate("negweight"))
+    return PrintedNeuralNetwork([8, 3, 3], surrogates, rng=np.random.default_rng(0))
+
+
+def test_micro_pnn_nominal_forward(benchmark, pnn):
+    x = np.random.default_rng(1).uniform(size=(256, 8))
+    out = benchmark(lambda: pnn.forward(x))
+    assert out.shape == (1, 256, 3)
+
+
+def test_micro_pnn_variation_forward_backward(benchmark, pnn):
+    x = np.random.default_rng(2).uniform(size=(128, 8))
+    y = np.random.default_rng(3).integers(0, 3, size=128)
+    loss_fn = MarginLoss()
+
+    def step():
+        pnn.zero_grad()
+        out = pnn.forward(x, variation=VariationModel(0.1, seed=0), n_mc=20)
+        loss = loss_fn(out, y)
+        loss.backward()
+        return loss
+
+    benchmark(step)
+
+
+def test_micro_surrogate_eta(benchmark):
+    surrogate = AnalyticSurrogate("ptanh")
+    omega = sample_design_points(64, seed=0)
+    eta = benchmark(lambda: surrogate.eta_numpy(omega))
+    assert eta.shape == (64, 4)
+
+
+def test_micro_variation_sampling(benchmark):
+    model = VariationModel(0.1, seed=0)
+    sample = benchmark(lambda: model.sample(20, (10, 3)))
+    assert sample.shape == (20, 10, 3)

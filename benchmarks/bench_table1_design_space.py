@@ -1,0 +1,28 @@
+"""Table I: the feasible design space of the nonlinear circuit.
+
+Regenerates the table (it is definitional) and validates that QMC sampling
+respects it; the timed section measures design-point sampling + feasibility
+checking throughput.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import save_and_print
+from repro.surrogate import DESIGN_SPACE, sample_design_points
+
+
+def test_table1_design_space(benchmark, output_dir):
+    def sample_and_validate():
+        omegas = sample_design_points(512, seed=0)
+        assert all(DESIGN_SPACE.contains(omega, atol=1e-9) for omega in omegas)
+        return omegas
+
+    omegas = benchmark(sample_and_validate)
+
+    lines = [DESIGN_SPACE.as_table(), ""]
+    lines.append("sampled 512 Sobol design points — marginal coverage:")
+    spans = (omegas.max(axis=0) - omegas.min(axis=0)) / (
+        DESIGN_SPACE.upper - DESIGN_SPACE.lower
+    )
+    lines.append("  " + "  ".join(f"{s:.2f}" for s in spans))
+    save_and_print(output_dir, "table1_design_space", "\n".join(lines))

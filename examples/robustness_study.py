@@ -1,0 +1,63 @@
+"""Robustness study: how accuracy degrades with printing variation.
+
+Reproduces the paper's robustness story as a sweep: train a pNN nominally
+and variation-aware, then evaluate both across a range of variation levels
+ϵ (beyond the paper's 5%/10% grid) to locate where each design breaks down.
+Useful when choosing a printing process: coarser printing is cheaper but
+noisier.
+
+Run:  python examples/robustness_study.py
+"""
+
+import numpy as np
+
+from repro.core import PrintedNeuralNetwork, TrainConfig, train_pnn, evaluate_mc
+from repro.datasets import load_splits
+from repro.surrogate import AnalyticSurrogate
+
+DATASET = "seeds"
+TRAIN_EPSILON = 0.10
+SWEEP = (0.0, 0.025, 0.05, 0.10, 0.15, 0.20)
+
+
+def train(splits, epsilon: float, seed: int = 2):
+    surrogates = (AnalyticSurrogate("ptanh"), AnalyticSurrogate("negweight"))
+    pnn = PrintedNeuralNetwork(
+        [splits.n_features, 3, splits.n_classes], surrogates, rng=np.random.default_rng(seed)
+    )
+    config = TrainConfig(
+        epsilon=epsilon, n_mc_train=10, max_epochs=1000, patience=250, seed=seed
+    )
+    train_pnn(pnn, splits.x_train, splits.y_train, splits.x_val, splits.y_val, config)
+    return pnn
+
+
+def main() -> None:
+    splits = load_splits(DATASET, seed=2)
+    print(f"dataset: {DATASET} {splits.sizes()}  classes: {splits.n_classes}\n")
+
+    print("training nominal design (ϵ_train = 0) ...")
+    nominal = train(splits, epsilon=0.0)
+    print(f"training variation-aware design (ϵ_train = {TRAIN_EPSILON:.0%}) ...\n")
+    robust = train(splits, epsilon=TRAIN_EPSILON)
+
+    header = f"{'ϵ_test':>8s} {'nominal design':>22s} {'variation-aware design':>24s}"
+    print(header)
+    print("-" * len(header))
+    for eps in SWEEP:
+        row = f"{eps:>8.1%}"
+        for pnn in (nominal, robust):
+            accuracy = evaluate_mc(
+                pnn, splits.x_test, splits.y_test, epsilon=eps, n_test=60, seed=5
+            )
+            row += f"{accuracy.mean:>15.3f} ± {accuracy.std:.3f}"
+        print(row)
+
+    print(
+        "\nThe variation-aware design should hold its accuracy (and show a much\n"
+        "smaller std) as ϵ grows — the paper's robustness result, extended to a sweep."
+    )
+
+
+if __name__ == "__main__":
+    main()

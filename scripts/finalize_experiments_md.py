@@ -1,0 +1,37 @@
+"""Insert measured Table II / III results into EXPERIMENTS.md.
+
+Usage:  python scripts/finalize_experiments_md.py [results.json]
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from render_results import load_cells  # noqa: E402 - same directory
+from repro.experiments import improvement_summary, render_table2, render_table3  # noqa: E402
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def main() -> int:
+    json_path = sys.argv[1] if len(sys.argv) > 1 else str(REPO / "artifacts/table2_fast.json")
+    cells = load_cells(json_path)
+
+    table2_block = "```\n" + render_table2(cells) + "\n```"
+    table3_lines = [render_table3(cells), ""]
+    for summary in improvement_summary(cells).values():
+        table3_lines.append(str(summary))
+    table3_block = "```\n" + "\n".join(table3_lines) + "\n```"
+
+    md_path = REPO / "EXPERIMENTS.md"
+    text = md_path.read_text()
+    text = text.replace("<!-- TABLE2_RESULTS -->", table2_block)
+    text = text.replace("<!-- TABLE3_RESULTS -->", table3_block)
+    md_path.write_text(text)
+    print(f"updated {md_path} with {len(cells)} cells")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

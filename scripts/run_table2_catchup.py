@@ -1,0 +1,55 @@
+"""Catch-up driver: fill missing Table-II datasets at a reduced budget.
+
+Reads the existing results JSON, determines which datasets are missing,
+and runs only those with a trimmed budget, merging into the same file.
+
+Usage:  python scripts/run_table2_catchup.py [epochs] [json_path]
+"""
+
+import json
+import sys
+import time
+
+from repro import get_default_bundle
+from repro.datasets import DATASET_NAMES
+from repro.experiments import ExperimentConfig, run_dataset
+
+JSON_PATH = sys.argv[2] if len(sys.argv) > 2 else "artifacts/table2_fast.json"
+EPOCHS = int(sys.argv[1]) if len(sys.argv) > 1 else 400
+
+
+def main() -> int:
+    try:
+        with open(JSON_PATH) as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        payload = []
+    have = {row["dataset"] for row in payload}
+    missing = [name for name in DATASET_NAMES if name not in have]
+    if not missing:
+        print("nothing to do")
+        return 0
+    print(f"catching up on: {', '.join(missing)} at {EPOCHS} epochs")
+
+    config = ExperimentConfig(
+        seeds=(1, 2), max_epochs=EPOCHS, patience=max(EPOCHS // 4, 50),
+        n_mc_train=8, n_test=100, max_train=800,
+    )
+    bundle = get_default_bundle()
+    t0 = time.time()
+    for name in missing:
+        cells = run_dataset(name, config, surrogates=bundle)
+        payload.extend(
+            dict(dataset=c.dataset, learnable=c.setup.learnable,
+                 va=c.setup.variation_aware, eps=c.eps_test, mean=c.mean,
+                 std=c.std, seed=c.best_seed, val_loss=c.best_val_loss)
+            for c in cells
+        )
+        with open(JSON_PATH, "w") as handle:
+            json.dump(payload, handle, indent=1)
+        print(f"[{time.time() - t0:6.0f}s] {name} done", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+"""One-off driver: fast-profile Table II run with the NN surrogate bundle."""
+import json, time
+from repro import get_default_bundle
+from repro.datasets import DATASET_NAMES
+from repro.experiments import PROFILES, run_dataset, render_table2, render_table3, improvement_summary
+
+t0 = time.time()
+bundle = get_default_bundle()
+cfg = PROFILES["fast"]
+all_results = []
+for name in DATASET_NAMES:
+    t1 = time.time()
+    res = run_dataset(name, cfg, surrogates=bundle)
+    all_results.extend(res)
+    print(f"[{time.time()-t0:7.0f}s] {name} done in {time.time()-t1:.0f}s", flush=True)
+    payload = [
+        dict(dataset=c.dataset, learnable=c.setup.learnable, va=c.setup.variation_aware,
+             eps=c.eps_test, mean=c.mean, std=c.std, seed=c.best_seed, val_loss=c.best_val_loss)
+        for c in all_results
+    ]
+    with open("artifacts/table2_fast.json", "w") as f:
+        json.dump(payload, f, indent=1)
+
+print(render_table2(all_results))
+print()
+print(render_table3(all_results))
+for s in improvement_summary(all_results).values():
+    print(s)

@@ -1,0 +1,32 @@
+"""repro: reproduction of "Highly-Bespoke Robust Printed Neuromorphic
+Circuits" (DATE 2023).
+
+The package implements, from scratch, the complete system the paper builds
+on: a numpy autodiff engine (:mod:`repro.autograd`, :mod:`repro.nn`,
+:mod:`repro.optim`), a nonlinear DC circuit simulator with a printed-EGT
+compact model (:mod:`repro.spice`, :mod:`repro.circuits`), the
+surrogate-model pipeline (:mod:`repro.surrogate`), the printed neural
+network with learnable nonlinear circuits and variation-aware training
+(:mod:`repro.core`), the 13 benchmark datasets (:mod:`repro.datasets`), the
+experiment harness (:mod:`repro.experiments`) and design export
+(:mod:`repro.exporting`).
+
+Quickstart::
+
+    from repro import get_default_bundle
+    from repro.core import PrintedNeuralNetwork, TrainConfig, train_pnn, evaluate_mc
+    from repro.datasets import load_splits
+
+    bundle = get_default_bundle()          # builds & caches the surrogates
+    splits = load_splits("iris", seed=1)
+    pnn = PrintedNeuralNetwork([splits.n_features, 3, splits.n_classes], bundle)
+    train_pnn(pnn, splits.x_train, splits.y_train, splits.x_val, splits.y_val,
+              TrainConfig(epsilon=0.10, max_epochs=1000, patience=300))
+    print(evaluate_mc(pnn, splits.x_test, splits.y_test, epsilon=0.10))
+"""
+
+from repro.artifacts import get_default_bundle, default_artifacts_dir
+
+__version__ = "1.0.0"
+
+__all__ = ["get_default_bundle", "default_artifacts_dir", "__version__"]

@@ -1,0 +1,26 @@
+"""Design analysis: cost models and sensitivity studies.
+
+Beyond accuracy and robustness, a printed design is judged by its physical
+cost and by *which* components its behaviour hinges on:
+
+- :mod:`~repro.analysis.cost` — device counts, printed area and static
+  power of a trained design (the resource argument the printed-electronics
+  line of work makes against digital implementations);
+- :mod:`~repro.analysis.sensitivity` — gradients of the activation shape η
+  w.r.t. the physical components ω (what does the optimizer actually turn?)
+  and Monte-Carlo attribution of accuracy loss to the variation of each
+  component group (which tolerance matters for yield).
+"""
+
+from repro.analysis.cost import DesignCost, estimate_cost
+from repro.analysis.sensitivity import (
+    eta_sensitivity,
+    variation_attribution,
+)
+
+__all__ = [
+    "DesignCost",
+    "estimate_cost",
+    "eta_sensitivity",
+    "variation_attribution",
+]

@@ -1,0 +1,44 @@
+"""Shared on-disk artifacts (cached surrogate bundles).
+
+Building the NN surrogate bundle runs thousands of circuit sweeps and
+trains two MLPs (≈ 1–2 minutes); examples, tests and benches share one
+cached bundle.  The cache directory defaults to ``<repo>/artifacts`` and
+can be redirected with the ``REPRO_ARTIFACTS`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional
+
+#: Default configuration of the shared bundle: enough QMC points and
+#: training budget for surrogate R² ≈ 0.95 at ~1 minute build time.
+DEFAULT_BUNDLE_POINTS = 4096
+DEFAULT_BUNDLE_EPOCHS = 4000
+DEFAULT_BUNDLE_PATIENCE = 500
+
+
+def default_artifacts_dir() -> Path:
+    """The artifacts directory (created on demand)."""
+    env = os.environ.get("REPRO_ARTIFACTS")
+    if env:
+        path = Path(env)
+    else:
+        path = Path(__file__).resolve().parents[2] / "artifacts"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def get_default_bundle(n_points: int = DEFAULT_BUNDLE_POINTS, seed: int = 0, verbose: bool = False):
+    """Load (or build and cache) the shared NN surrogate bundle."""
+    from repro.surrogate.pipeline import build_surrogate_bundle
+
+    return build_surrogate_bundle(
+        n_points=n_points,
+        max_epochs=DEFAULT_BUNDLE_EPOCHS,
+        patience=DEFAULT_BUNDLE_PATIENCE,
+        seed=seed,
+        cache_dir=default_artifacts_dir(),
+        verbose=verbose,
+    )

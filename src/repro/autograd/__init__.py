@@ -1,0 +1,20 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This package is the training substrate of the reproduction: the paper relies
+on PyTorch autodiff, which is not available in this environment, so an
+equivalent reverse-mode engine is implemented here from scratch.
+
+Public API:
+
+- :class:`~repro.autograd.tensor.Tensor` — an ndarray with a gradient tape.
+- :mod:`~repro.autograd.functional` — differentiable functions on tensors
+  (``tanh``, ``sigmoid``, ``softmax``, ``clip_ste``, reductions, ...).
+- :func:`~repro.autograd.gradcheck.gradcheck` — finite-difference gradient
+  verification used throughout the test suite.
+"""
+
+from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled
+from repro.autograd import functional
+from repro.autograd.gradcheck import gradcheck
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "functional", "gradcheck"]

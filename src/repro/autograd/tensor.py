@@ -1,0 +1,443 @@
+"""The :class:`Tensor` class: a numpy array with a reverse-mode gradient tape.
+
+The implementation follows the classic define-by-run design: every
+differentiable operation returns a new :class:`Tensor` holding references to
+its parents and a closure that accumulates gradients into them.  Calling
+:meth:`Tensor.backward` topologically sorts the recorded graph and runs the
+closures in reverse order.
+
+Broadcasting is fully supported: gradients flowing into an operand whose
+shape was broadcast are reduced back to the operand's shape by
+:func:`unbroadcast`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+Scalar = Union[int, float]
+ArrayLike = Union[Scalar, Sequence, np.ndarray, "Tensor"]
+
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record the autodiff graph."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph recording (like ``torch.no_grad``)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so that it matches ``shape``.
+
+    When an operand of shape ``shape`` was broadcast during the forward pass,
+    the incoming gradient has the broadcast shape.  The adjoint of
+    broadcasting is summation over the broadcast axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size 1 in the original shape.
+    axes = tuple(i for i, size in enumerate(shape) if size == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value: ArrayLike) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value, dtype=np.float64)
+
+
+class Tensor:
+    """A float64 ndarray with reverse-mode automatic differentiation.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a float64 numpy array.
+    requires_grad:
+        When ``True``, gradients are accumulated in :attr:`grad` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_op")
+
+    # Make numpy defer to Tensor for e.g. ``np.float64(2.0) * tensor``.
+    __array_priority__ = 1000
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False):
+        self.data = np.asarray(
+            data.data if isinstance(data, Tensor) else data, dtype=np.float64
+        )
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: Optional[np.ndarray] = None
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple[Tensor, ...] = ()
+        self._op: str = ""
+
+    # ------------------------------------------------------------------ #
+    # graph construction                                                 #
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _from_op(
+        data: np.ndarray,
+        parents: Iterable["Tensor"],
+        backward: Callable[[np.ndarray], None],
+        op: str,
+    ) -> "Tensor":
+        """Build a graph node from an operation result.
+
+        ``backward`` receives the output gradient and is responsible for
+        calling :meth:`_accumulate` on each parent that requires a gradient.
+        """
+        parents = tuple(parents)
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=False)
+        out.requires_grad = requires
+        if requires:
+            out._backward = backward
+            out._parents = parents
+            out._op = op
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into this tensor's gradient buffer (creating it lazily)."""
+        if not self.requires_grad:
+            return
+        grad = unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Run reverse-mode differentiation from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Seed gradient.  Defaults to 1 for scalar tensors; required for
+            non-scalar outputs.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar backward()")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(_as_array(grad), dtype=np.float64)
+        if grad.shape != self.data.shape:
+            grad = np.broadcast_to(grad, self.data.shape).copy()
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    def zero_grad(self) -> None:
+        """Clear the accumulated gradient."""
+        self.grad = None
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    # ------------------------------------------------------------------ #
+    # introspection                                                      #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def numpy(self) -> np.ndarray:
+        """Return a copy of the underlying array."""
+        return self.data.copy()
+
+    def item(self) -> float:
+        """Return the value of a one-element tensor as a Python float."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else self._item_error()
+
+    @staticmethod
+    def _item_error() -> float:
+        raise ValueError("item() requires a one-element tensor")
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=5)}{grad_flag})"
+
+    # ------------------------------------------------------------------ #
+    # elementwise arithmetic                                             #
+    # ------------------------------------------------------------------ #
+
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad)
+            other._accumulate(grad)
+
+        return Tensor._from_op(data, (self, other), backward, "add")
+
+    def __radd__(self, other: ArrayLike) -> "Tensor":
+        return self.__add__(other)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data - other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad)
+            other._accumulate(-grad)
+
+        return Tensor._from_op(data, (self, other), backward, "sub")
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(other).__sub__(self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data * other.data
+        self_data, other_data = self.data, other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * other_data)
+            other._accumulate(grad * self_data)
+
+        return Tensor._from_op(data, (self, other), backward, "mul")
+
+    def __rmul__(self, other: ArrayLike) -> "Tensor":
+        return self.__mul__(other)
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data / other.data
+        self_data, other_data = self.data, other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / other_data)
+            other._accumulate(-grad * self_data / (other_data * other_data))
+
+        return Tensor._from_op(data, (self, other), backward, "div")
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(other).__truediv__(self)
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(-grad)
+
+        return Tensor._from_op(-self.data, (self,), backward, "neg")
+
+    def __pow__(self, exponent: Scalar) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        data = self.data**exponent
+        self_data = self.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * exponent * self_data ** (exponent - 1))
+
+        return Tensor._from_op(data, (self,), backward, "pow")
+
+    # ------------------------------------------------------------------ #
+    # comparisons (not differentiable, return numpy bool arrays)         #
+    # ------------------------------------------------------------------ #
+
+    def __gt__(self, other: ArrayLike) -> np.ndarray:
+        return self.data > _as_array(other)
+
+    def __ge__(self, other: ArrayLike) -> np.ndarray:
+        return self.data >= _as_array(other)
+
+    def __lt__(self, other: ArrayLike) -> np.ndarray:
+        return self.data < _as_array(other)
+
+    def __le__(self, other: ArrayLike) -> np.ndarray:
+        return self.data <= _as_array(other)
+
+    # ------------------------------------------------------------------ #
+    # linear algebra and shaping                                         #
+    # ------------------------------------------------------------------ #
+
+    def matmul(self, other: "Tensor") -> "Tensor":
+        """Matrix product with batch broadcasting over leading dimensions."""
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        if self.ndim < 1 or other.ndim < 1:
+            raise ValueError("matmul requires tensors with at least one dimension")
+        data = self.data @ other.data
+        self_data, other_data = self.data, other.data
+
+        def backward(grad: np.ndarray) -> None:
+            a, b = self_data, other_data
+            if a.ndim == 1 and b.ndim == 1:
+                self._accumulate(grad * b)
+                other._accumulate(grad * a)
+                return
+            if a.ndim == 1:
+                # (k,) @ (..., k, n) -> (..., n)
+                grad_a = (grad[..., None, :] * b).sum(axis=-1)
+                self._accumulate(grad_a)
+                other._accumulate(a[:, None] * grad[..., None, :])
+                return
+            if b.ndim == 1:
+                # (..., m, k) @ (k,) -> (..., m)
+                self._accumulate(grad[..., :, None] * b)
+                grad_b = (grad[..., :, None] * a).sum(axis=tuple(range(a.ndim - 1)))
+                other._accumulate(grad_b)
+                return
+            grad_a = grad @ np.swapaxes(b, -1, -2)
+            grad_b = np.swapaxes(a, -1, -2) @ grad
+            self._accumulate(grad_a)
+            other._accumulate(grad_b)
+
+        return Tensor._from_op(data, (self, other), backward, "matmul")
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        return self.matmul(other)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        """Permute axes; with no arguments, reverse them (like ``ndarray.T``)."""
+        order = tuple(axes) if axes else tuple(reversed(range(self.ndim)))
+        inverse = tuple(int(i) for i in np.argsort(order))
+        data = self.data.transpose(order)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.transpose(inverse))
+
+        return Tensor._from_op(data, (self,), backward, "transpose")
+
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.data.shape
+        data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.reshape(original))
+
+        return Tensor._from_op(data, (self,), backward, "reshape")
+
+    def __getitem__(self, index) -> "Tensor":
+        data = self.data[index]
+        original_shape = self.data.shape
+
+        def backward(grad: np.ndarray) -> None:
+            full = np.zeros(original_shape, dtype=np.float64)
+            np.add.at(full, index, grad)
+            self._accumulate(full)
+
+        return Tensor._from_op(data, (self,), backward, "getitem")
+
+    # ------------------------------------------------------------------ #
+    # reductions                                                         #
+    # ------------------------------------------------------------------ #
+
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+        shape = self.data.shape
+
+        def backward(grad: np.ndarray) -> None:
+            grad_full = _expand_reduced(grad, shape, axis, keepdims)
+            self._accumulate(grad_full)
+
+        return Tensor._from_op(data, (self,), backward, "sum")
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.mean(axis=axis, keepdims=keepdims)
+        shape = self.data.shape
+        count = self.data.size if axis is None else _axis_size(shape, axis)
+
+        def backward(grad: np.ndarray) -> None:
+            grad_full = _expand_reduced(grad, shape, axis, keepdims) / count
+            self._accumulate(grad_full)
+
+        return Tensor._from_op(data, (self,), backward, "mean")
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+        self_data = self.data
+
+        def backward(grad: np.ndarray) -> None:
+            expanded = _expand_reduced(data if keepdims or axis is None else data, self_data.shape, axis, keepdims)
+            mask = (self_data == expanded).astype(np.float64)
+            # Split the gradient between ties to keep the adjoint exact.
+            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            grad_full = _expand_reduced(grad, self_data.shape, axis, keepdims)
+            self._accumulate(grad_full * mask / counts)
+
+        return Tensor._from_op(data, (self,), backward, "max")
+
+    def min(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return -((-self).max(axis=axis, keepdims=keepdims))
+
+
+def _axis_size(shape: Tuple[int, ...], axis) -> int:
+    if isinstance(axis, int):
+        return shape[axis]
+    return int(np.prod([shape[a] for a in axis]))
+
+
+def _expand_reduced(grad: np.ndarray, shape: Tuple[int, ...], axis, keepdims: bool) -> np.ndarray:
+    """Broadcast a reduced gradient back to the pre-reduction shape."""
+    grad = np.asarray(grad, dtype=np.float64)
+    if axis is None:
+        return np.broadcast_to(grad, shape).copy() if grad.shape != shape else grad
+    if not keepdims:
+        axes = (axis,) if isinstance(axis, int) else tuple(axis)
+        axes = tuple(a % len(shape) for a in axes)
+        for a in sorted(axes):
+            grad = np.expand_dims(grad, a)
+    return np.broadcast_to(grad, shape).copy()

@@ -1,0 +1,112 @@
+"""The printed tanh-like (ptanh) circuit: two cascaded inverter stages.
+
+The paper's Fig. 1 (right) shows an inverter-based nonlinear circuit with
+five resistors R1..R5 and electrolyte-gated transistors whose geometry
+(W, L) is a design parameter; cascading two inverters yields the tanh-like
+transfer of Eq. 2.  The exact pPDK topology is proprietary, so the netlist
+built here is a faithful synthetic equivalent with the same parameter
+roles:
+
+- ``R1``/``R2`` form the input voltage divider driving the first gate (the
+  inequality R1 > R2 from Table I keeps its ratio below one half);
+- stage 1 is an EGT (W, L) with load resistor ``R5`` from VDD;
+- ``R3``/``R4`` form the inter-stage divider driving the second gate (this
+  divider visibly loads stage 1, which is exactly the "surrounding circuit
+  elements" interaction the paper mentions);
+- stage 2 is an identical EGT with a fixed load, restoring the signal
+  polarity so the overall transfer rises with the input.
+
+Sweeping the input source through 0..VDD produces the characteristic curves
+of Fig. 2 (left).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.spice.egt import EGTModel
+from repro.spice.netlist import GROUND, Netlist
+from repro.spice.sweep import dc_sweep
+
+#: Supply voltage of the printed circuits (the paper works on a 1 V rail).
+VDD = 1.0
+
+#: Load resistance of the restoring second stage (fixed, not part of ω).
+SECOND_STAGE_LOAD = 100e3
+
+#: Node names used by the builder, for tests and documentation.
+PTANH_NODES = {
+    "input": "vin",
+    "gate1": "g1",
+    "drain1": "d1",
+    "gate2": "g2",
+    "output": "out",
+}
+
+
+def build_ptanh_netlist(
+    omega: np.ndarray,
+    vin: float = 0.0,
+    model: Optional[EGTModel] = None,
+) -> Netlist:
+    """Build the two-stage nonlinear circuit for one design point ω.
+
+    Parameters
+    ----------
+    omega:
+        Physical parameters ``[R1, R2, R3, R4, R5, W, L]`` in SI units
+        (ohms and micrometres, matching Table I).
+    vin:
+        Initial input-source voltage (swept afterwards).
+    model:
+        EGT compact model; defaults to the synthetic pPDK.
+    """
+    omega = np.asarray(omega, dtype=np.float64)
+    if omega.shape != (7,):
+        raise ValueError("omega must be [R1, R2, R3, R4, R5, W, L]")
+    r1, r2, r3, r4, r5, width, length = (float(v) for v in omega)
+    if min(r1, r2, r3, r4, r5) <= 0:
+        raise ValueError("resistances must be positive")
+    model = model or EGTModel()
+
+    netlist = Netlist("ptanh")
+    netlist.add_voltage_source("Vdd", "vdd", GROUND, VDD)
+    netlist.add_voltage_source("Vin", PTANH_NODES["input"], GROUND, vin)
+
+    # Input divider R1/R2.
+    netlist.add_resistor("R1", PTANH_NODES["input"], PTANH_NODES["gate1"], r1)
+    netlist.add_resistor("R2", PTANH_NODES["gate1"], GROUND, r2)
+
+    # Stage 1: EGT with load R5.
+    netlist.add_resistor("R5", "vdd", PTANH_NODES["drain1"], r5)
+    netlist.add_egt(
+        "T1", PTANH_NODES["drain1"], PTANH_NODES["gate1"], GROUND, width, length, model
+    )
+
+    # Inter-stage divider R3/R4 (loads stage 1).
+    netlist.add_resistor("R3", PTANH_NODES["drain1"], PTANH_NODES["gate2"], r3)
+    netlist.add_resistor("R4", PTANH_NODES["gate2"], GROUND, r4)
+
+    # Stage 2: restoring inverter with a fixed load.
+    netlist.add_resistor("RL2", "vdd", PTANH_NODES["output"], SECOND_STAGE_LOAD)
+    netlist.add_egt(
+        "T2", PTANH_NODES["output"], PTANH_NODES["gate2"], GROUND, width, length, model
+    )
+    return netlist
+
+
+def simulate_ptanh_curve(
+    omega: np.ndarray,
+    n_points: int = 41,
+    model: Optional[EGTModel] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sweep the ptanh circuit input and return ``(V_in, V_out)`` arrays.
+
+    This is the reproduction's stand-in for a Cadence DC sweep: the output
+    rises tanh-like from near 0 V to near VDD as the input sweeps 0..VDD.
+    """
+    netlist = build_ptanh_netlist(omega, model=model)
+    values = np.linspace(0.0, VDD, n_points)
+    return dc_sweep(netlist, "Vin", values, output_node=PTANH_NODES["output"])

@@ -1,0 +1,48 @@
+"""The printed neural network (pNN) with learnable nonlinear circuits.
+
+This package is the paper's primary contribution (Sec. III):
+
+- :mod:`~repro.core.conductance` — the printable-conductance constraint and
+  its straight-through projection;
+- :mod:`~repro.core.nonlinear` — the learnable nonlinear circuit module
+  implementing the Fig. 5 parameter flow (sigmoid → denormalize →
+  reassemble/clip → ratio-extend → normalize → surrogate → η);
+- :mod:`~repro.core.player` — one printed layer: crossbar weighted sum
+  (Eq. 1) with negative-weight routing and the ptanh activation;
+- :mod:`~repro.core.pnn` — the full network (topology #input-3-#output in
+  the experiments);
+- :mod:`~repro.core.variation` — the multiplicative printing-variation
+  model ε ~ U[1−ϵ, 1+ϵ];
+- :mod:`~repro.core.training` — nominal and variation-aware training
+  (Monte-Carlo expected loss, N_train = 20);
+- :mod:`~repro.core.evaluation` — Monte-Carlo test evaluation
+  (N_test = 100) reporting mean ± std accuracy as in Table II.
+"""
+
+from repro.core.conductance import ConductanceConfig
+from repro.core.nonlinear import LearnableNonlinearCircuit
+from repro.core.player import PrintedLayer
+from repro.core.pnn import PrintedNeuralNetwork
+from repro.core.variation import VariationModel
+from repro.core.losses import MarginLoss, make_loss
+from repro.core.training import TrainConfig, TrainResult, train_pnn
+from repro.core.evaluation import MonteCarloAccuracy, evaluate_mc
+from repro.core.aging import AgingModel, CompositeVariation, evaluate_lifetime
+
+__all__ = [
+    "AgingModel",
+    "CompositeVariation",
+    "evaluate_lifetime",
+    "ConductanceConfig",
+    "LearnableNonlinearCircuit",
+    "PrintedLayer",
+    "PrintedNeuralNetwork",
+    "VariationModel",
+    "MarginLoss",
+    "make_loss",
+    "TrainConfig",
+    "TrainResult",
+    "train_pnn",
+    "MonteCarloAccuracy",
+    "evaluate_mc",
+]

@@ -1,0 +1,66 @@
+"""Monte-Carlo evaluation under printing variation (Sec. IV-C).
+
+Every trained pNN is tested with ``N_test = 100`` variation samples: each
+sample instantiates one fabricated circuit (perturbed conductances and
+nonlinear-circuit components), classifies the whole test set, and yields
+one accuracy.  Table II reports the mean and standard deviation over these
+samples — the standard deviation is the paper's robustness measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pnn import PrintedNeuralNetwork
+from repro.core.variation import VariationModel
+
+
+@dataclass
+class MonteCarloAccuracy:
+    """Accuracy distribution over simulated fabrications."""
+
+    accuracies: np.ndarray
+
+    @property
+    def mean(self) -> float:
+        return float(self.accuracies.mean())
+
+    @property
+    def std(self) -> float:
+        return float(self.accuracies.std())
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} ± {self.std:.3f}"
+
+
+def evaluate_mc(
+    pnn: PrintedNeuralNetwork,
+    x: np.ndarray,
+    y: np.ndarray,
+    epsilon: float,
+    n_test: int = 100,
+    seed: int = 0,
+    batch_mc: int = 20,
+) -> MonteCarloAccuracy:
+    """Evaluate accuracy over ``n_test`` fabricated-circuit samples.
+
+    ``epsilon = 0`` collapses to a single nominal evaluation.  Monte-Carlo
+    samples are processed in chunks of ``batch_mc`` to bound memory.
+    """
+    y = np.asarray(y, dtype=np.int64)
+    if epsilon == 0.0:
+        predictions = pnn.predict(x)                      # (1, B)
+        accuracy = float((predictions[0] == y).mean())
+        return MonteCarloAccuracy(accuracies=np.asarray([accuracy]))
+
+    variation = VariationModel(epsilon, seed=seed)
+    accuracies = []
+    remaining = n_test
+    while remaining > 0:
+        chunk = min(batch_mc, remaining)
+        predictions = pnn.predict(x, variation=variation, n_mc=chunk)  # (chunk, B)
+        accuracies.extend((predictions == y).mean(axis=1).tolist())
+        remaining -= chunk
+    return MonteCarloAccuracy(accuracies=np.asarray(accuracies))

@@ -1,0 +1,83 @@
+"""Loss functions for pNN training.
+
+The printed-NN line of work trains on output *voltages* rather than logits;
+the margin loss of Weller et al. [1] pushes the correct class's voltage at
+least a margin above every other class's voltage.  Softmax cross-entropy on
+the voltages is provided as an alternative (ablated in
+``benchmarks/bench_ablation_loss.py``).
+
+Both losses accept outputs with a leading Monte-Carlo axis
+``(n_mc, batch, classes)`` and average over it, which directly implements
+the Monte-Carlo estimate of the expected loss in Sec. III-C.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+
+class MarginLoss(Module):
+    """Mean squared hinge on voltage margins.
+
+    For a sample with true class ``c``:
+
+        L = Σ_{j ≠ c} max(0, m − (V_c − V_j))²
+
+    averaged over batch and Monte-Carlo samples.
+    """
+
+    def __init__(self, margin: float = 0.3):
+        super().__init__()
+        if margin <= 0:
+            raise ValueError("margin must be positive")
+        self.margin = margin
+
+    def forward(self, voltages: Tensor, targets: np.ndarray) -> Tensor:
+        if voltages.ndim != 3:
+            raise ValueError("expected (n_mc, batch, classes) voltages")
+        n_mc, batch, n_classes = voltages.shape
+        targets = np.asarray(targets, dtype=np.int64)
+        if targets.shape != (batch,):
+            raise ValueError("targets must be one class index per batch row")
+
+        target_grid = np.broadcast_to(targets, (n_mc, batch))
+        true_voltage = F.take_along_last_axis(voltages, target_grid)   # (N, B)
+        true_voltage = true_voltage.reshape(n_mc, batch, 1)
+        shortfall = F.relu(self.margin - (true_voltage - voltages))    # (N, B, C)
+        # The true class trivially contributes margin² per row; mask it out.
+        mask = np.ones((n_mc, batch, n_classes))
+        np.put_along_axis(mask, target_grid[..., None], 0.0, axis=-1)
+        penalty = shortfall * shortfall * Tensor(mask)
+        return penalty.sum(axis=-1).mean()
+
+
+class VoltageCrossEntropy(Module):
+    """Softmax cross-entropy on output voltages (scaled for contrast)."""
+
+    def __init__(self, temperature: float = 0.1):
+        super().__init__()
+        if temperature <= 0:
+            raise ValueError("temperature must be positive")
+        self.temperature = temperature
+
+    def forward(self, voltages: Tensor, targets: np.ndarray) -> Tensor:
+        if voltages.ndim != 3:
+            raise ValueError("expected (n_mc, batch, classes) voltages")
+        n_mc, batch, _ = voltages.shape
+        targets = np.broadcast_to(np.asarray(targets, dtype=np.int64), (n_mc, batch))
+        return F.cross_entropy(voltages * (1.0 / self.temperature), targets)
+
+
+def make_loss(name: str) -> Callable:
+    """Factory: ``"margin"`` (default in the experiments) or ``"ce"``."""
+    if name == "margin":
+        return MarginLoss()
+    if name == "ce":
+        return VoltageCrossEntropy()
+    raise ValueError(f"unknown loss {name!r}; expected 'margin' or 'ce'")

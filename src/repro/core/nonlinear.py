@@ -1,0 +1,154 @@
+"""Learnable nonlinear circuits inside the pNN (Sec. III-B, Fig. 5).
+
+The learnable parameter 𝔴 corresponds to the reduced parameterization
+``[R1, R3, R5, W, L, k1, k2]``.  The forward processing follows Fig. 5
+exactly:
+
+1. a sigmoid keeps the normalized values in (0, 1);
+2. the first five entries are denormalized into their Table-I ranges, the
+   ratios stay in (0, 1);
+3. the printable vector ω is reassembled with ``R2 = R1·k1`` and
+   ``R4 = R3·k2``, clipped into their feasible ranges (straight-through, so
+   the ratios keep receiving gradient while clipped);
+4. *printing variation is applied here*, to the printable values — not to
+   the raw learnable parameter (the paper is explicit about this);
+5. the vector is ratio-extended, normalized with the surrogate's stored
+   statistics, pushed through the surrogate NN and denormalized into η.
+
+The resulting η parameterize the tanh-like transfer (Eq. 2) or its negated
+form (Eq. 3).  The module supports one shared circuit per layer (the
+default, matching the paper's per-layer bespoke activation) or one circuit
+per neuron.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module, Parameter
+from repro.surrogate.analytic import AnalyticSurrogate
+from repro.surrogate.design_space import DesignSpace
+from repro.surrogate.pipeline import CircuitSurrogate
+
+Surrogate = Union[CircuitSurrogate, AnalyticSurrogate]
+
+
+class LearnableNonlinearCircuit(Module):
+    """A (possibly learnable) nonlinear circuit: ptanh activation or negation.
+
+    Parameters
+    ----------
+    surrogate:
+        Differentiable ω → η map (NN surrogate or analytic baseline).
+    space:
+        The Table-I design space (supplies denormalization bounds).
+    kind:
+        ``"ptanh"`` applies Eq. 2; ``"negweight"`` applies Eq. 3 (negated).
+    n_circuits:
+        ``1`` for a layer-shared circuit, or the number of neurons for
+        per-neuron bespoke circuits.
+    """
+
+    def __init__(
+        self,
+        surrogate: Surrogate,
+        space: DesignSpace,
+        kind: str,
+        n_circuits: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if kind not in ("ptanh", "negweight"):
+            raise ValueError("kind must be 'ptanh' or 'negweight'")
+        self.surrogate = surrogate
+        self.space = space
+        self.kind = kind
+        self.n_circuits = int(n_circuits)
+        if self.n_circuits < 1:
+            raise ValueError("n_circuits must be >= 1")
+        rng = rng if rng is not None else np.random.default_rng()
+        # Raw learnable parameter; sigmoid(0) = 0.5 is the mid-range
+        # reference circuit used by the non-learnable baselines.  Small
+        # noise breaks symmetry between per-neuron circuits.
+        noise = 0.01 * rng.standard_normal((self.n_circuits, 7)) if self.n_circuits > 1 else 0.0
+        self.w_raw = Parameter(np.zeros((self.n_circuits, 7)) + noise)
+
+    # ------------------------------------------------------------------ #
+    # Fig. 5 processing chain                                            #
+    # ------------------------------------------------------------------ #
+
+    def printable_omega(self) -> Tensor:
+        """Component values to print: shape ``(n_circuits, 7)``.
+
+        Differentiable w.r.t. :attr:`w_raw`; this is the tensor printing
+        variation multiplies (step 4 in the module docstring).
+        """
+        squashed = F.sigmoid(self.w_raw)
+        lower = Tensor(self.space.reduced_lower)
+        span = Tensor(self.space.reduced_upper - self.space.reduced_lower)
+        reduced = squashed * span + lower
+
+        r1 = reduced[:, 0:1]
+        r3 = reduced[:, 1:2]
+        r5 = reduced[:, 2:3]
+        width = reduced[:, 3:4]
+        length = reduced[:, 4:5]
+        k1 = reduced[:, 5:6]
+        k2 = reduced[:, 6:7]
+        r2 = F.clip_ste(k1 * r1, self.space.lower[1], self.space.upper[1])
+        r4 = F.clip_ste(k2 * r3, self.space.lower[3], self.space.upper[3])
+        return F.concatenate([r1, r2, r3, r4, r5, width, length], axis=1)
+
+    def eta(self, epsilon_omega: Optional[np.ndarray] = None) -> Tensor:
+        """Auxiliary tanh parameters, optionally under printing variation.
+
+        Parameters
+        ----------
+        epsilon_omega:
+            Multiplicative variation factors of shape
+            ``(n_mc, n_circuits, 7)``; ``None`` means nominal (n_mc = 1).
+
+        Returns
+        -------
+        Tensor of shape ``(n_mc, n_circuits, 4)``.
+        """
+        omega = self.printable_omega()                     # (C, 7)
+        omega = omega.reshape(1, self.n_circuits, 7)
+        if epsilon_omega is not None:
+            eps = np.asarray(epsilon_omega, dtype=np.float64)
+            if eps.ndim != 3 or eps.shape[1:] != (self.n_circuits, 7):
+                raise ValueError("epsilon_omega must be (n_mc, n_circuits, 7)")
+            omega = omega * Tensor(eps)
+        return self.surrogate.eta_from_omega(omega)        # (N, C, 4)
+
+    # ------------------------------------------------------------------ #
+    # transfer functions                                                 #
+    # ------------------------------------------------------------------ #
+
+    def transfer(self, voltage: Tensor, eta: Tensor) -> Tensor:
+        """Apply the circuit transfer to voltages of shape ``(n_mc, B, F)``.
+
+        With a shared circuit the same η applies to every column; with
+        per-neuron circuits ``F`` must equal :attr:`n_circuits`.
+        """
+        n_mc = eta.shape[0]
+        if self.n_circuits == 1:
+            shape = (n_mc, 1, 1)
+        else:
+            shape = (n_mc, 1, self.n_circuits)
+        eta1 = eta[:, :, 0].reshape(*shape)
+        eta2 = eta[:, :, 1].reshape(*shape)
+        eta3 = eta[:, :, 2].reshape(*shape)
+        eta4 = eta[:, :, 3].reshape(*shape)
+        core = eta1 + eta2 * F.tanh((voltage - eta3) * eta4)
+        if self.kind == "negweight":
+            return -core
+        return core
+
+    def forward(self, voltage: Tensor, epsilon_omega: Optional[np.ndarray] = None) -> Tensor:
+        """Convenience: compute η then apply the transfer."""
+        return self.transfer(voltage, self.eta(epsilon_omega))

@@ -1,0 +1,126 @@
+"""One printed layer: crossbar weighted sum + nonlinear circuits (Sec. II-C).
+
+The layer owns a surrogate-conductance matrix θ of shape
+``(in_features + 2, out_features)``: one row per input line plus a bias row
+(driven by the 1 V rail) and a "down" row (driven by ground).  The forward
+pass implements Eq. 1 with negative weights routed through the learned
+negative-weight circuit:
+
+    V_z,j = [ Σ_{i: θ_ij ≥ 0} |θ_ij| V_i + Σ_{i: θ_ij < 0} |θ_ij| inv(V_i) ]
+            / Σ_i |θ_ij|
+
+followed by the (learned) ptanh activation.  All tensors carry an explicit
+leading Monte-Carlo axis so nominal and variation-aware forward passes share
+one code path (nominal is simply ``n_mc = 1``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.core.conductance import ConductanceConfig
+from repro.core.nonlinear import LearnableNonlinearCircuit
+from repro.nn.module import Module, Parameter
+
+#: Voltage of the bias rail feeding the crossbar bias row (the paper's V_b).
+BIAS_VOLTAGE = 1.0
+
+
+class PrintedLayer(Module):
+    """Crossbar + negative-weight circuit + ptanh activation."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        activation: LearnableNonlinearCircuit,
+        negation: LearnableNonlinearCircuit,
+        conductance: ConductanceConfig = ConductanceConfig(),
+        apply_activation: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if in_features < 1 or out_features < 1:
+            raise ValueError("feature counts must be positive")
+        if activation.kind != "ptanh":
+            raise ValueError("activation circuit must be of kind 'ptanh'")
+        if negation.kind != "negweight":
+            raise ValueError("negation circuit must be of kind 'negweight'")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.conductance = conductance
+        self.apply_activation = apply_activation
+        self.theta = Parameter(conductance.init_theta((in_features + 2, out_features), rng))
+        self.activation = activation
+        self.negation = negation
+
+    # ------------------------------------------------------------------ #
+    # forward                                                            #
+    # ------------------------------------------------------------------ #
+
+    def augment(self, x: Tensor) -> Tensor:
+        """Append the bias (1 V) and down (0 V) input lines."""
+        batch = x.shape[-2]
+        n_mc = x.shape[0]
+        ones = Tensor(np.full((n_mc, batch, 1), BIAS_VOLTAGE))
+        zeros = Tensor(np.zeros((n_mc, batch, 1)))
+        return F.concatenate([x, ones, zeros], axis=-1)
+
+    def forward(
+        self,
+        x: Tensor,
+        epsilon_theta: Optional[np.ndarray] = None,
+        epsilon_act: Optional[np.ndarray] = None,
+        epsilon_neg: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        """Forward voltages of shape ``(n_mc, batch, in_features)``.
+
+        The optional ε arrays inject printing variation: ``epsilon_theta``
+        multiplies the printable conductances, ``epsilon_act`` and
+        ``epsilon_neg`` multiply the printable component values of the two
+        nonlinear circuits (shapes per :meth:`LearnableNonlinearCircuit.eta`).
+        """
+        if x.ndim != 3:
+            raise ValueError("expected (n_mc, batch, features) input")
+        x_aug = self.augment(x)                               # (N, B, I+2)
+
+        printable = self.conductance.project(self.theta)      # (I+2, O)
+        theta_eff = printable.reshape(1, *printable.shape)
+        if epsilon_theta is not None:
+            eps = np.asarray(epsilon_theta, dtype=np.float64)
+            if eps.ndim != 3 or eps.shape[1:] != printable.shape:
+                raise ValueError("epsilon_theta must be (n_mc, in+2, out)")
+            theta_eff = theta_eff * Tensor(eps)               # (N, I+2, O)
+
+        magnitude = F.abs(theta_eff)
+        positive_route = (theta_eff.data >= 0.0).astype(np.float64)
+        # The "down" row is a grounding resistor: its 0 V input must never be
+        # routed through the negative-weight circuit (its sign only matters
+        # for the denominator, where the magnitude is used anyway).
+        positive_route[:, -1, :] = 1.0
+
+        inverted = self.negation.forward(x_aug, epsilon_omega=epsilon_neg)
+
+        pos_w = magnitude * Tensor(positive_route)
+        neg_w = magnitude * Tensor(1.0 - positive_route)
+        numerator = x_aug @ pos_w + inverted @ neg_w          # (N, B, O)
+        denominator = magnitude.sum(axis=1)                   # (N, O) or (1, O)
+        n_mc = denominator.shape[0]
+        denominator = denominator.reshape(n_mc, 1, self.out_features)
+
+        v_z = numerator / (denominator + 1e-12)
+        if not self.apply_activation:
+            return v_z
+        return self.activation.forward(v_z, epsilon_omega=epsilon_act)
+
+    def printable_theta(self) -> np.ndarray:
+        """The projected conductance matrix that would be printed."""
+        from repro.autograd.tensor import no_grad
+
+        with no_grad():
+            return self.conductance.project(self.theta).numpy()

@@ -1,0 +1,114 @@
+"""Saving and loading trained pNN designs.
+
+A trained pNN is a circuit design: topology, surrogate conductances θ and
+nonlinear-circuit parameters 𝔴.  This module persists all of it (plus the
+conductance configuration and structural flags) to a single ``.npz`` so a
+design can be re-evaluated, exported or resumed later.  The surrogate
+models are *not* embedded — they are shared artifacts with their own cache
+(see :mod:`repro.surrogate.io`) — so loading requires passing compatible
+surrogates, and a fingerprint check warns when they differ from the ones
+used in training.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core.conductance import ConductanceConfig
+from repro.core.pnn import PrintedNeuralNetwork
+
+
+def _surrogate_fingerprint(surrogates) -> str:
+    """Stable hash of the surrogate parameters a pNN was trained against."""
+    hasher = hashlib.sha256()
+    pair = (
+        (surrogates.ptanh, surrogates.negweight)
+        if hasattr(surrogates, "ptanh")
+        else tuple(surrogates)
+    )
+    for surrogate in pair:
+        if hasattr(surrogate, "model"):
+            state = getattr(surrogate.model, "state_dict", None)
+            if callable(state):
+                for name, value in sorted(state().items()):
+                    hasher.update(name.encode())
+                    hasher.update(np.ascontiguousarray(value).tobytes())
+                continue
+        # Analytic surrogate: hash its calibration.
+        hasher.update(np.ascontiguousarray(surrogate.scale).tobytes())
+        hasher.update(np.ascontiguousarray(surrogate.shift).tobytes())
+    return hasher.hexdigest()[:16]
+
+
+def save_pnn(pnn: PrintedNeuralNetwork, path: Union[str, Path], surrogates=None) -> Path:
+    """Write a trained design to ``path`` (``.npz``)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    first_layer = pnn.layers[0]
+    payload = {
+        "layer_sizes": np.asarray(pnn.layer_sizes, dtype=np.int64),
+        "per_neuron_activation": np.asarray(pnn.per_neuron_activation, dtype=np.int64),
+        "activation_on_output": np.asarray(pnn.layers[-1].apply_activation, dtype=np.int64),
+        "g_min": np.asarray(first_layer.conductance.g_min),
+        "g_max": np.asarray(first_layer.conductance.g_max),
+        "init_negative_fraction": np.asarray(first_layer.conductance.init_negative_fraction),
+    }
+    if surrogates is not None:
+        payload["surrogate_fingerprint"] = np.frombuffer(
+            _surrogate_fingerprint(surrogates).encode(), dtype=np.uint8
+        )
+    for name, value in pnn.state_dict().items():
+        payload[f"param.{name}"] = value
+    np.savez(path, **payload)
+    return path
+
+
+def load_pnn(
+    path: Union[str, Path],
+    surrogates,
+    strict_fingerprint: bool = False,
+) -> PrintedNeuralNetwork:
+    """Rebuild a design saved with :func:`save_pnn`.
+
+    Parameters
+    ----------
+    surrogates:
+        The surrogate bundle (or analytic pair) to attach.  With
+        ``strict_fingerprint=True`` a mismatch against the fingerprint
+        recorded at save time raises instead of silently re-targeting the
+        design to different circuit models.
+    """
+    with np.load(Path(path)) as archive:
+        if strict_fingerprint:
+            if "surrogate_fingerprint" not in archive.files:
+                raise ValueError("design was saved without a surrogate fingerprint")
+            recorded = bytes(archive["surrogate_fingerprint"]).decode()
+            current = _surrogate_fingerprint(surrogates)
+            if recorded != current:
+                raise ValueError(
+                    f"surrogate mismatch: design trained against {recorded}, "
+                    f"got {current}"
+                )
+        conductance = ConductanceConfig(
+            g_min=float(archive["g_min"]),
+            g_max=float(archive["g_max"]),
+            init_negative_fraction=float(archive["init_negative_fraction"]),
+        )
+        pnn = PrintedNeuralNetwork(
+            [int(s) for s in archive["layer_sizes"]],
+            surrogates,
+            conductance=conductance,
+            per_neuron_activation=bool(archive["per_neuron_activation"]),
+            activation_on_output=bool(archive["activation_on_output"]),
+            rng=np.random.default_rng(0),
+        )
+        state = {}
+        for key in archive.files:
+            if key.startswith("param."):
+                state[key[len("param."):]] = archive[key]
+        pnn.load_state_dict(state)
+    return pnn

@@ -1,0 +1,80 @@
+"""Dataset containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class Dataset:
+    """A tabular classification dataset."""
+
+    name: str
+    x: np.ndarray
+    y: np.ndarray
+    n_classes: int
+    feature_names: Tuple[str, ...] = field(default_factory=tuple)
+    class_names: Tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        self.x = np.asarray(self.x, dtype=np.float64)
+        self.y = np.asarray(self.y, dtype=np.int64)
+        if self.x.ndim != 2:
+            raise ValueError(f"{self.name}: features must be 2-D")
+        if self.y.shape != (len(self.x),):
+            raise ValueError(f"{self.name}: one label per row required")
+        present = np.unique(self.y)
+        if present.min() < 0 or present.max() >= self.n_classes:
+            raise ValueError(f"{self.name}: labels must be in [0, {self.n_classes})")
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.x)
+
+    @property
+    def n_features(self) -> int:
+        return self.x.shape[1]
+
+    def class_counts(self) -> np.ndarray:
+        return np.bincount(self.y, minlength=self.n_classes)
+
+    def shuffled(self, rng: np.random.Generator) -> "Dataset":
+        order = rng.permutation(self.n_samples)
+        return Dataset(
+            name=self.name,
+            x=self.x[order],
+            y=self.y[order],
+            n_classes=self.n_classes,
+            feature_names=self.feature_names,
+            class_names=self.class_names,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset({self.name!r}, n={self.n_samples}, d={self.n_features}, "
+            f"classes={self.n_classes})"
+        )
+
+
+@dataclass
+class DatasetSplits:
+    """Train/validation/test partition of a dataset (60/20/20 in the paper)."""
+
+    name: str
+    n_classes: int
+    x_train: np.ndarray
+    y_train: np.ndarray
+    x_val: np.ndarray
+    y_val: np.ndarray
+    x_test: np.ndarray
+    y_test: np.ndarray
+
+    @property
+    def n_features(self) -> int:
+        return self.x_train.shape[1]
+
+    def sizes(self) -> Tuple[int, int, int]:
+        return len(self.x_train), len(self.x_val), len(self.x_test)

@@ -1,0 +1,1 @@
+"""One module per benchmark dataset (13 datasets, Table II)."""

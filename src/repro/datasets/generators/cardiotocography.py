@@ -1,0 +1,78 @@
+"""Cardiotocography (UCI): calibrated regeneration.
+
+2126 fetal cardiotocograms, 21 features (heart-rate baseline, variability,
+accelerations/decelerations, histogram summaries), three classes with the
+original imbalance: Normal 1655, Suspect 295, Pathologic 176.
+
+The generator uses a per-case distress latent: pathologic traces show lower
+baseline variability, more decelerations and flatter histograms; suspect
+cases sit between normal and pathologic with overlap — which is exactly
+what makes the original dataset moderately hard.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+
+FEATURES = (
+    "baseline_value", "accelerations", "fetal_movement", "uterine_contractions",
+    "light_decelerations", "severe_decelerations", "prolonged_decelerations",
+    "abnormal_short_term_variability", "mean_short_term_variability",
+    "pct_abnormal_long_term_variability", "mean_long_term_variability",
+    "histogram_width", "histogram_min", "histogram_max", "histogram_peaks",
+    "histogram_zeroes", "histogram_mode", "histogram_mean", "histogram_median",
+    "histogram_variance", "histogram_tendency",
+)
+
+CLASS_SIZES = {"normal": 1655, "suspect": 295, "pathologic": 176}
+DISTRESS = {"normal": (0.0, 0.55), "suspect": (1.25, 0.45), "pathologic": (2.4, 0.6)}
+
+
+def _trace_features(distress: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Map the distress latent (n,) to the 21 CTG features."""
+    n = len(distress)
+    d = distress[:, None]
+    noise = rng.standard_normal((n, 21))
+    x = np.empty((n, 21))
+    x[:, 0] = 133 + 4 * distress + 8 * noise[:, 0]              # baseline bpm
+    x[:, 1] = np.maximum(0.0032 - 0.0014 * distress + 0.003 * noise[:, 1], 0)
+    x[:, 2] = np.abs(0.009 + 0.04 * noise[:, 2])                # fetal movement
+    x[:, 3] = np.maximum(0.0044 + 0.0003 * distress + 0.003 * noise[:, 3], 0)
+    x[:, 4] = np.maximum(0.0019 + 0.0016 * distress + 0.0025 * noise[:, 4], 0)
+    x[:, 5] = np.maximum(0.0004 * (distress - 1.3) + 0.0004 * noise[:, 5], 0)
+    x[:, 6] = np.maximum(0.0002 + 0.0011 * distress + 0.0009 * noise[:, 6], 0)
+    x[:, 7] = np.clip(47 + 13 * distress + 14 * noise[:, 7], 12, 87)
+    x[:, 8] = np.clip(1.33 - 0.22 * distress + 0.75 * noise[:, 8], 0.2, 7)
+    x[:, 9] = np.clip(9.8 + 9 * distress + 16 * noise[:, 9], 0, 91)
+    x[:, 10] = np.clip(8.2 - 1.1 * distress + 5 * noise[:, 10], 0, 50)
+    x[:, 11] = np.clip(70 - 9 * distress + 35 * noise[:, 11], 3, 180)
+    x[:, 12] = np.clip(93 + 9 * distress + 25 * noise[:, 12], 50, 159)
+    x[:, 13] = np.clip(164 + 2 * distress + 16 * noise[:, 13], 122, 238)
+    x[:, 14] = np.clip(np.round(4.1 - 0.5 * distress + 2.8 * noise[:, 14]), 0, 18)
+    x[:, 15] = np.clip(np.round(0.32 + 0.1 * distress + 0.7 * noise[:, 15]), 0, 10)
+    x[:, 16] = np.clip(138 - 4 * distress + 15 * noise[:, 16], 60, 187)
+    x[:, 17] = np.clip(134 - 5 * distress + 14 * noise[:, 17], 73, 182)
+    x[:, 18] = np.clip(138 - 4.5 * distress + 13 * noise[:, 18], 77, 186)
+    x[:, 19] = np.clip(18 + 14 * distress + 24 * noise[:, 19], 0, 269)
+    x[:, 20] = np.clip(np.round(0.32 - 0.25 * distress + 0.55 * noise[:, 20]), -1, 1)
+    return x
+
+
+def generate(seed: int = 0) -> Dataset:
+    rng = np.random.default_rng(seed)
+    blocks, labels = [], []
+    for label, (name, size) in enumerate(CLASS_SIZES.items()):
+        mean, std = DISTRESS[name]
+        distress = rng.normal(mean, std, size=size)
+        blocks.append(_trace_features(distress, rng))
+        labels.extend([label] * size)
+    return Dataset(
+        name="cardiotocography",
+        x=np.vstack(blocks),
+        y=np.asarray(labels, dtype=np.int64),
+        n_classes=3,
+        feature_names=FEATURES,
+        class_names=tuple(CLASS_SIZES),
+    )

@@ -1,0 +1,57 @@
+"""Feature scaling into the printed circuits' voltage range.
+
+Printed neuromorphic circuits accept input voltages in 0..1 V, so features
+are min-max scaled to [0, 1].  Statistics are fitted on the training split
+only and applied to validation/test (values outside the training range are
+clipped — a fabricated sensor frontend saturates the same way).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.datasets.base import DatasetSplits
+
+
+class MinMaxScaler:
+    """Per-feature min-max scaling to [0, 1] with clipping."""
+
+    def __init__(self):
+        self.minimum: Optional[np.ndarray] = None
+        self.maximum: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray) -> "MinMaxScaler":
+        x = np.asarray(x, dtype=np.float64)
+        self.minimum = x.min(axis=0)
+        maximum = x.max(axis=0)
+        degenerate = maximum - self.minimum < 1e-12
+        self.maximum = np.where(degenerate, self.minimum + 1.0, maximum)
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.minimum is None:
+            raise RuntimeError("scaler must be fitted before transform")
+        scaled = (np.asarray(x, dtype=np.float64) - self.minimum) / (
+            self.maximum - self.minimum
+        )
+        return np.clip(scaled, 0.0, 1.0)
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+
+def scale_splits(splits: DatasetSplits) -> DatasetSplits:
+    """Return a copy of ``splits`` with all features scaled to 0..1 V."""
+    scaler = MinMaxScaler().fit(splits.x_train)
+    return DatasetSplits(
+        name=splits.name,
+        n_classes=splits.n_classes,
+        x_train=scaler.transform(splits.x_train),
+        y_train=splits.y_train,
+        x_val=scaler.transform(splits.x_val),
+        y_val=splits.y_val,
+        x_test=scaler.transform(splits.x_test),
+        y_test=splits.y_test,
+    )

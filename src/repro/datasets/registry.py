@@ -1,0 +1,98 @@
+"""Dataset registry: the canonical Table-II list and loaders."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.datasets.base import Dataset, DatasetSplits
+from repro.datasets.generators import (
+    acute_inflammation,
+    balance_scale,
+    breast_cancer,
+    cardiotocography,
+    energy_efficiency,
+    iris,
+    mammographic_mass,
+    pendigits,
+    seeds,
+    tictactoe,
+    vertebral,
+)
+from repro.datasets.preprocessing import scale_splits
+from repro.datasets.splits import stratified_split
+
+#: name → generator; ordered exactly like Table II of the paper.
+_BUILDERS: Dict[str, Callable[[int], Dataset]] = {
+    "acute_inflammation": acute_inflammation.generate,
+    "balance_scale": balance_scale.generate,
+    "breast_cancer": breast_cancer.generate,
+    "cardiotocography": cardiotocography.generate,
+    "energy_y1": energy_efficiency.generate_y1,
+    "energy_y2": energy_efficiency.generate_y2,
+    "iris": iris.generate,
+    "mammographic_mass": mammographic_mass.generate,
+    "pendigits": pendigits.generate,
+    "seeds": seeds.generate,
+    "tictactoe": tictactoe.generate,
+    "vertebral_2c": vertebral.generate_2c,
+    "vertebral_3c": vertebral.generate_3c,
+}
+
+DATASET_NAMES: Tuple[str, ...] = tuple(_BUILDERS)
+
+#: Pretty names used when rendering Table II.
+DISPLAY_NAMES: Dict[str, str] = {
+    "acute_inflammation": "Acute Inflammation",
+    "balance_scale": "Balance Scale",
+    "breast_cancer": "Breast Cancer Wisconsin",
+    "cardiotocography": "Cardiotocography",
+    "energy_y1": "Energy Efficiency (y1)",
+    "energy_y2": "Energy Efficiency (y2)",
+    "iris": "Iris",
+    "mammographic_mass": "Mammographic Mass",
+    "pendigits": "Pendigits",
+    "seeds": "Seeds",
+    "tictactoe": "Tic-Tac-Toe Endgame",
+    "vertebral_2c": "Vertebral Column (2 cl.)",
+    "vertebral_3c": "Vertebral Column (3 cl.)",
+}
+
+
+def load_dataset(name: str, seed: int = 0) -> Dataset:
+    """Build a dataset by name, shuffled deterministically by ``seed``."""
+    if name not in _BUILDERS:
+        raise KeyError(f"unknown dataset {name!r}; known: {', '.join(DATASET_NAMES)}")
+    dataset = _BUILDERS[name](seed)
+    return dataset.shuffled(np.random.default_rng(seed + 12345))
+
+
+def load_splits(
+    name: str,
+    seed: int = 0,
+    scale: bool = True,
+    max_train: int = None,
+) -> DatasetSplits:
+    """Dataset → stratified 60/20/20 splits, scaled into the 0..1 V range.
+
+    ``max_train`` optionally subsamples the training split (used by the fast
+    benchmark profiles on the larger datasets).
+    """
+    splits = stratified_split(load_dataset(name, seed), seed)
+    if scale:
+        splits = scale_splits(splits)
+    if max_train is not None and len(splits.x_train) > max_train:
+        rng = np.random.default_rng(seed + 54321)
+        keep = rng.choice(len(splits.x_train), size=max_train, replace=False)
+        splits = DatasetSplits(
+            name=splits.name,
+            n_classes=splits.n_classes,
+            x_train=splits.x_train[keep],
+            y_train=splits.y_train[keep],
+            x_val=splits.x_val,
+            y_val=splits.y_val,
+            x_test=splits.x_test,
+            y_test=splits.y_test,
+        )
+    return splits

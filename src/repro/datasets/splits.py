@@ -1,0 +1,53 @@
+"""Stratified train/validation/test splitting."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.base import Dataset, DatasetSplits
+
+
+def stratified_split(
+    dataset: Dataset,
+    seed: int,
+    fractions: Sequence[float] = (0.6, 0.2, 0.2),
+) -> DatasetSplits:
+    """Split per class so each partition keeps the class balance.
+
+    The paper splits 60/20/20 randomly; stratification keeps tiny datasets
+    (some classes have only a handful of samples) usable across seeds.
+    """
+    if abs(sum(fractions) - 1.0) > 1e-9:
+        raise ValueError("fractions must sum to one")
+    rng = np.random.default_rng(seed)
+    train_idx, val_idx, test_idx = [], [], []
+    for cls in range(dataset.n_classes):
+        members = np.flatnonzero(dataset.y == cls)
+        members = members[rng.permutation(len(members))]
+        n_train = int(round(fractions[0] * len(members)))
+        n_val = int(round(fractions[1] * len(members)))
+        # Guarantee at least one sample per class in train when possible.
+        n_train = max(n_train, 1) if len(members) else 0
+        train_idx.extend(members[:n_train])
+        val_idx.extend(members[n_train : n_train + n_val])
+        test_idx.extend(members[n_train + n_val :])
+
+    def gather(indices) -> Tuple[np.ndarray, np.ndarray]:
+        indices = rng.permutation(np.asarray(indices, dtype=np.int64))
+        return dataset.x[indices], dataset.y[indices]
+
+    x_train, y_train = gather(train_idx)
+    x_val, y_val = gather(val_idx)
+    x_test, y_test = gather(test_idx)
+    return DatasetSplits(
+        name=dataset.name,
+        n_classes=dataset.n_classes,
+        x_train=x_train,
+        y_train=y_train,
+        x_val=x_val,
+        y_val=y_val,
+        x_test=x_test,
+        y_test=y_test,
+    )

@@ -1,0 +1,23 @@
+"""Dataset summary table (the benchmark-overview table of the pNN papers)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.datasets.registry import DATASET_NAMES, DISPLAY_NAMES, load_dataset
+
+
+def summarize_datasets(names: Optional[Iterable[str]] = None, seed: int = 0) -> str:
+    """Render #samples / #features / #classes / balance for each dataset."""
+    names = list(names) if names is not None else list(DATASET_NAMES)
+    header = f"{'Dataset':26s}{'#samples':>10s}{'#features':>11s}{'#classes':>10s}{'majority':>10s}"
+    lines = [header, "-" * len(header)]
+    for name in names:
+        dataset = load_dataset(name, seed=seed)
+        majority = dataset.class_counts().max() / dataset.n_samples
+        lines.append(
+            f"{DISPLAY_NAMES.get(name, name):26s}"
+            f"{dataset.n_samples:>10d}{dataset.n_features:>11d}"
+            f"{dataset.n_classes:>10d}{majority:>10.2f}"
+        )
+    return "\n".join(lines)

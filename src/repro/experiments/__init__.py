@@ -1,0 +1,38 @@
+"""Experiment harness reproducing the paper's evaluation (Sec. IV).
+
+- :mod:`~repro.experiments.config` — experiment profiles (paper-scale and
+  scaled-down budgets) and the 2×2 ablation grid of setups.
+- :mod:`~repro.experiments.runner` — trains pNNs per (dataset, setup, ϵ),
+  selects the best seed by validation loss and evaluates with Monte-Carlo
+  sampling, exactly following Sec. IV-C.
+- :mod:`~repro.experiments.tables` — renders Table II and Table III.
+- :mod:`~repro.experiments.figures` — data series for Fig. 2 and Fig. 4.
+- :mod:`~repro.experiments.ablation` — the §IV-D improvement summary.
+"""
+
+from repro.experiments.config import (
+    ExperimentConfig,
+    Setup,
+    SETUPS,
+    PROFILES,
+    profile_from_env,
+)
+from repro.experiments.runner import CellResult, run_cell, run_dataset, run_table2
+from repro.experiments.tables import render_table2, render_table3, summarize_table3
+from repro.experiments.ablation import improvement_summary
+
+__all__ = [
+    "ExperimentConfig",
+    "Setup",
+    "SETUPS",
+    "PROFILES",
+    "profile_from_env",
+    "CellResult",
+    "run_cell",
+    "run_dataset",
+    "run_table2",
+    "render_table2",
+    "render_table3",
+    "summarize_table3",
+    "improvement_summary",
+]

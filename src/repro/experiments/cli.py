@@ -1,0 +1,99 @@
+"""Command-line interface for the experiment harness.
+
+Examples
+--------
+Build (or refresh) the shared surrogate bundle::
+
+    python -m repro.experiments.cli surrogate --points 4096
+
+Run one Table-II cell::
+
+    python -m repro.experiments.cli cell --dataset iris --learnable \
+        --variation-aware --epsilon 0.10 --profile fast
+
+Regenerate the full Table II / Table III at a profile::
+
+    python -m repro.experiments.cli table2 --profile smoke --datasets iris seeds
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import get_default_bundle
+from repro.datasets import DATASET_NAMES
+from repro.experiments.ablation import improvement_summary
+from repro.experiments.config import PROFILES, Setup
+from repro.experiments.runner import run_cell, run_table2
+from repro.experiments.tables import render_table2, render_table3
+
+
+def _add_profile(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile", choices=sorted(PROFILES), default="smoke",
+        help="experiment budget (default: smoke)",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro.experiments", description=__doc__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    surrogate = commands.add_parser("surrogate", help="build the shared surrogate bundle")
+    surrogate.add_argument("--points", type=int, default=4096, help="QMC design points")
+    surrogate.add_argument("--seed", type=int, default=0)
+
+    cell = commands.add_parser("cell", help="run one Table-II cell")
+    cell.add_argument("--dataset", choices=DATASET_NAMES, required=True)
+    cell.add_argument("--learnable", action="store_true",
+                      help="learn the nonlinear circuits (α_ω = 0.005)")
+    cell.add_argument("--variation-aware", action="store_true",
+                      help="train with the Monte-Carlo expected loss")
+    cell.add_argument("--epsilon", type=float, default=0.10, help="test variation level")
+    _add_profile(cell)
+
+    table2 = commands.add_parser("table2", help="regenerate Table II and Table III")
+    table2.add_argument("--datasets", nargs="*", choices=DATASET_NAMES,
+                        default=list(DATASET_NAMES))
+    _add_profile(table2)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "surrogate":
+        bundle = get_default_bundle(n_points=args.points, seed=args.seed, verbose=True)
+        print(f"bundle ready: ptanh test MSE {bundle.ptanh.test_mse:.2e}, "
+              f"negweight test MSE {bundle.negweight.test_mse:.2e}")
+        return 0
+
+    bundle = get_default_bundle()
+    profile = PROFILES[args.profile]
+
+    if args.command == "cell":
+        setup = Setup(learnable=args.learnable, variation_aware=args.variation_aware)
+        result = run_cell(args.dataset, setup, args.epsilon, profile, surrogates=bundle)
+        print(result)
+        return 0
+
+    if args.command == "table2":
+        results = run_table2(
+            args.datasets, profile, surrogates=bundle,
+            progress=lambda msg: print(f"[run] {msg}", file=sys.stderr),
+        )
+        print(render_table2(results))
+        print()
+        print(render_table3(results))
+        for summary in improvement_summary(results).values():
+            print(summary)
+        return 0
+
+    return 1   # pragma: no cover - argparse enforces the command set
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,168 @@
+"""Training/evaluation runner implementing the Sec. IV protocol.
+
+For each (dataset, setup) cell:
+
+1. train one pNN per random seed — nominal setups train once with ϵ = 0,
+   variation-aware setups train separately per test ϵ (the paper tests VA
+   circuits "with variation according to the respective training ε");
+2. select the best pNN by validation loss (those are "the ones to be
+   printed");
+3. evaluate it on the test split with ``N_test`` Monte-Carlo fabrication
+   samples and report mean ± std accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core import (
+    PrintedNeuralNetwork,
+    TrainConfig,
+    evaluate_mc,
+    train_pnn,
+)
+from repro.datasets import load_splits
+from repro.datasets.base import DatasetSplits
+from repro.experiments.config import SETUPS, TEST_EPSILONS, ExperimentConfig, Setup
+from repro.surrogate.analytic import AnalyticSurrogate
+from repro.surrogate.pipeline import SurrogateBundle
+
+Surrogates = Union[SurrogateBundle, tuple]
+
+
+@dataclass
+class CellResult:
+    """One Table-II cell: a setup evaluated at one test ϵ."""
+
+    dataset: str
+    setup: Setup
+    eps_test: float
+    mean: float
+    std: float
+    best_seed: int
+    best_val_loss: float
+
+    def __str__(self) -> str:
+        return f"{self.dataset} [{self.setup.label}] ϵ={self.eps_test:.0%}: {self.mean:.3f} ± {self.std:.3f}"
+
+
+def default_surrogates() -> Tuple[AnalyticSurrogate, AnalyticSurrogate]:
+    """Calibration-free fallback used when no NN bundle is supplied."""
+    return (AnalyticSurrogate("ptanh"), AnalyticSurrogate("negweight"))
+
+
+def _train_best(
+    splits: DatasetSplits,
+    setup: Setup,
+    train_eps: float,
+    config: ExperimentConfig,
+    surrogates: Surrogates,
+) -> Tuple[PrintedNeuralNetwork, int, float]:
+    """Train one pNN per seed; return the best one by validation loss."""
+    best: Optional[Tuple[PrintedNeuralNetwork, int, float]] = None
+    topology = [splits.n_features, config.hidden, splits.n_classes]
+    for seed in config.seeds:
+        pnn = PrintedNeuralNetwork(
+            topology,
+            surrogates,
+            per_neuron_activation=config.per_neuron_activation,
+            rng=np.random.default_rng(seed),
+        )
+        train_config = TrainConfig(
+            lr_theta=config.lr_theta,
+            lr_omega=config.lr_omega,
+            learnable_nonlinear=setup.learnable,
+            epsilon=train_eps,
+            n_mc_train=config.n_mc_train,
+            max_epochs=config.max_epochs,
+            patience=config.patience,
+            loss=config.loss,
+            seed=seed,
+        )
+        result = train_pnn(
+            pnn, splits.x_train, splits.y_train, splits.x_val, splits.y_val, train_config
+        )
+        if best is None or result.best_val_loss < best[2]:
+            best = (pnn, seed, result.best_val_loss)
+    assert best is not None
+    return best
+
+
+def run_cell(
+    dataset: str,
+    setup: Setup,
+    eps_test: float,
+    config: ExperimentConfig,
+    surrogates: Optional[Surrogates] = None,
+    splits: Optional[DatasetSplits] = None,
+    trained: Optional[Dict] = None,
+) -> CellResult:
+    """Run one Table-II cell.
+
+    ``trained`` is an optional cache dict keyed by (setup, train ϵ): nominal
+    setups share one training across both test ϵ values.
+    """
+    surrogates = surrogates if surrogates is not None else default_surrogates()
+    if splits is None:
+        splits = load_splits(dataset, seed=0, max_train=config.max_train)
+    train_eps = eps_test if setup.variation_aware else 0.0
+    key = (setup.learnable, setup.variation_aware, train_eps)
+    if trained is not None and key in trained:
+        pnn, seed, val_loss = trained[key]
+    else:
+        pnn, seed, val_loss = _train_best(splits, setup, train_eps, config, surrogates)
+        if trained is not None:
+            trained[key] = (pnn, seed, val_loss)
+    accuracy = evaluate_mc(
+        pnn, splits.x_test, splits.y_test, epsilon=eps_test, n_test=config.n_test, seed=seed
+    )
+    return CellResult(
+        dataset=dataset,
+        setup=setup,
+        eps_test=eps_test,
+        mean=accuracy.mean,
+        std=accuracy.std,
+        best_seed=seed,
+        best_val_loss=val_loss,
+    )
+
+
+def run_dataset(
+    dataset: str,
+    config: ExperimentConfig,
+    surrogates: Optional[Surrogates] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[CellResult]:
+    """All 8 Table-II cells (4 setups × 2 test ϵ) for one dataset."""
+    surrogates = surrogates if surrogates is not None else default_surrogates()
+    splits = load_splits(dataset, seed=0, max_train=config.max_train)
+    results: List[CellResult] = []
+    trained: Dict = {}
+    for setup in SETUPS:
+        for eps_test in TEST_EPSILONS:
+            if progress is not None:
+                progress(f"{dataset}: {setup.label} @ ϵ={eps_test:.0%}")
+            results.append(
+                run_cell(
+                    dataset, setup, eps_test, config,
+                    surrogates=surrogates, splits=splits, trained=trained,
+                )
+            )
+    return results
+
+
+def run_table2(
+    datasets: List[str],
+    config: ExperimentConfig,
+    surrogates: Optional[Surrogates] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[CellResult]:
+    """Run the full Table-II grid over ``datasets``."""
+    surrogates = surrogates if surrogates is not None else default_surrogates()
+    results: List[CellResult] = []
+    for dataset in datasets:
+        results.extend(run_dataset(dataset, config, surrogates=surrogates, progress=progress))
+    return results

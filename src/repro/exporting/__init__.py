@@ -1,0 +1,16 @@
+"""Export of trained pNNs into printable component lists and netlists.
+
+Training a pNN *is* designing a printed circuit (Sec. II-C): the learned
+surrogate conductances become crossbar resistors, the signs mark which
+inputs pass through negative-weight circuits, and the learned 𝔴 are the
+component values of the bespoke nonlinear circuits.  This package turns a
+trained network into:
+
+- a bill of printable components (:mod:`~repro.exporting.report`), and
+- a SPICE-style netlist text (:mod:`~repro.exporting.netlist_export`).
+"""
+
+from repro.exporting.report import DesignReport, design_report
+from repro.exporting.netlist_export import export_netlist_text
+
+__all__ = ["DesignReport", "design_report", "export_netlist_text"]

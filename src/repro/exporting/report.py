@@ -1,0 +1,96 @@
+"""Bill-of-components report for a trained pNN."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.core.pnn import PrintedNeuralNetwork
+
+#: Physical conductance corresponding to surrogate conductance 1.0 (S).
+#: Surrogate conductances are dimensionless (crossbar weights are scale
+#: invariant); this scale maps the printable band [0.01, 10] onto printed
+#: resistances of 10 kΩ .. 10 MΩ, a comfortable inkjet-printable range.
+PHYSICAL_SCALE = 1e-5
+
+
+@dataclass
+class LayerReport:
+    """Printable description of one layer."""
+
+    index: int
+    crossbar_resistances: np.ndarray   # (in+2, out) in ohms; inf = not printed
+    negated_inputs: np.ndarray         # boolean mask, same shape
+    activation_omega: np.ndarray       # (n_circuits, 7)
+    negation_omega: np.ndarray         # (n_circuits, 7)
+
+    @property
+    def printed_resistor_count(self) -> int:
+        return int(np.isfinite(self.crossbar_resistances).sum())
+
+
+@dataclass
+class DesignReport:
+    """Full printable design of a trained pNN."""
+
+    layer_sizes: List[int]
+    layers: List[LayerReport] = field(default_factory=list)
+
+    @property
+    def total_printed_resistors(self) -> int:
+        return sum(layer.printed_resistor_count for layer in self.layers)
+
+    def summary(self) -> str:
+        lines = [
+            f"pNN design: topology {'-'.join(str(s) for s in self.layer_sizes)}",
+            f"printed crossbar resistors: {self.total_printed_resistors}",
+        ]
+        for layer in self.layers:
+            finite = layer.crossbar_resistances[np.isfinite(layer.crossbar_resistances)]
+            lines.append(
+                f"  layer {layer.index}: {layer.printed_resistor_count} resistors "
+                f"({finite.min() / 1e3:.1f} kΩ .. {finite.max() / 1e6:.2f} MΩ), "
+                f"{int(layer.negated_inputs.sum())} negative-weight routes"
+            )
+            for c, omega in enumerate(layer.activation_omega):
+                lines.append(
+                    f"    activation circuit {c}: "
+                    + _format_omega(omega)
+                )
+            for c, omega in enumerate(layer.negation_omega):
+                lines.append(f"    negation circuit {c}:   " + _format_omega(omega))
+        return "\n".join(lines)
+
+
+def _format_omega(omega: np.ndarray) -> str:
+    r1, r2, r3, r4, r5, width, length = omega
+    return (
+        f"R1={r1:.0f}Ω R2={r2:.0f}Ω R3={r3 / 1e3:.0f}kΩ R4={r4 / 1e3:.0f}kΩ "
+        f"R5={r5 / 1e3:.0f}kΩ W={width:.0f}µm L={length:.0f}µm"
+    )
+
+
+def design_report(pnn: PrintedNeuralNetwork) -> DesignReport:
+    """Extract the printable design from a trained network."""
+    from repro.autograd.tensor import no_grad
+
+    report = DesignReport(layer_sizes=list(pnn.layer_sizes))
+    with no_grad():
+        for index, layer in enumerate(pnn.layers):
+            theta = layer.printable_theta()
+            magnitude = np.abs(theta)
+            conductance = magnitude * PHYSICAL_SCALE
+            with np.errstate(divide="ignore"):
+                resistance = np.where(magnitude > 0, 1.0 / conductance, np.inf)
+            report.layers.append(
+                LayerReport(
+                    index=index,
+                    crossbar_resistances=resistance,
+                    negated_inputs=theta < 0,
+                    activation_omega=layer.activation.printable_omega().numpy(),
+                    negation_omega=layer.negation.printable_omega().numpy(),
+                )
+            )
+    return report

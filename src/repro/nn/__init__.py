@@ -1,0 +1,29 @@
+"""A small neural-network module system on top of :mod:`repro.autograd`.
+
+Mirrors the subset of ``torch.nn`` the reproduction needs: parameter
+registration and traversal, linear layers, common activations, losses and
+sequential containers.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.linear import Linear
+from repro.nn.containers import Sequential
+from repro.nn.activations import Tanh, Sigmoid, ReLU, LeakyReLU, Softplus, Identity
+from repro.nn.losses import MSELoss, CrossEntropyLoss
+from repro.nn import init
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "Sequential",
+    "Tanh",
+    "Sigmoid",
+    "ReLU",
+    "LeakyReLU",
+    "Softplus",
+    "Identity",
+    "MSELoss",
+    "CrossEntropyLoss",
+    "init",
+]

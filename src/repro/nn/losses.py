@@ -1,0 +1,23 @@
+"""Loss modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+
+class MSELoss(Module):
+    """Mean squared error over all elements."""
+
+    def forward(self, prediction: Tensor, target) -> Tensor:
+        return F.mse_loss(prediction, target)
+
+
+class CrossEntropyLoss(Module):
+    """Softmax cross entropy on raw logits with integer class targets."""
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return F.cross_entropy(logits, targets)

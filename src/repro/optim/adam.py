@@ -1,0 +1,53 @@
+"""Adam optimizer (Kingma & Ba, 2014) — the optimizer used in the paper."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.sgd import Optimizer, ParamGroups
+
+
+class Adam(Optimizer):
+    """Adam with bias-corrected first and second moments.
+
+    Defaults match the paper's "Adam with default settings":
+    ``lr=1e-3, betas=(0.9, 0.999), eps=1e-8``.  Per-group learning rates are
+    supported so θ and the nonlinear parameters 𝔴 can use α_θ and α_ω.
+    """
+
+    def __init__(
+        self,
+        params: ParamGroups,
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if not (0.0 <= betas[0] < 1.0 and 0.0 <= betas[1] < 1.0):
+            raise ValueError("betas must be in [0, 1)")
+        super().__init__(
+            params,
+            {"lr": lr, "betas": tuple(betas), "eps": eps, "weight_decay": weight_decay},
+        )
+        self._state: dict = {}
+
+    def step(self) -> None:
+        for group, param in self.iter_params():
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if group["weight_decay"] > 0:
+                grad = grad + group["weight_decay"] * param.data
+            state = self._state.setdefault(
+                id(param),
+                {"step": 0, "m": np.zeros_like(param.data), "v": np.zeros_like(param.data)},
+            )
+            beta1, beta2 = group["betas"]
+            state["step"] += 1
+            state["m"] = beta1 * state["m"] + (1.0 - beta1) * grad
+            state["v"] = beta2 * state["v"] + (1.0 - beta2) * grad * grad
+            m_hat = state["m"] / (1.0 - beta1 ** state["step"])
+            v_hat = state["v"] / (1.0 - beta2 ** state["step"])
+            param.data = param.data - group["lr"] * m_hat / (np.sqrt(v_hat) + group["eps"])

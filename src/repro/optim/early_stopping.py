@@ -1,0 +1,50 @@
+"""Early stopping on a validation metric.
+
+The paper stops training when the validation loss has not improved for a
+*patience* number of epochs (5000 in the paper; configurable here) and keeps
+the parameters of the best epoch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+
+class EarlyStopping:
+    """Track a minimized metric and signal when patience is exhausted.
+
+    Parameters
+    ----------
+    patience:
+        Number of consecutive non-improving epochs tolerated before
+        :attr:`should_stop` becomes ``True``.
+    min_delta:
+        Minimum decrease of the metric to count as an improvement.
+    """
+
+    def __init__(self, patience: int = 5000, min_delta: float = 0.0):
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best_value: float = np.inf
+        self.best_epoch: int = -1
+        self.best_state: Optional[Dict[str, np.ndarray]] = None
+        self.epochs_since_best: int = 0
+
+    def update(self, value: float, epoch: int, state: Optional[Dict[str, np.ndarray]] = None) -> bool:
+        """Record an epoch result; return ``True`` if it is a new best."""
+        if value < self.best_value - self.min_delta:
+            self.best_value = float(value)
+            self.best_epoch = epoch
+            self.best_state = state
+            self.epochs_since_best = 0
+            return True
+        self.epochs_since_best += 1
+        return False
+
+    @property
+    def should_stop(self) -> bool:
+        return self.epochs_since_best >= self.patience

@@ -1,0 +1,54 @@
+"""Learning-rate schedules operating on optimizer parameter groups."""
+
+from __future__ import annotations
+
+import math
+
+from repro.optim.sgd import Optimizer
+
+
+class _Scheduler:
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lrs = [group["lr"] for group in optimizer.param_groups]
+        self.epoch = 0
+
+    def step(self) -> None:
+        self.epoch += 1
+        for group, base in zip(self.optimizer.param_groups, self.base_lrs):
+            group["lr"] = self._lr(base)
+
+    def _lr(self, base: float) -> float:
+        raise NotImplementedError
+
+    def current_lrs(self):
+        return [group["lr"] for group in self.optimizer.param_groups]
+
+
+class StepLR(_Scheduler):
+    """Decay each group's LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer)
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def _lr(self, base: float) -> float:
+        return base * self.gamma ** (self.epoch // self.step_size)
+
+
+class CosineAnnealingLR(_Scheduler):
+    """Cosine decay from the base LR to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0):
+        super().__init__(optimizer)
+        if t_max < 1:
+            raise ValueError("t_max must be >= 1")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def _lr(self, base: float) -> float:
+        progress = min(self.epoch, self.t_max) / self.t_max
+        return self.eta_min + 0.5 * (base - self.eta_min) * (1.0 + math.cos(math.pi * progress))

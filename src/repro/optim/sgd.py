@@ -1,0 +1,77 @@
+"""Stochastic gradient descent with optional momentum."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+ParamGroups = Union[Iterable[Parameter], Sequence[dict]]
+
+
+class Optimizer:
+    """Base optimizer holding parameter groups with per-group settings.
+
+    Groups follow the PyTorch convention: either a flat iterable of
+    parameters (one group with default settings) or a list of dicts, each
+    with a ``params`` entry and optional per-group overrides.  The paper
+    relies on this to use different learning rates for the crossbar
+    conductances (``α_θ = 0.1``) and the nonlinear-circuit parameters
+    (``α_ω = 0.005``).
+    """
+
+    def __init__(self, params: ParamGroups, defaults: dict):
+        self.defaults = dict(defaults)
+        self.param_groups: List[dict] = []
+        params = list(params)
+        if params and isinstance(params[0], dict):
+            for group in params:
+                merged = dict(defaults)
+                merged.update({k: v for k, v in group.items() if k != "params"})
+                merged["params"] = list(group["params"])
+                self.param_groups.append(merged)
+        else:
+            merged = dict(defaults)
+            merged["params"] = params
+            self.param_groups.append(merged)
+        for group in self.param_groups:
+            if not all(isinstance(p, Parameter) for p in group["params"]):
+                raise TypeError("optimizer expects Parameter instances")
+
+    def zero_grad(self) -> None:
+        for group in self.param_groups:
+            for param in group["params"]:
+                param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def iter_params(self):
+        for group in self.param_groups:
+            for param in group["params"]:
+                yield group, param
+
+
+class SGD(Optimizer):
+    """Plain SGD, optionally with classical momentum."""
+
+    def __init__(self, params: ParamGroups, lr: float = 0.01, momentum: float = 0.0):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        super().__init__(params, {"lr": lr, "momentum": momentum})
+        self._velocity = {}
+
+    def step(self) -> None:
+        for group, param in self.iter_params():
+            if param.grad is None:
+                continue
+            momentum = group["momentum"]
+            update = param.grad
+            if momentum > 0:
+                velocity = self._velocity.get(id(param))
+                velocity = momentum * velocity + update if velocity is not None else update.copy()
+                self._velocity[id(param)] = velocity
+                update = velocity
+            param.data = param.data - group["lr"] * update

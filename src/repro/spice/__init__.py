@@ -1,0 +1,37 @@
+"""A nonlinear DC circuit solver standing in for Cadence Virtuoso + pPDK.
+
+The paper generates its surrogate-model dataset with SPICE simulations of
+printed inverter circuits.  Neither the commercial simulator nor the printed
+process design kit is available here, so this package implements the
+required subset from scratch:
+
+- :mod:`~repro.spice.netlist` — circuit description (named nodes, devices).
+- :mod:`~repro.spice.components` — resistors, voltage sources, EGTs.
+- :mod:`~repro.spice.egt` — a smooth compact model for printed
+  electrolyte-gated transistors (synthetic pPDK, calibrated so that the
+  two-inverter circuit of the paper produces tanh-like transfer curves).
+- :mod:`~repro.spice.mna` — modified nodal analysis with Newton-Raphson
+  iteration for the nonlinear devices.
+- :mod:`~repro.spice.sweep` — DC sweeps with warm starting.
+- :mod:`~repro.spice.validate` — connectivity checks (networkx based).
+"""
+
+from repro.spice.netlist import Netlist
+from repro.spice.components import Resistor, VoltageSource, EGT
+from repro.spice.egt import EGTModel
+from repro.spice.mna import OperatingPoint, solve_dc
+from repro.spice.sweep import dc_sweep
+from repro.spice.validate import validate_netlist, NetlistError
+
+__all__ = [
+    "Netlist",
+    "Resistor",
+    "VoltageSource",
+    "EGT",
+    "EGTModel",
+    "OperatingPoint",
+    "solve_dc",
+    "dc_sweep",
+    "validate_netlist",
+    "NetlistError",
+]

@@ -1,0 +1,112 @@
+"""Compact model for printed electrolyte-gated transistors (EGTs).
+
+The paper's nonlinear circuits use inorganic electrolyte-gated FETs
+characterized in the printed PDK of Rasheed et al. [12].  That PDK is
+proprietary, so this module provides a *synthetic* compact model with the
+same qualitative behaviour:
+
+- n-type, normally-off, operating below 1 V supply;
+- drain current scaling with the printed geometry ``W/L``;
+- smooth triode-to-saturation transition and subthreshold roll-off (so that
+  Newton-Raphson converges and transfer curves are C¹);
+- channel-length modulation.
+
+The drain current for ``Vds >= 0`` is
+
+    Veff = phi * ln(1 + exp((Vgs - Vt) / phi))          (smooth overdrive)
+    Id   = 0.5 * k' * (W/L) * Veff^2
+           * tanh(Vds / Veff) * (1 + lambda * Vds)
+
+and the model is made symmetric for ``Vds < 0`` by exchanging the roles of
+drain and source.  All constants are chosen so that the inverter stages of
+the ptanh circuit switch within the 0–1 V input range across the whole
+Table-I design space.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class EGTModel:
+    """Parameter set of the synthetic printed EGT.
+
+    Attributes
+    ----------
+    k_prime:
+        Process transconductance ``mu * C_ox`` in A/V².
+    v_threshold:
+        Threshold voltage in volts.
+    phi:
+        Subthreshold smoothing scale in volts (larger = softer turn-on).
+    channel_lambda:
+        Channel-length modulation coefficient in 1/V.
+    """
+
+    k_prime: float = 3.0e-5
+    v_threshold: float = 0.03
+    phi: float = 0.06
+    channel_lambda: float = 0.05
+
+    def beta(self, width: float, length: float) -> float:
+        """Device transconductance factor ``k' * W / L``."""
+        if width <= 0 or length <= 0:
+            raise ValueError("transistor dimensions must be positive")
+        return self.k_prime * width / length
+
+    def _overdrive(self, vgs: float) -> Tuple[float, float]:
+        """Smooth overdrive voltage and its derivative w.r.t. ``vgs``."""
+        z = (vgs - self.v_threshold) / self.phi
+        if z > 30.0:
+            return vgs - self.v_threshold, 1.0
+        if z < -30.0:
+            expz = math.exp(z)
+            return self.phi * expz, expz
+        veff = self.phi * math.log1p(math.exp(z))
+        dveff = 1.0 / (1.0 + math.exp(-z))
+        return veff, dveff
+
+    def ids(
+        self, vgs: float, vds: float, width: float, length: float
+    ) -> Tuple[float, float, float]:
+        """Drain current and small-signal derivatives at a bias point.
+
+        Returns
+        -------
+        (id, gm, gds):
+            Drain-to-source current (A), transconductance ``dId/dVgs`` (S)
+            and output conductance ``dId/dVds`` (S).  For ``vds < 0`` the
+            device is treated symmetrically (drain and source exchanged).
+        """
+        beta = self.beta(width, length)
+        if vds < 0.0:
+            # Swap drain and source: Id(vgs, vds) = -Id'(vgd, -vds).
+            vgd = vgs - vds
+            current_s, gm_s, gds_s = self._ids_forward(vgd, -vds, beta)
+            # d/dVgs: vgd depends on vgs with slope 1, vds' does not.
+            gm = -gm_s
+            # d/dVds: vgd slope -1, vds' slope -1.
+            gds = gm_s + gds_s
+            return -current_s, gm, gds
+        return self._ids_forward(vgs, vds, beta)
+
+    def _ids_forward(
+        self, vgs: float, vds: float, beta: float
+    ) -> Tuple[float, float, float]:
+        veff, dveff = self._overdrive(vgs)
+        veff_safe = veff + 1e-12
+        shape = math.tanh(vds / veff_safe)
+        sech2 = 1.0 - shape * shape
+        clm = 1.0 + self.channel_lambda * vds
+        id0 = 0.5 * beta * veff * veff
+
+        current = id0 * shape * clm
+        gm = (
+            beta * veff * dveff * shape * clm
+            + id0 * sech2 * (-vds / (veff_safe * veff_safe)) * dveff * clm
+        )
+        gds = id0 * sech2 / veff_safe * clm + id0 * shape * self.channel_lambda
+        return current, gm, gds

@@ -1,0 +1,168 @@
+"""Modified nodal analysis with Newton-Raphson iteration.
+
+Unknowns are the non-ground node voltages plus one branch current per ideal
+voltage source.  Linear devices are stamped once; each Newton iteration
+re-stamps the transistors with their linearized companion model
+
+    Id ≈ Id* + gm (Vgs − Vgs*) + gds (Vds − Vds*)
+
+until the node voltages stop moving.  A small ``gmin`` conductance from
+every node to ground keeps the system well conditioned, and per-iteration
+voltage damping keeps the iteration inside the model's smooth region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.spice.netlist import GROUND, Netlist
+from repro.spice.validate import validate_netlist
+
+
+class ConvergenceError(RuntimeError):
+    """Raised when Newton-Raphson fails to converge."""
+
+
+@dataclass
+class OperatingPoint:
+    """DC solution: node voltages and voltage-source branch currents."""
+
+    voltages: Dict[str, float]
+    source_currents: Dict[str, float]
+    iterations: int
+
+    def voltage(self, node: str) -> float:
+        if node == GROUND:
+            return 0.0
+        return self.voltages[node]
+
+
+def solve_dc(
+    netlist: Netlist,
+    initial: Dict[str, float] = None,
+    gmin: float = 1e-12,
+    tol: float = 1e-10,
+    max_iter: int = 200,
+    damping: float = 0.5,
+    validate: bool = True,
+) -> OperatingPoint:
+    """Solve the DC operating point of ``netlist``.
+
+    Parameters
+    ----------
+    initial:
+        Optional warm-start node voltages (used by sweeps).
+    gmin:
+        Conductance added from every node to ground.
+    tol:
+        Convergence threshold on the max node-voltage update (volts).
+    max_iter:
+        Newton iteration limit.
+    damping:
+        Maximum per-iteration node-voltage step (volts).
+    """
+    if validate:
+        validate_netlist(netlist)
+
+    nodes = netlist.nodes()
+    index = {name: i for i, name in enumerate(nodes)}
+    n_nodes = len(nodes)
+    n_sources = len(netlist.sources)
+    size = n_nodes + n_sources
+
+    def node_idx(name: str) -> int:
+        return -1 if name == GROUND else index[name]
+
+    # --- constant (linear) stamps ------------------------------------- #
+    base_matrix = np.zeros((size, size))
+    base_rhs = np.zeros(size)
+
+    for i in range(n_nodes):
+        base_matrix[i, i] += gmin
+
+    for resistor in netlist.resistors:
+        g = resistor.conductance
+        a, b = node_idx(resistor.node_a), node_idx(resistor.node_b)
+        if a >= 0:
+            base_matrix[a, a] += g
+        if b >= 0:
+            base_matrix[b, b] += g
+        if a >= 0 and b >= 0:
+            base_matrix[a, b] -= g
+            base_matrix[b, a] -= g
+
+    for k, source in enumerate(netlist.sources):
+        row = n_nodes + k
+        p, m = node_idx(source.node_plus), node_idx(source.node_minus)
+        if p >= 0:
+            base_matrix[p, row] += 1.0
+            base_matrix[row, p] += 1.0
+        if m >= 0:
+            base_matrix[m, row] -= 1.0
+            base_matrix[row, m] -= 1.0
+        base_rhs[row] = source.voltage
+
+    # --- Newton iteration --------------------------------------------- #
+    voltages = np.full(n_nodes, 0.5)
+    if initial:
+        for name, value in initial.items():
+            if name in index:
+                voltages[index[name]] = value
+
+    def v_of(i: int) -> float:
+        return 0.0 if i < 0 else voltages[i]
+
+    iterations = 0
+    for iterations in range(1, max_iter + 1):
+        matrix = base_matrix.copy()
+        rhs = base_rhs.copy()
+
+        for egt in netlist.transistors:
+            d, g_node, s = node_idx(egt.drain), node_idx(egt.gate), node_idx(egt.source)
+            vgs = v_of(g_node) - v_of(s)
+            vds = v_of(d) - v_of(s)
+            current, gm, gds = egt.model.ids(vgs, vds, egt.width, egt.length)
+            # Companion model: I = Ieq + gm*Vgs + gds*Vds flowing drain→source.
+            ieq = current - gm * vgs - gds * vds
+            for row, polarity in ((d, +1.0), (s, -1.0)):
+                if row < 0:
+                    continue
+                rhs[row] -= polarity * ieq
+                if g_node >= 0:
+                    matrix[row, g_node] += polarity * gm
+                if s >= 0:
+                    matrix[row, s] -= polarity * (gm + gds)
+                if d >= 0:
+                    matrix[row, d] += polarity * gds
+
+        try:
+            solution = np.linalg.solve(matrix, rhs)
+        except np.linalg.LinAlgError as exc:  # pragma: no cover - defensive
+            raise ConvergenceError(f"singular MNA matrix: {exc}") from exc
+
+        new_voltages = solution[:n_nodes]
+        if n_nodes:
+            delta = new_voltages - voltages
+            step = np.clip(delta, -damping, damping)
+            voltages = voltages + step
+            if np.max(np.abs(delta)) < tol:
+                break
+        else:
+            break
+    else:
+        raise ConvergenceError(
+            f"Newton-Raphson did not converge within {max_iter} iterations"
+        )
+
+    # Final consistent solve for source currents at the converged voltages.
+    currents = solution[n_nodes:]
+    return OperatingPoint(
+        voltages={name: float(voltages[index[name]]) for name in nodes},
+        source_currents={
+            source.name: float(currents[k]) for k, source in enumerate(netlist.sources)
+        },
+        iterations=iterations,
+    )

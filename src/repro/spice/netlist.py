@@ -1,0 +1,99 @@
+"""Netlist container: named nodes, devices, and convenience builders."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.spice.components import EGT, Resistor, VoltageSource
+from repro.spice.egt import EGTModel
+
+GROUND = "0"
+
+
+class Netlist:
+    """A flat netlist of resistors, voltage sources and EGTs.
+
+    Node names are free-form strings; ``"0"`` is ground.  Device names must
+    be unique across the netlist.
+    """
+
+    def __init__(self, title: str = ""):
+        self.title = title
+        self.resistors: List[Resistor] = []
+        self.sources: List[VoltageSource] = []
+        self.transistors: List[EGT] = []
+        self._names: set = set()
+
+    # ------------------------------------------------------------------ #
+    # builders                                                           #
+    # ------------------------------------------------------------------ #
+
+    def _register(self, name: str) -> None:
+        if name in self._names:
+            raise ValueError(f"duplicate device name: {name}")
+        self._names.add(name)
+
+    def add_resistor(self, name: str, node_a: str, node_b: str, resistance: float) -> Resistor:
+        self._register(name)
+        device = Resistor(name, node_a, node_b, resistance)
+        self.resistors.append(device)
+        return device
+
+    def add_voltage_source(
+        self, name: str, node_plus: str, node_minus: str, voltage: float
+    ) -> VoltageSource:
+        self._register(name)
+        device = VoltageSource(name, node_plus, node_minus, voltage)
+        self.sources.append(device)
+        return device
+
+    def add_egt(
+        self,
+        name: str,
+        drain: str,
+        gate: str,
+        source: str,
+        width: float,
+        length: float,
+        model: Optional[EGTModel] = None,
+    ) -> EGT:
+        self._register(name)
+        device = EGT(name, drain, gate, source, width, length, model or EGTModel())
+        self.transistors.append(device)
+        return device
+
+    # ------------------------------------------------------------------ #
+    # queries                                                            #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def devices(self):
+        return [*self.resistors, *self.sources, *self.transistors]
+
+    def nodes(self) -> List[str]:
+        """All node names, ground excluded, in deterministic order."""
+        seen: Dict[str, None] = {}
+        for device in self.resistors:
+            seen.setdefault(device.node_a)
+            seen.setdefault(device.node_b)
+        for device in self.sources:
+            seen.setdefault(device.node_plus)
+            seen.setdefault(device.node_minus)
+        for device in self.transistors:
+            seen.setdefault(device.drain)
+            seen.setdefault(device.gate)
+            seen.setdefault(device.source)
+        seen.pop(GROUND, None)
+        return list(seen)
+
+    def source(self, name: str) -> VoltageSource:
+        for device in self.sources:
+            if device.name == name:
+                return device
+        raise KeyError(f"no voltage source named {name!r}")
+
+    def __repr__(self) -> str:
+        return (
+            f"Netlist({self.title!r}, R={len(self.resistors)}, "
+            f"V={len(self.sources)}, T={len(self.transistors)})"
+        )

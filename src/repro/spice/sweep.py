@@ -1,0 +1,50 @@
+"""DC sweeps with warm-started Newton iterations."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.spice.mna import OperatingPoint, solve_dc
+from repro.spice.netlist import Netlist
+
+
+def dc_sweep(
+    netlist: Netlist,
+    source_name: str,
+    values: Iterable[float],
+    output_node: Optional[str] = None,
+    **solver_kwargs,
+):
+    """Sweep a voltage source and solve the DC operating point at each step.
+
+    Each solve is warm-started from the previous solution, which makes the
+    sweep both faster and more robust near high-gain transitions.
+
+    Returns
+    -------
+    If ``output_node`` is given: ``(values, outputs)`` as float arrays.
+    Otherwise: the list of :class:`OperatingPoint` objects.
+    """
+    values = [float(v) for v in values]
+    source = netlist.source(source_name)
+    original = source.voltage
+    points: List[OperatingPoint] = []
+    warm = None
+    validated = False
+    try:
+        for value in values:
+            source.voltage = float(value)
+            point = solve_dc(netlist, initial=warm, validate=not validated, **solver_kwargs)
+            validated = True
+            warm = point.voltages
+            points.append(point)
+    finally:
+        source.voltage = original
+
+    if output_node is None:
+        return points
+    xs = np.asarray(list(values), dtype=np.float64)
+    ys = np.asarray([p.voltage(output_node) for p in points], dtype=np.float64)
+    return xs, ys

@@ -1,0 +1,54 @@
+"""Structural validation of netlists using a connectivity graph."""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.spice.netlist import GROUND, Netlist
+
+
+class NetlistError(ValueError):
+    """Raised when a netlist is structurally unsound."""
+
+
+def connectivity_graph(netlist: Netlist) -> nx.Graph:
+    """Undirected device-connectivity graph over node names.
+
+    Transistor gates connect capacitively (no DC path), but for reachability
+    purposes a gate must still be driven, so gate edges are included.
+    """
+    graph = nx.Graph()
+    graph.add_node(GROUND)
+    for resistor in netlist.resistors:
+        graph.add_edge(resistor.node_a, resistor.node_b, device=resistor.name)
+    for source in netlist.sources:
+        graph.add_edge(source.node_plus, source.node_minus, device=source.name)
+    for egt in netlist.transistors:
+        graph.add_edge(egt.drain, egt.source, device=egt.name)
+        graph.add_edge(egt.gate, egt.source, device=f"{egt.name}.gate")
+    return graph
+
+
+def validate_netlist(netlist: Netlist) -> None:
+    """Check that the netlist can be solved.
+
+    Raises
+    ------
+    NetlistError
+        If the netlist is empty, has no ground reference, or contains nodes
+        unreachable from ground (which would make the MNA system singular up
+        to ``gmin``).
+    """
+    if not netlist.devices:
+        raise NetlistError("netlist contains no devices")
+
+    graph = connectivity_graph(netlist)
+    if graph.number_of_nodes() <= 1:
+        raise NetlistError("netlist has no nodes besides ground")
+    if GROUND not in graph or graph.degree(GROUND) == 0:
+        raise NetlistError("no device is connected to ground")
+
+    reachable = nx.node_connected_component(graph, GROUND)
+    floating = set(graph.nodes) - reachable
+    if floating:
+        raise NetlistError(f"nodes not connected to ground: {sorted(floating)}")

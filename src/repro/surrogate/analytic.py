@@ -1,0 +1,120 @@
+"""A physics-based analytic surrogate (baseline for the NN surrogate).
+
+The paper approximates ω → η with a regression NN.  As an ablation baseline
+(and as a fast, training-free fallback) this module derives η directly from
+first-order circuit analysis of the synthetic topology:
+
+- divider ratios attenuate the input: ``k1 = R2/(R1+R2)``, ``k2 = R4/(R3+R4)``;
+- the stage-1 trip point sits where the EGT sinks ``VDD/2`` through its
+  effective load ``R5 ∥ (R3+R4)``, giving the overdrive
+  ``V* = sqrt(VDD / (β R_load))`` and hence ``η3 ≈ (Vt + V*) / k1``;
+- small-signal gains ``A ≈ sqrt(β VDD R_load)`` set the steepness η4;
+- the output swing (and with it η1, η2) shrinks smoothly when the trip
+  point leaves the 0..1 V input window.
+
+First-order analysis ignores channel-length modulation and the interaction
+between stages, so predictions are refined by an optional per-output affine
+calibration against a small simulated dataset (:meth:`AnalyticSurrogate.calibrate`).
+Everything is expressed with autograd ops, making the analytic surrogate a
+drop-in replacement for the NN surrogate inside the pNN.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.circuits.ptanh import SECOND_STAGE_LOAD, VDD
+from repro.spice.egt import EGTModel
+from repro.surrogate.dataset_builder import SurrogateDataset
+
+
+class AnalyticSurrogate:
+    """Closed-form ω → η map with optional affine calibration.
+
+    Implements the same ``eta_from_omega`` interface as
+    :class:`~repro.surrogate.pipeline.CircuitSurrogate`.
+    """
+
+    def __init__(self, kind: str = "ptanh", model: EGTModel = None):
+        if kind not in ("ptanh", "negweight"):
+            raise ValueError("kind must be 'ptanh' or 'negweight'")
+        self.kind = kind
+        self.model = model or EGTModel()
+        # Per-η affine calibration (identity until calibrate() is called).
+        self.scale = np.ones(4)
+        self.shift = np.zeros(4)
+
+    # ------------------------------------------------------------------ #
+    # physics                                                            #
+    # ------------------------------------------------------------------ #
+
+    def _raw_eta(self, omega: Tensor) -> Tensor:
+        r1 = omega[..., 0:1]
+        r2 = omega[..., 1:2]
+        r3 = omega[..., 2:3]
+        r4 = omega[..., 3:4]
+        r5 = omega[..., 4:5]
+        width = omega[..., 5:6]
+        length = omega[..., 6:7]
+
+        k1 = r2 / (r1 + r2)
+        k2 = r4 / (r3 + r4)
+        beta = self.model.k_prime * width / length
+
+        divider_chain = r3 + r4
+        load1 = r5 * divider_chain / (r5 + divider_chain)
+        overdrive = F.sqrt(Tensor(VDD) / (beta * load1))
+        trip = (overdrive + self.model.v_threshold) / (k1 + 1e-9)
+
+        gain1 = F.sqrt(beta * VDD * load1)
+        gain2 = F.sqrt(beta * VDD * SECOND_STAGE_LOAD)
+
+        # Fraction of the full swing reachable when the trip point sits
+        # inside the 0..1 V input window (smooth roll-off outside).
+        visibility = F.sigmoid((Tensor(VDD) - trip) * 6.0) * F.sigmoid(trip * 6.0)
+
+        if self.kind == "ptanh":
+            amplitude = 0.5 * VDD * visibility
+            centre = Tensor(np.full(1, 0.5 * VDD)) + 0.0 * trip
+            slope = k1 * gain1 * k2 * gain2 * 0.25
+        else:
+            # Negative-weight target is −inv(V) = VDD − k2·V_d1 (Eq. 3 fit).
+            amplitude = 0.5 * VDD * k2 * visibility
+            centre = Tensor(VDD) - k2 * (0.5 * VDD) + 0.0 * trip
+            slope = k1 * gain1 * 0.5
+
+        steepness = slope / (amplitude + 1e-3)
+        steepness = F.clip(steepness, 0.5, 200.0)
+        return F.concatenate([centre, amplitude, trip, steepness], axis=-1)
+
+    # ------------------------------------------------------------------ #
+    # public API                                                         #
+    # ------------------------------------------------------------------ #
+
+    def eta_from_omega(self, omega: Union[np.ndarray, Tensor]) -> Tensor:
+        omega_t = omega if isinstance(omega, Tensor) else Tensor(omega)
+        raw = self._raw_eta(omega_t)
+        return raw * Tensor(self.scale) + Tensor(self.shift)
+
+    def eta_numpy(self, omega: np.ndarray) -> np.ndarray:
+        from repro.autograd.tensor import no_grad
+
+        with no_grad():
+            return self.eta_from_omega(np.asarray(omega, dtype=np.float64)).numpy()
+
+    def calibrate(self, dataset: SurrogateDataset) -> "AnalyticSurrogate":
+        """Fit the per-η affine correction on a simulated dataset."""
+        if dataset.kind != self.kind:
+            raise ValueError(f"dataset is for {dataset.kind!r}, surrogate for {self.kind!r}")
+        self.scale = np.ones(4)
+        self.shift = np.zeros(4)
+        raw = self.eta_numpy(dataset.omega)
+        for j in range(4):
+            design = np.stack([raw[:, j], np.ones(len(raw))], axis=1)
+            coeffs, *_ = np.linalg.lstsq(design, dataset.eta[:, j], rcond=None)
+            self.scale[j], self.shift[j] = coeffs
+        return self

@@ -1,0 +1,109 @@
+"""Building the (ω, η) regression dataset via circuit simulation (Fig. 3).
+
+For every QMC-sampled design point the ptanh circuit and the
+negative-weight circuit are swept with the DC solver and the resulting
+transfer curves are fitted with Eq. 2 / Eq. 3.  Degenerate design points
+whose curves carry too little swing to identify η (or whose fit quality is
+poor) are filtered out, mirroring the paper's restriction of the design
+space to "tanh-like characteristic curves".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.circuits.negweight import simulate_negweight_curve
+from repro.circuits.ptanh import simulate_ptanh_curve
+from repro.spice.egt import EGTModel
+from repro.spice.mna import ConvergenceError
+from repro.surrogate.design_space import DESIGN_SPACE, DesignSpace
+from repro.surrogate.fitting import fit_ptanh
+from repro.surrogate.sampling import sample_design_points
+
+#: Circuit kinds understood by the builder.
+CIRCUIT_KINDS = ("ptanh", "negweight")
+
+
+@dataclass
+class SurrogateDataset:
+    """Paired physical parameters and fitted auxiliary parameters."""
+
+    omega: np.ndarray          # (n, 7)
+    eta: np.ndarray            # (n, 4)
+    rmse: np.ndarray           # (n,) fit quality per point
+    kind: str                  # "ptanh" or "negweight"
+
+    def __post_init__(self):
+        if len(self.omega) != len(self.eta):
+            raise ValueError("omega and eta must pair up")
+
+    def __len__(self) -> int:
+        return len(self.omega)
+
+
+def simulate_curve(omega: np.ndarray, kind: str, n_points: int, model: Optional[EGTModel]):
+    """Dispatch to the right circuit sweep for ``kind``."""
+    if kind == "ptanh":
+        return simulate_ptanh_curve(omega, n_points=n_points, model=model)
+    if kind == "negweight":
+        return simulate_negweight_curve(omega, n_points=n_points, model=model)
+    raise ValueError(f"unknown circuit kind {kind!r}; expected one of {CIRCUIT_KINDS}")
+
+
+def build_surrogate_dataset(
+    kind: str,
+    n_points: int = 10_000,
+    sweep_points: int = 41,
+    space: DesignSpace = DESIGN_SPACE,
+    model: Optional[EGTModel] = None,
+    seed: int = 0,
+    min_swing: float = 0.02,
+    max_rmse: float = 0.05,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> SurrogateDataset:
+    """Sample, simulate and fit; return the filtered regression dataset.
+
+    Parameters
+    ----------
+    kind:
+        ``"ptanh"`` (Eq. 2 targets) or ``"negweight"`` (Eq. 3 targets).
+    n_points:
+        Number of QMC design points (the paper uses 10 000).
+    sweep_points:
+        DC sweep resolution per curve.
+    min_swing / max_rmse:
+        Quality gates: curves with less output swing than ``min_swing`` or a
+        worse fit RMSE than ``max_rmse`` are dropped (their η are not
+        identifiable and would only add label noise).
+    """
+    omegas = sample_design_points(n_points, space=space, seed=seed)
+    kept_omega, kept_eta, kept_rmse = [], [], []
+    negated = kind == "negweight"
+    for i, omega in enumerate(omegas):
+        if progress is not None:
+            progress(i, len(omegas))
+        try:
+            v_in, v_out = simulate_curve(omega, kind, sweep_points, model)
+        except ConvergenceError:
+            continue
+        fit = fit_ptanh(v_in, v_out, negated=negated)
+        if fit.swing < min_swing or fit.rmse > max_rmse or not fit.in_bounds:
+            continue
+        kept_omega.append(omega)
+        kept_eta.append(fit.eta)
+        kept_rmse.append(fit.rmse)
+
+    if not kept_omega:
+        raise RuntimeError(
+            f"no identifiable curves among {n_points} samples; "
+            "check the EGT model calibration"
+        )
+    return SurrogateDataset(
+        omega=np.asarray(kept_omega),
+        eta=np.asarray(kept_eta),
+        rmse=np.asarray(kept_rmse),
+        kind=kind,
+    )

@@ -1,0 +1,129 @@
+"""The feasible design space of the nonlinear circuit (Table I).
+
+Physical parameters ω = [R1, R2, R3, R4, R5, W, L]:
+
+=============  ========  ========  ======
+parameter      minimal   maximal   unit
+=============  ========  ========  ======
+R1             10        500       Ω
+R2             5         250       Ω
+R3             10e3      500e3     Ω
+R4             8e3       400e3     Ω
+R5             10e3      500e3     Ω
+W              200       800       µm
+L              10        70        µm
+=============  ========  ========  ======
+
+with the inequality constraints R1 > R2 and R3 > R4 (the voltage dividers
+must keep an attenuating, approximately constant ratio).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+#: Order of the physical parameters in every ω vector.
+OMEGA_NAMES: Tuple[str, ...] = ("R1", "R2", "R3", "R4", "R5", "W", "L")
+
+#: Indices of the reduced, independently-learnable parameterization of
+#: Fig. 5: [R1, R3, R5, W, L] plus the two divider ratios k1, k2.
+REDUCED_NAMES: Tuple[str, ...] = ("R1", "R3", "R5", "W", "L", "k1", "k2")
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """Axis-aligned box with the two divider inequality constraints."""
+
+    lower: np.ndarray = field(
+        default_factory=lambda: np.array([10.0, 5.0, 10e3, 8e3, 10e3, 200.0, 10.0])
+    )
+    upper: np.ndarray = field(
+        default_factory=lambda: np.array([500.0, 250.0, 500e3, 400e3, 500e3, 800.0, 70.0])
+    )
+    #: Ratio bounds used when sampling / learning k1 = R2/R1 and k2 = R4/R3.
+    ratio_low: float = 0.05
+    ratio_high: float = 0.95
+
+    def __post_init__(self):
+        if self.lower.shape != (7,) or self.upper.shape != (7,):
+            raise ValueError("design space must describe the 7 parameters of Table I")
+        if np.any(self.lower >= self.upper):
+            raise ValueError("lower bounds must be strictly below upper bounds")
+
+    # ------------------------------------------------------------------ #
+    # membership / projection                                            #
+    # ------------------------------------------------------------------ #
+
+    def contains(self, omega: np.ndarray, atol: float = 1e-9) -> bool:
+        """Whether ω satisfies both the box and the inequality constraints."""
+        omega = np.asarray(omega, dtype=np.float64)
+        if omega.shape != (7,):
+            return False
+        in_box = bool(
+            np.all(omega >= self.lower - atol) and np.all(omega <= self.upper + atol)
+        )
+        r1, r2, r3, r4 = omega[0], omega[1], omega[2], omega[3]
+        return in_box and r1 > r2 - atol and r3 > r4 - atol
+
+    def clip(self, omega: np.ndarray) -> np.ndarray:
+        """Project ω into the box (the paper's clipping for R2 and R4)."""
+        omega = np.asarray(omega, dtype=np.float64)
+        clipped = np.clip(omega, self.lower, self.upper)
+        # Enforce the divider inequalities by pulling R2/R4 below R1/R3.
+        clipped[1] = min(clipped[1], clipped[0])
+        clipped[3] = min(clipped[3], clipped[2])
+        return clipped
+
+    # ------------------------------------------------------------------ #
+    # reduced parameterization (Fig. 5)                                  #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def reduced_lower(self) -> np.ndarray:
+        """Lower bounds of [R1, R3, R5, W, L, k1, k2]."""
+        return np.array(
+            [self.lower[0], self.lower[2], self.lower[4], self.lower[5], self.lower[6],
+             self.ratio_low, self.ratio_low]
+        )
+
+    @property
+    def reduced_upper(self) -> np.ndarray:
+        return np.array(
+            [self.upper[0], self.upper[2], self.upper[4], self.upper[5], self.upper[6],
+             self.ratio_high, self.ratio_high]
+        )
+
+    def assemble(self, reduced: np.ndarray) -> np.ndarray:
+        """Map reduced points [R1, R3, R5, W, L, k1, k2] to full ω vectors.
+
+        ``R2 = clip(k1 R1)`` and ``R4 = clip(k2 R3)`` exactly as in Fig. 5;
+        accepts a single point ``(7,)`` or a batch ``(n, 7)``.
+        """
+        reduced = np.asarray(reduced, dtype=np.float64)
+        single = reduced.ndim == 1
+        reduced = np.atleast_2d(reduced)
+        r1, r3, r5 = reduced[:, 0], reduced[:, 1], reduced[:, 2]
+        width, length = reduced[:, 3], reduced[:, 4]
+        k1, k2 = reduced[:, 5], reduced[:, 6]
+        r2 = np.clip(k1 * r1, self.lower[1], self.upper[1])
+        r4 = np.clip(k2 * r3, self.lower[3], self.upper[3])
+        omega = np.stack([r1, r2, r3, r4, r5, width, length], axis=1)
+        return omega[0] if single else omega
+
+    def as_table(self) -> str:
+        """Render Table I as text (used by the Table-I bench)."""
+        header = f"{'':12s}" + "".join(f"{name:>10s}" for name in OMEGA_NAMES)
+        units = f"{'':12s}" + "".join(
+            f"{u:>10s}" for u in ("(Ω)", "(Ω)", "(Ω)", "(Ω)", "(Ω)", "(µm)", "(µm)")
+        )
+        low = f"{'minimal':12s}" + "".join(f"{v:>10.0f}" for v in self.lower)
+        high = f"{'maximal':12s}" + "".join(f"{v:>10.0f}" for v in self.upper)
+        ineq = f"{'inequality':12s}{'R1 > R2':>20s}{'R3 > R4':>20s}"
+        return "\n".join([header, units, low, high, ineq])
+
+
+#: The canonical Table-I design space used throughout the reproduction.
+DESIGN_SPACE = DesignSpace()

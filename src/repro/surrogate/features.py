@@ -1,0 +1,105 @@
+"""Feature engineering for the surrogate models (Sec. III-A c).
+
+The divider ratios ``k1 = R2/R1`` and ``k2 = R4/R3`` and the geometry ratio
+``k3 = W/L`` are critical circuit features that independent per-parameter
+normalization would wash out, so ω is manually extended to
+
+    [R1, R2, R3, R4, R5, W, L, k1, k2, k3]
+
+before min-max normalization.  The normalizer also handles the η targets
+and stores the statistics needed for later denormalization (they ship with
+the saved surrogate bundle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+
+ArrayOrTensor = Union[np.ndarray, Tensor]
+
+#: Names of the ten extended surrogate input features.
+FEATURE_NAMES = ("R1", "R2", "R3", "R4", "R5", "W", "L", "k1", "k2", "k3")
+
+
+def extend_with_ratios(omega: ArrayOrTensor) -> ArrayOrTensor:
+    """Append [k1, k2, k3] to ω; works on arrays and autodiff tensors.
+
+    ``omega`` may have any number of leading batch dimensions; the last axis
+    must hold the 7 physical parameters of Table I.
+    """
+    if isinstance(omega, Tensor):
+        r1 = omega[..., 0:1]
+        r2 = omega[..., 1:2]
+        r3 = omega[..., 2:3]
+        r4 = omega[..., 3:4]
+        width = omega[..., 5:6]
+        length = omega[..., 6:7]
+        k1 = r2 / r1
+        k2 = r4 / r3
+        k3 = width / length
+        return F.concatenate([omega, k1, k2, k3], axis=-1)
+    omega = np.asarray(omega, dtype=np.float64)
+    if omega.shape[-1] != 7:
+        raise ValueError("last axis of omega must hold the 7 Table-I parameters")
+    k1 = omega[..., 1:2] / omega[..., 0:1]
+    k2 = omega[..., 3:4] / omega[..., 2:3]
+    k3 = omega[..., 5:6] / omega[..., 6:7]
+    return np.concatenate([omega, k1, k2, k3], axis=-1)
+
+
+@dataclass
+class FeatureNormalizer:
+    """Min-max normalization with stored statistics.
+
+    Maps values into [0, 1] per dimension; exactly invertible through
+    :meth:`denormalize`.  Works on both numpy arrays (dataset preparation)
+    and autodiff tensors (inside the differentiable pNN forward pass).
+    """
+
+    minimum: np.ndarray
+    maximum: np.ndarray
+
+    def __post_init__(self):
+        self.minimum = np.asarray(self.minimum, dtype=np.float64)
+        self.maximum = np.asarray(self.maximum, dtype=np.float64)
+        if self.minimum.shape != self.maximum.shape:
+            raise ValueError("min/max shapes differ")
+        if np.any(self.maximum <= self.minimum):
+            raise ValueError("every feature needs a positive range")
+
+    @classmethod
+    def fit(cls, values: np.ndarray) -> "FeatureNormalizer":
+        """Compute statistics over the leading axis of ``values``."""
+        values = np.asarray(values, dtype=np.float64)
+        minimum = values.min(axis=0)
+        maximum = values.max(axis=0)
+        degenerate = maximum - minimum < 1e-12
+        maximum = np.where(degenerate, minimum + 1.0, maximum)
+        return cls(minimum=minimum, maximum=maximum)
+
+    @property
+    def span(self) -> np.ndarray:
+        return self.maximum - self.minimum
+
+    def normalize(self, values: ArrayOrTensor) -> ArrayOrTensor:
+        if isinstance(values, Tensor):
+            return (values - Tensor(self.minimum)) / Tensor(self.span)
+        return (np.asarray(values, dtype=np.float64) - self.minimum) / self.span
+
+    def denormalize(self, values: ArrayOrTensor) -> ArrayOrTensor:
+        if isinstance(values, Tensor):
+            return values * Tensor(self.span) + Tensor(self.minimum)
+        return np.asarray(values, dtype=np.float64) * self.span + self.minimum
+
+    def state(self) -> Dict[str, np.ndarray]:
+        return {"minimum": self.minimum.copy(), "maximum": self.maximum.copy()}
+
+    @classmethod
+    def from_state(cls, state: Dict[str, np.ndarray]) -> "FeatureNormalizer":
+        return cls(minimum=np.asarray(state["minimum"]), maximum=np.asarray(state["maximum"]))

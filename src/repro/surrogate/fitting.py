@@ -1,0 +1,139 @@
+"""Extraction of the auxiliary parameters η from simulated transfer curves.
+
+Given a simulated sweep ``(V_in, V_out)`` of a nonlinear circuit, fit the
+modified tanh of Eq. 2
+
+    ptanh_η(V) = η1 + η2 · tanh((V − η3) · η4)
+
+(or its negated form, Eq. 3) by nonlinear least squares.  The initial guess
+is derived from the curve geometry (midpoint, swing, steepest slope), which
+makes the fit robust across the whole design space including nearly-flat
+curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.surrogate.lm import levenberg_marquardt
+
+
+def ptanh_curve(eta: np.ndarray, v_in: np.ndarray) -> np.ndarray:
+    """Evaluate Eq. 2 for parameters ``eta = [η1, η2, η3, η4]``."""
+    eta = np.asarray(eta, dtype=np.float64)
+    return eta[0] + eta[1] * np.tanh((np.asarray(v_in) - eta[2]) * eta[3])
+
+
+def ptanh_jacobian(eta: np.ndarray, v_in: np.ndarray) -> np.ndarray:
+    """Analytic Jacobian of :func:`ptanh_curve` w.r.t. η."""
+    v_in = np.asarray(v_in, dtype=np.float64)
+    arg = (v_in - eta[2]) * eta[3]
+    t = np.tanh(arg)
+    sech2 = 1.0 - t * t
+    jac = np.empty((v_in.size, 4))
+    jac[:, 0] = 1.0
+    jac[:, 1] = t
+    jac[:, 2] = -eta[1] * eta[3] * sech2
+    jac[:, 3] = eta[1] * (v_in - eta[2]) * sech2
+    return jac
+
+
+#: Physically-plausible box for fitted η on a 1 V rail.  Fits escaping this
+#: box are line-like degeneracies (huge amplitude compensated by a tiny
+#: steepness) whose parameters are not identifiable.
+ETA_BOUNDS_LOW = np.array([-0.5, -1.2, -0.5, 0.2])
+ETA_BOUNDS_HIGH = np.array([1.5, 1.2, 1.5, 300.0])
+
+
+@dataclass
+class FitResult:
+    """Fitted η with quality diagnostics."""
+
+    eta: np.ndarray
+    rmse: float
+    swing: float
+    converged: bool
+
+    @property
+    def in_bounds(self) -> bool:
+        """Whether η lies in the physically identifiable box."""
+        return bool(
+            np.all(self.eta >= ETA_BOUNDS_LOW) and np.all(self.eta <= ETA_BOUNDS_HIGH)
+        )
+
+    @property
+    def is_tanh_like(self) -> bool:
+        """Whether the curve has enough swing to identify all four η."""
+        return self.swing >= 0.02 and self.rmse <= 0.05 and self.in_bounds
+
+
+def initial_guess(v_in: np.ndarray, v_out: np.ndarray) -> np.ndarray:
+    """Geometry-based initial η for a monotone tanh-like curve."""
+    v_in = np.asarray(v_in, dtype=np.float64)
+    v_out = np.asarray(v_out, dtype=np.float64)
+    lo, hi = float(v_out.min()), float(v_out.max())
+    eta1 = 0.5 * (lo + hi)
+    rising = v_out[-1] >= v_out[0]
+    eta2 = 0.5 * (hi - lo) if rising else -0.5 * (hi - lo)
+    slopes = np.gradient(v_out, v_in)
+    steepest = int(np.argmax(np.abs(slopes)))
+    eta3 = float(v_in[steepest])
+    swing = max(hi - lo, 1e-6)
+    # tanh'(0) = 1, so slope at the midpoint ≈ η2 · η4.
+    eta4 = float(np.clip(abs(slopes[steepest]) / (abs(eta2) + 1e-9), 0.5, 200.0))
+    if swing < 1e-3:
+        # Degenerate flat curve: any centre/steepness is unidentifiable;
+        # pick neutral values so the fit stays well conditioned.
+        return np.array([eta1, 0.0, 0.5, 1.0])
+    return np.array([eta1, eta2, eta3, eta4])
+
+
+def fit_ptanh(
+    v_in: np.ndarray,
+    v_out: np.ndarray,
+    negated: bool = False,
+    max_iter: int = 200,
+) -> FitResult:
+    """Fit Eq. 2 (or Eq. 3 when ``negated``) to a simulated sweep.
+
+    For the negated form the sign is folded into the target
+    (``-V_out = ptanh_η(V_in)``), so the same solver handles both circuit
+    types and ``inv(V) = −ptanh_η(V)`` holds for the returned η.
+    """
+    v_in = np.asarray(v_in, dtype=np.float64)
+    target = -np.asarray(v_out, dtype=np.float64) if negated else np.asarray(v_out, dtype=np.float64)
+    if v_in.shape != target.shape or v_in.ndim != 1:
+        raise ValueError("v_in and v_out must be 1-D arrays of equal length")
+    if v_in.size < 5:
+        raise ValueError("need at least 5 sweep points for a 4-parameter fit")
+
+    x0 = initial_guess(v_in, target)
+
+    def residual(eta: np.ndarray) -> np.ndarray:
+        return ptanh_curve(eta, v_in) - target
+
+    def jacobian(eta: np.ndarray) -> np.ndarray:
+        return ptanh_jacobian(eta, v_in)
+
+    result = levenberg_marquardt(residual, x0, jacobian=jacobian, max_iter=max_iter)
+    eta = canonicalize_eta(result.x)
+    res = residual(eta)
+    rmse = float(np.sqrt(np.mean(res * res)))
+    swing = float(target.max() - target.min())
+    return FitResult(eta=eta, rmse=rmse, swing=swing, converged=result.converged)
+
+
+def canonicalize_eta(eta: np.ndarray) -> np.ndarray:
+    """Resolve the (η2, η4) sign ambiguity: always report η4 > 0.
+
+    ``η2 tanh((V−η3) η4)`` is invariant under flipping the signs of both η2
+    and η4; a canonical orientation keeps the regression targets
+    single-valued.
+    """
+    eta = np.asarray(eta, dtype=np.float64).copy()
+    if eta[3] < 0:
+        eta[1] = -eta[1]
+        eta[3] = -eta[3]
+    return eta

@@ -1,0 +1,90 @@
+"""Saving and loading surrogate bundles as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.surrogate.design_space import DesignSpace
+from repro.surrogate.features import FeatureNormalizer
+from repro.surrogate.model import SurrogateMLP
+from repro.surrogate.pipeline import CircuitSurrogate, SurrogateBundle
+
+
+def bundle_cache_path(
+    cache_dir: Union[str, Path], n_points: int, widths: Sequence[int], seed: int
+) -> Path:
+    """Deterministic cache file name for a pipeline configuration."""
+    key = f"n{n_points}-w{'x'.join(str(w) for w in widths)}-s{seed}"
+    digest = hashlib.sha256(key.encode()).hexdigest()[:12]
+    return Path(cache_dir) / f"surrogate-bundle-{digest}.npz"
+
+
+def _pack_surrogate(prefix: str, surrogate: CircuitSurrogate) -> dict:
+    payload = {
+        f"{prefix}.widths": np.asarray(surrogate.model.widths, dtype=np.int64),
+        f"{prefix}.in_min": surrogate.input_normalizer.minimum,
+        f"{prefix}.in_max": surrogate.input_normalizer.maximum,
+        f"{prefix}.eta_min": surrogate.eta_normalizer.minimum,
+        f"{prefix}.eta_max": surrogate.eta_normalizer.maximum,
+        f"{prefix}.test_mse": np.asarray(surrogate.test_mse),
+    }
+    for name, value in surrogate.model.state_dict().items():
+        payload[f"{prefix}.param.{name}"] = value
+    return payload
+
+
+def _unpack_surrogate(prefix: str, archive, kind: str) -> CircuitSurrogate:
+    widths = tuple(int(w) for w in archive[f"{prefix}.widths"])
+    model = SurrogateMLP(widths=widths, rng=np.random.default_rng(0))
+    state = {}
+    marker = f"{prefix}.param."
+    for key in archive.files:
+        if key.startswith(marker):
+            state[key[len(marker):]] = archive[key]
+    model.load_state_dict(state)
+    return CircuitSurrogate(
+        model=model,
+        input_normalizer=FeatureNormalizer(
+            archive[f"{prefix}.in_min"], archive[f"{prefix}.in_max"]
+        ),
+        eta_normalizer=FeatureNormalizer(
+            archive[f"{prefix}.eta_min"], archive[f"{prefix}.eta_max"]
+        ),
+        kind=kind,
+        test_mse=float(archive[f"{prefix}.test_mse"]),
+    )
+
+
+def save_bundle(bundle: SurrogateBundle, path: Union[str, Path]) -> Path:
+    """Write a bundle (both surrogates + design space) to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "space.lower": bundle.space.lower,
+        "space.upper": bundle.space.upper,
+        "space.ratio": np.asarray([bundle.space.ratio_low, bundle.space.ratio_high]),
+    }
+    payload.update(_pack_surrogate("ptanh", bundle.ptanh))
+    payload.update(_pack_surrogate("negweight", bundle.negweight))
+    np.savez(path, **payload)
+    return path
+
+
+def load_bundle(path: Union[str, Path]) -> SurrogateBundle:
+    """Load a bundle previously written by :func:`save_bundle`."""
+    with np.load(Path(path)) as archive:
+        space = DesignSpace(
+            lower=archive["space.lower"],
+            upper=archive["space.upper"],
+            ratio_low=float(archive["space.ratio"][0]),
+            ratio_high=float(archive["space.ratio"][1]),
+        )
+        return SurrogateBundle(
+            ptanh=_unpack_surrogate("ptanh", archive, "ptanh"),
+            negweight=_unpack_surrogate("negweight", archive, "negweight"),
+            space=space,
+        )

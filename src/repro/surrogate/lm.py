@@ -1,0 +1,98 @@
+"""A small Levenberg-Marquardt optimizer for nonlinear least squares.
+
+Used to extract the auxiliary parameters η from simulated transfer curves
+(Sec. III-A b).  scipy's implementation is available in this environment
+and is used as a cross-check in the tests, but the reproduction ships its
+own so the fitting step is fully transparent and dependency-light.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+
+@dataclass
+class LMResult:
+    """Outcome of a Levenberg-Marquardt run."""
+
+    x: np.ndarray
+    cost: float
+    iterations: int
+    converged: bool
+
+
+def levenberg_marquardt(
+    residual: Callable[[np.ndarray], np.ndarray],
+    x0: np.ndarray,
+    jacobian: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    max_iter: int = 200,
+    tol: float = 1e-10,
+    lambda_init: float = 1e-3,
+    lambda_factor: float = 10.0,
+) -> LMResult:
+    """Minimize ``0.5 * ||residual(x)||²`` with damped Gauss-Newton steps.
+
+    Parameters
+    ----------
+    residual:
+        Maps parameters ``x`` to a residual vector.
+    x0:
+        Initial parameter guess.
+    jacobian:
+        Optional analytic Jacobian ``∂residual/∂x``; forward differences
+        are used when omitted.
+    tol:
+        Convergence threshold on both the step norm and the cost decrease.
+    """
+    x = np.asarray(x0, dtype=np.float64).copy()
+    lam = lambda_init
+    res = residual(x)
+    cost = 0.5 * float(res @ res)
+
+    def numeric_jacobian(point: np.ndarray, base: np.ndarray) -> np.ndarray:
+        jac = np.empty((base.size, point.size))
+        for j in range(point.size):
+            step = 1e-7 * max(1.0, abs(point[j]))
+            shifted = point.copy()
+            shifted[j] += step
+            jac[:, j] = (residual(shifted) - base) / step
+        return jac
+
+    iterations = 0
+    converged = False
+    for iterations in range(1, max_iter + 1):
+        jac = jacobian(x) if jacobian is not None else numeric_jacobian(x, res)
+        gradient = jac.T @ res
+        hessian = jac.T @ jac
+
+        improved = False
+        for _ in range(30):
+            try:
+                step = np.linalg.solve(
+                    hessian + lam * np.diag(np.maximum(np.diag(hessian), 1e-12)),
+                    -gradient,
+                )
+            except np.linalg.LinAlgError:
+                lam *= lambda_factor
+                continue
+            candidate = x + step
+            candidate_res = residual(candidate)
+            candidate_cost = 0.5 * float(candidate_res @ candidate_res)
+            if candidate_cost < cost:
+                improvement = cost - candidate_cost
+                x, res, cost = candidate, candidate_res, candidate_cost
+                lam = max(lam / lambda_factor, 1e-12)
+                improved = True
+                if improvement < tol and float(np.linalg.norm(step)) < tol:
+                    converged = True
+                break
+            lam *= lambda_factor
+
+        if not improved or converged:
+            converged = converged or not improved
+            break
+
+    return LMResult(x=x, cost=cost, iterations=iterations, converged=converged)

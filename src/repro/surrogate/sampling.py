@@ -1,0 +1,43 @@
+"""Quasi-Monte-Carlo sampling of the feasible design space.
+
+The paper draws 10 000 design points with Sobol QMC [14].  To respect the
+inequality constraints R1 > R2 and R3 > R4 while keeping the low-discrepancy
+structure, sampling happens in the *reduced* space
+[R1, R3, R5, W, L, k1, k2] (the same parameterization the pNN later learns,
+Fig. 5) and the full ω vectors are assembled with R2 = k1·R1, R4 = k2·R3.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy.stats import qmc
+
+from repro.surrogate.design_space import DESIGN_SPACE, DesignSpace
+
+
+def sample_design_points(
+    n_points: int,
+    space: DesignSpace = DESIGN_SPACE,
+    seed: Optional[int] = 0,
+    scramble: bool = True,
+) -> np.ndarray:
+    """Draw ``n_points`` feasible ω vectors with Sobol QMC.
+
+    Returns
+    -------
+    omega:
+        Array of shape ``(n_points, 7)``; every row satisfies
+        :meth:`DesignSpace.contains`.
+    """
+    if n_points < 1:
+        raise ValueError("n_points must be positive")
+    sampler = qmc.Sobol(d=7, scramble=scramble, seed=seed)
+    # Sobol sequences are balanced in powers of two; draw the next power and
+    # truncate, which preserves low discrepancy better than ``random(n)``.
+    exponent = int(np.ceil(np.log2(max(n_points, 2))))
+    unit = sampler.random_base2(m=exponent)[:n_points]
+    reduced = qmc.scale(unit, space.reduced_lower, space.reduced_upper)
+    omega = space.assemble(reduced)
+    return np.atleast_2d(omega)

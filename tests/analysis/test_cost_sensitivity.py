@@ -1,0 +1,117 @@
+"""Cost model and sensitivity analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    estimate_cost,
+    eta_sensitivity,
+    variation_attribution,
+)
+from repro.analysis.sensitivity import _SelectiveVariation, format_sensitivity
+from repro.core import PrintedNeuralNetwork
+from repro.surrogate import AnalyticSurrogate
+
+
+@pytest.fixture
+def pnn():
+    surrogates = (AnalyticSurrogate("ptanh"), AnalyticSurrogate("negweight"))
+    return PrintedNeuralNetwork([3, 3, 2], surrogates, rng=np.random.default_rng(0))
+
+
+class TestCost:
+    def test_counts_consistent_with_report(self, pnn):
+        from repro.exporting import design_report
+
+        cost = estimate_cost(pnn)
+        report = design_report(pnn)
+        # Crossbar resistors plus 5 per nonlinear circuit instance.
+        assert cost.n_resistors >= report.total_printed_resistors
+        assert cost.n_transistors % 2 == 0        # two EGTs per circuit
+        assert cost.n_transistors >= 2 * 2         # at least the activations
+
+    def test_positive_area_and_power(self, pnn):
+        cost = estimate_cost(pnn)
+        assert cost.area_mm2 > 0
+        assert cost.static_power_uw > 0
+
+    def test_fewer_devices_when_no_negative_weights(self, pnn):
+        for layer in pnn.layers:
+            layer.theta.data = np.abs(layer.theta.data)
+        cost = estimate_cost(pnn)
+        assert cost.n_negweight_circuits == 0
+
+    def test_summary_readable(self, pnn):
+        text = estimate_cost(pnn).summary()
+        assert "mm²" in text and "µW" in text
+
+
+class TestEtaSensitivity:
+    def test_jacobian_shape(self, pnn):
+        omega = pnn.layers[0].activation.printable_omega().numpy()[0]
+        jacobian = eta_sensitivity(pnn.layers[0].activation.surrogate, omega)
+        assert jacobian.shape == (4, 7)
+        assert np.all(np.isfinite(jacobian))
+
+    def test_matches_finite_difference(self, pnn):
+        surrogate = pnn.layers[0].activation.surrogate
+        omega = pnn.layers[0].activation.printable_omega().numpy()[0]
+        jacobian = eta_sensitivity(surrogate, omega)
+        # Check one representative entry: ∂η3/∂ln R2 (the divider ratio
+        # directly shifts the trip point).
+        h = 1e-5 * omega[1]
+        plus, minus = omega.copy(), omega.copy()
+        plus[1] += h
+        minus[1] -= h
+        numeric = (
+            (surrogate.eta_numpy(plus[None])[0, 2] - surrogate.eta_numpy(minus[None])[0, 2])
+            / (2 * h)
+            * omega[1]
+        )
+        assert jacobian[2, 1] == pytest.approx(numeric, rel=1e-3, abs=1e-6)
+
+    def test_trip_point_dominated_by_divider(self, pnn):
+        """η3 must be most sensitive to the input divider (R1/R2)."""
+        surrogate = pnn.layers[0].activation.surrogate
+        omega = pnn.layers[0].activation.printable_omega().numpy()[0]
+        jacobian = np.abs(eta_sensitivity(surrogate, omega))
+        divider_sensitivity = jacobian[2, 0] + jacobian[2, 1]
+        assert divider_sensitivity > jacobian[2, 4]   # ≫ R5's influence
+
+    def test_format_table(self, pnn):
+        omega = pnn.layers[0].activation.printable_omega().numpy()[0]
+        jacobian = eta_sensitivity(pnn.layers[0].activation.surrogate, omega)
+        text = format_sensitivity(jacobian)
+        assert "eta3" in text and "R1" in text
+
+
+class TestVariationAttribution:
+    def test_groups_covered(self, pnn):
+        x = np.random.default_rng(0).uniform(size=(40, 3))
+        y = np.random.default_rng(1).integers(0, 2, size=40)
+        results = variation_attribution(pnn, x, y, epsilon=0.1, n_test=10, seed=0)
+        assert [r.group for r in results] == ["theta", "activation", "negweight", "all"]
+
+    def test_all_group_at_least_as_disruptive(self, pnn):
+        x = np.random.default_rng(2).uniform(size=(60, 3))
+        y = np.random.default_rng(3).integers(0, 2, size=60)
+        results = {r.group: r for r in variation_attribution(
+            pnn, x, y, epsilon=0.15, n_test=20, seed=1
+        )}
+        single_max = max(
+            results[g].std for g in ("theta", "activation", "negweight")
+        )
+        assert results["all"].std >= single_max - 0.03
+
+    def test_selective_variation_cycle(self):
+        selective = _SelectiveVariation(0.1, "activation", seed=0)
+        theta = selective.sample(3, (4, 2))       # call 0 → theta
+        act = selective.sample(3, (1, 7))          # call 1 → activation
+        neg = selective.sample(3, (1, 7))          # call 2 → negweight
+        assert np.all(theta == 1.0)
+        assert np.any(act != 1.0)
+        assert np.all(neg == 1.0)
+
+    def test_selective_rejects_unknown_group(self):
+        with pytest.raises(ValueError):
+            _SelectiveVariation(0.1, "everything", seed=0)

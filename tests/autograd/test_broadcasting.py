@@ -1,0 +1,120 @@
+"""Property-based tests for broadcasting and gradient shape handling."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.autograd import Tensor, gradcheck
+from repro.autograd import functional as F
+from repro.autograd.tensor import unbroadcast
+
+
+def shapes_broadcastable():
+    """Pairs of shapes that numpy can broadcast together."""
+    base = st.lists(st.integers(1, 4), min_size=0, max_size=3)
+
+    @st.composite
+    def pair(draw):
+        target = tuple(draw(base))
+        # Derive a second shape by dropping leading axes and/or setting 1s.
+        drop = draw(st.integers(0, len(target)))
+        other = list(target[drop:])
+        for i in range(len(other)):
+            if draw(st.booleans()):
+                other[i] = 1
+        return target, tuple(other)
+
+    return pair()
+
+
+class TestUnbroadcast:
+    @given(shapes_broadcastable())
+    @settings(max_examples=60, deadline=None)
+    def test_unbroadcast_inverts_broadcast(self, shapes):
+        target, small = shapes
+        rng = np.random.default_rng(0)
+        grad = rng.normal(size=np.broadcast_shapes(target, small))
+        reduced = unbroadcast(grad, small)
+        assert reduced.shape == small
+
+    @given(shapes_broadcastable())
+    @settings(max_examples=60, deadline=None)
+    def test_unbroadcast_preserves_total_sum(self, shapes):
+        target, small = shapes
+        rng = np.random.default_rng(1)
+        grad = rng.normal(size=np.broadcast_shapes(target, small))
+        reduced = unbroadcast(grad, small)
+        assert np.isclose(reduced.sum(), grad.sum())
+
+    def test_identity_when_shapes_match(self):
+        grad = np.ones((2, 3))
+        assert unbroadcast(grad, (2, 3)) is grad
+
+
+class TestBroadcastGradients:
+    @given(shapes_broadcastable())
+    @settings(max_examples=30, deadline=None)
+    def test_add_gradcheck_under_broadcast(self, shapes):
+        target, small = shapes
+        rng = np.random.default_rng(2)
+        a = Tensor(rng.normal(size=target))
+        b = Tensor(rng.normal(size=small))
+        assert gradcheck(lambda a, b: a + b, [a, b])
+
+    @given(shapes_broadcastable())
+    @settings(max_examples=30, deadline=None)
+    def test_mul_gradcheck_under_broadcast(self, shapes):
+        target, small = shapes
+        rng = np.random.default_rng(3)
+        a = Tensor(rng.normal(size=target))
+        b = Tensor(rng.normal(size=small) + 2.0)
+        assert gradcheck(lambda a, b: a * b, [a, b])
+
+    def test_scalar_broadcast_gradient(self):
+        x = Tensor(5.0, requires_grad=True)
+        y = Tensor(np.ones((3, 4)), requires_grad=True)
+        (x * y).sum().backward()
+        assert np.isclose(x.grad, 12.0)
+        assert np.allclose(y.grad, 5.0)
+
+    def test_batched_matmul_broadcast_gradient(self):
+        rng = np.random.default_rng(4)
+        x = Tensor(rng.normal(size=(5, 2, 3)))
+        w = Tensor(rng.normal(size=(3, 4)))
+        assert gradcheck(lambda x, w: x @ w, [x, w])
+
+    def test_mc_axis_pattern_from_pnn(self):
+        """The exact broadcast pattern the printed layer uses."""
+        rng = np.random.default_rng(5)
+        x = Tensor(rng.uniform(size=(1, 6, 4)))          # (1, batch, in)
+        theta = Tensor(rng.normal(size=(4, 3)))          # (in, out)
+        eps = Tensor(rng.uniform(0.9, 1.1, size=(7, 4, 3)))
+
+        def forward(x, theta, eps):
+            t = theta.reshape(1, 4, 3) * eps
+            return x @ t
+
+        assert gradcheck(forward, [x, theta, eps])
+
+
+class TestElementwiseProperties:
+    @given(st.lists(st.floats(-3, 3), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_tanh_bounded(self, values):
+        out = F.tanh(Tensor(values)).data
+        assert np.all(np.abs(out) <= 1.0)
+
+    @given(st.lists(st.floats(-50, 50), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_sigmoid_in_unit_interval(self, values):
+        out = F.sigmoid(Tensor(values)).data
+        assert np.all((out >= 0.0) & (out <= 1.0))
+
+    @given(
+        st.lists(st.floats(-10, 10), min_size=2, max_size=12),
+        st.floats(-2, 0),
+        st.floats(0.1, 2),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_clip_result_in_range(self, values, low, high):
+        out = F.clip(Tensor(values), low, high).data
+        assert np.all((out >= low) & (out <= high))

@@ -1,0 +1,52 @@
+"""The gradient checker must catch wrong gradients, not just pass right ones."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+from repro.autograd import functional as F
+from repro.autograd.gradcheck import numerical_gradient
+from repro.autograd.tensor import Tensor as T
+
+
+def test_passes_for_correct_gradient():
+    assert gradcheck(lambda x: x * x, [Tensor([1.0, 2.0])])
+
+
+def test_fails_for_wrong_gradient():
+    def bad_op(x: Tensor) -> Tensor:
+        data = x.data * 2.0
+
+        def backward(grad):
+            x._accumulate(grad * 3.0)  # wrong: claims d(2x)/dx = 3
+
+        return Tensor._from_op(data, (x,), backward, "bad")
+
+    with pytest.raises(AssertionError, match="gradcheck failed"):
+        gradcheck(bad_op, [Tensor([1.0, 2.0])])
+
+
+def test_numerical_gradient_of_quadratic():
+    x = Tensor([3.0])
+    grad = numerical_gradient(lambda x: x * x, [x], 0)
+    assert np.allclose(grad, [6.0], atol=1e-4)
+
+
+def test_multi_input_indexing():
+    a, b = Tensor([2.0]), Tensor([5.0])
+    grad_a = numerical_gradient(lambda a, b: a * b, [a, b], 0)
+    grad_b = numerical_gradient(lambda a, b: a * b, [a, b], 1)
+    assert np.allclose(grad_a, [5.0], atol=1e-4)
+    assert np.allclose(grad_b, [2.0], atol=1e-4)
+
+
+def test_gradcheck_through_composite_model():
+    rng = np.random.default_rng(0)
+    w1 = Tensor(rng.normal(size=(3, 5)))
+    w2 = Tensor(rng.normal(size=(5, 2)))
+    x = Tensor(rng.normal(size=(4, 3)))
+
+    def model(x, w1, w2):
+        return F.tanh(F.tanh(x @ w1) @ w2)
+
+    assert gradcheck(model, [x, w1, w2])

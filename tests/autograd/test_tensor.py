@@ -1,0 +1,234 @@
+"""Tests for the Tensor class: graph mechanics, arithmetic, reductions."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad, is_grad_enabled
+from repro.autograd import functional as F
+
+
+class TestConstruction:
+    def test_wraps_lists_as_float64(self):
+        t = Tensor([[1, 2], [3, 4]])
+        assert t.data.dtype == np.float64
+        assert t.shape == (2, 2)
+
+    def test_copy_semantics_from_tensor(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor(a)
+        b.data[0] = 99.0
+        # Construction from a tensor re-wraps the same buffer contents.
+        assert b.data[0] == 99.0
+
+    def test_requires_grad_flag(self):
+        assert Tensor([1.0], requires_grad=True).requires_grad
+        assert not Tensor([1.0]).requires_grad
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+        assert "requires_grad" not in repr(Tensor([1.0]))
+
+    def test_item_scalar(self):
+        assert Tensor([[3.5]]).item() == 3.5
+
+    def test_item_nonscalar_raises(self):
+        with pytest.raises(ValueError):
+            Tensor([1.0, 2.0]).item()
+
+
+class TestBackwardMechanics:
+    def test_simple_chain(self):
+        x = Tensor(2.0, requires_grad=True)
+        y = x * x * x   # d/dx x³ = 3x²
+        y.backward()
+        assert np.isclose(x.grad, 12.0)
+
+    def test_gradient_accumulates_across_uses(self):
+        x = Tensor(3.0, requires_grad=True)
+        y = x * 2 + x * 5
+        y.backward()
+        assert np.isclose(x.grad, 7.0)
+
+    def test_diamond_graph(self):
+        x = Tensor(2.0, requires_grad=True)
+        a = x * 3
+        b = x + 1
+        y = a * b   # y = 3x(x+1) = 3x² + 3x, dy/dx = 6x + 3 = 15
+        y.backward()
+        assert np.isclose(x.grad, 15.0)
+
+    def test_backward_requires_scalar_without_seed(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+
+    def test_backward_with_seed_gradient(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        (x * 3).backward(np.array([1.0, 10.0]))
+        assert np.allclose(x.grad, [3.0, 30.0])
+
+    def test_backward_on_nongrad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_zero_grad(self):
+        x = Tensor(1.0, requires_grad=True)
+        (x * 2).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_detach_cuts_graph(self):
+        x = Tensor(2.0, requires_grad=True)
+        y = (x * 3).detach() * 4
+        assert not y.requires_grad
+
+    def test_deep_chain_does_not_overflow(self):
+        # The topological sort is iterative; 5000-deep chains must work.
+        x = Tensor(1.0, requires_grad=True)
+        y = x
+        for _ in range(5000):
+            y = y * 1.0001
+        y.backward()
+        assert x.grad is not None
+
+
+class TestNoGrad:
+    def test_no_grad_disables_taping(self):
+        x = Tensor(1.0, requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+
+    def test_no_grad_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        with pytest.raises(ValueError):
+            with no_grad():
+                raise ValueError("boom")
+        assert is_grad_enabled()
+
+
+class TestArithmetic:
+    def test_add_sub_mul_div_values(self):
+        a, b = Tensor([4.0, 9.0]), Tensor([2.0, 3.0])
+        assert np.allclose((a + b).data, [6, 12])
+        assert np.allclose((a - b).data, [2, 6])
+        assert np.allclose((a * b).data, [8, 27])
+        assert np.allclose((a / b).data, [2, 3])
+
+    def test_reflected_operators(self):
+        a = Tensor([2.0])
+        assert np.allclose((3 + a).data, [5])
+        assert np.allclose((3 - a).data, [1])
+        assert np.allclose((3 * a).data, [6])
+        assert np.allclose((3 / a).data, [1.5])
+
+    def test_neg_and_pow(self):
+        a = Tensor([2.0, -3.0])
+        assert np.allclose((-a).data, [-2, 3])
+        assert np.allclose((a ** 2).data, [4, 9])
+
+    def test_pow_gradient(self):
+        x = Tensor([3.0], requires_grad=True)
+        (x ** 3).backward(np.array([1.0]))
+        assert np.allclose(x.grad, [27.0])
+
+    def test_div_gradient(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = Tensor([4.0], requires_grad=True)
+        (x / y).backward(np.array([1.0]))
+        assert np.allclose(x.grad, [0.25])
+        assert np.allclose(y.grad, [-2.0 / 16.0])
+
+    def test_comparisons_return_numpy(self):
+        a = Tensor([1.0, 3.0])
+        assert isinstance(a > 2, np.ndarray)
+        assert list(a > 2) == [False, True]
+        assert list(a >= 3) == [False, True]
+        assert list(a < 2) == [True, False]
+        assert list(a <= 1) == [True, False]
+
+
+class TestMatmul:
+    def test_matrix_matrix(self):
+        a = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        b = Tensor([[5.0], [6.0]])
+        assert np.allclose((a @ b).data, [[17.0], [39.0]])
+
+    def test_vector_vector(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor([3.0, 4.0])
+        out = a @ b
+        assert np.isclose(out.data, 11.0)
+
+    def test_batched(self):
+        a = Tensor(np.ones((4, 2, 3)))
+        b = Tensor(np.ones((4, 3, 5)))
+        assert (a @ b).shape == (4, 2, 5)
+
+    def test_broadcast_batch(self):
+        a = Tensor(np.ones((2, 3)))
+        b = Tensor(np.ones((4, 3, 5)))
+        assert (a @ b).shape == (4, 2, 5)
+
+    def test_matmul_rejects_scalars(self):
+        with pytest.raises(ValueError):
+            Tensor(2.0) @ Tensor(3.0)
+
+
+class TestShaping:
+    def test_transpose_default_reverses(self):
+        t = Tensor(np.zeros((2, 3, 4)))
+        assert t.T.shape == (4, 3, 2)
+
+    def test_transpose_with_axes(self):
+        t = Tensor(np.zeros((2, 3, 4)))
+        assert t.transpose(1, 0, 2).shape == (3, 2, 4)
+
+    def test_reshape(self):
+        t = Tensor(np.arange(6.0))
+        assert t.reshape(2, 3).shape == (2, 3)
+        assert t.reshape((3, 2)).shape == (3, 2)
+
+    def test_getitem_slice(self):
+        t = Tensor(np.arange(10.0))
+        assert np.allclose(t[2:5].data, [2, 3, 4])
+
+    def test_getitem_gradient_scatters(self):
+        x = Tensor(np.arange(4.0), requires_grad=True)
+        x[1:3].sum().backward()
+        assert np.allclose(x.grad, [0, 1, 1, 0])
+
+    def test_len(self):
+        assert len(Tensor(np.zeros((5, 2)))) == 5
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self):
+        t = Tensor(np.ones((2, 3)))
+        assert t.sum().item() == 6.0
+        assert t.sum(axis=0).shape == (3,)
+        assert t.sum(axis=1, keepdims=True).shape == (2, 1)
+
+    def test_mean_gradient_divides(self):
+        x = Tensor(np.ones((4,)), requires_grad=True)
+        x.mean().backward()
+        assert np.allclose(x.grad, [0.25] * 4)
+
+    def test_max_forward(self):
+        t = Tensor([[1.0, 5.0], [3.0, 2.0]])
+        assert t.max().item() == 5.0
+        assert np.allclose(t.max(axis=0).data, [3.0, 5.0])
+
+    def test_max_gradient_splits_ties(self):
+        x = Tensor([2.0, 2.0, 1.0], requires_grad=True)
+        x.max().backward()
+        assert np.allclose(x.grad, [0.5, 0.5, 0.0])
+
+    def test_min_matches_numpy(self):
+        data = np.array([[3.0, -1.0], [0.5, 7.0]])
+        assert np.allclose(Tensor(data).min(axis=1).data, data.min(axis=1))

@@ -1,0 +1,94 @@
+"""Edge cases of the tensor engine surfaced by the pNN workloads."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+from repro.autograd import functional as F
+
+
+class TestMixedRequiresGrad:
+    def test_grad_only_flows_to_tracked_inputs(self):
+        a = Tensor([2.0], requires_grad=True)
+        b = Tensor([3.0])                      # not tracked
+        (a * b).backward(np.array([1.0]))
+        assert np.allclose(a.grad, [3.0])
+        assert b.grad is None
+
+    def test_constant_subgraph_pruned(self):
+        a = Tensor([1.0])
+        b = Tensor([2.0])
+        out = a + b
+        assert not out.requires_grad
+        assert out._backward is None
+
+
+class TestNumericalEdges:
+    def test_zero_batch_forward(self):
+        x = Tensor(np.zeros((0, 3)))
+        w = Tensor(np.ones((3, 2)))
+        assert (x @ w).shape == (0, 2)
+
+    def test_single_element_reductions(self):
+        t = Tensor([[5.0]])
+        assert t.sum().item() == 5.0
+        assert t.mean().item() == 5.0
+        assert t.max().item() == 5.0
+
+    def test_large_values_through_tanh(self):
+        out = F.tanh(Tensor([1e6, -1e6])).data
+        assert np.allclose(out, [1.0, -1.0])
+
+    def test_division_by_small_denominator_finite_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        d = Tensor([1e-12], requires_grad=True)
+        (x / d).backward(np.array([1.0]))
+        assert np.all(np.isfinite(x.grad))
+        assert np.all(np.isfinite(d.grad))
+
+    def test_pow_fractional_on_positive(self):
+        x = Tensor(np.array([4.0, 9.0]))
+        assert gradcheck(lambda x: x ** 0.5, [x])
+
+
+class TestAccumulationSemantics:
+    def test_second_backward_accumulates(self):
+        x = Tensor(2.0, requires_grad=True)
+        (x * 3).backward()
+        (x * 3).backward()
+        assert np.isclose(x.grad, 6.0)
+
+    def test_intermediate_grads_available(self):
+        x = Tensor(2.0, requires_grad=True)
+        mid = x * 3
+        (mid * 4).backward()
+        assert np.isclose(mid.grad, 4.0)
+        assert np.isclose(x.grad, 12.0)
+
+    def test_reused_tensor_in_two_losses(self):
+        w = Tensor(np.ones(3), requires_grad=True)
+        loss = (w * 2).sum() + (w * w).sum()
+        loss.backward()
+        assert np.allclose(w.grad, 2.0 + 2.0 * np.ones(3))
+
+
+class TestShapesFromThePNN:
+    def test_concat_along_last_axis_with_mc_dim(self):
+        x = Tensor(np.ones((4, 5, 3)), requires_grad=True)
+        ones = Tensor(np.ones((4, 5, 1)))
+        zeros = Tensor(np.zeros((4, 5, 1)))
+        out = F.concatenate([x, ones, zeros], axis=-1)
+        assert out.shape == (4, 5, 5)
+        out.sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+    def test_reshape_minus_one(self):
+        t = Tensor(np.arange(24.0).reshape(2, 3, 4))
+        assert t.reshape(6, -1).shape == (6, 4)
+
+    def test_getitem_with_ellipsis(self):
+        t = Tensor(np.arange(24.0).reshape(2, 3, 4), requires_grad=True)
+        out = t[..., 0:2]
+        assert out.shape == (2, 3, 2)
+        out.sum().backward()
+        assert t.grad.sum() == 12.0

@@ -1,0 +1,74 @@
+"""Shared fixtures for the test suite.
+
+Heavy artifacts (circuit-simulation datasets, trained surrogates) are built
+once per session at reduced scale so individual tests stay fast while still
+exercising the genuine pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.surrogate.analytic import AnalyticSurrogate
+from repro.surrogate.dataset_builder import build_surrogate_dataset
+from repro.surrogate.model import TINY_LAYER_WIDTHS
+from repro.surrogate.pipeline import CircuitSurrogate, SurrogateBundle
+from repro.surrogate.design_space import DESIGN_SPACE
+from repro.surrogate.training import train_surrogate
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def analytic_surrogates():
+    """Fast differentiable surrogate pair (no training needed)."""
+    return (AnalyticSurrogate("ptanh"), AnalyticSurrogate("negweight"))
+
+
+@pytest.fixture(scope="session")
+def ptanh_dataset():
+    """A small but real simulated (ω, η) dataset for the ptanh circuit."""
+    return build_surrogate_dataset("ptanh", n_points=96, sweep_points=21, seed=3)
+
+
+@pytest.fixture(scope="session")
+def negweight_dataset():
+    return build_surrogate_dataset("negweight", n_points=96, sweep_points=21, seed=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_bundle(ptanh_dataset, negweight_dataset):
+    """A genuinely-trained (small) NN surrogate bundle."""
+    surrogates = {}
+    for dataset in (ptanh_dataset, negweight_dataset):
+        result = train_surrogate(
+            dataset, widths=TINY_LAYER_WIDTHS, max_epochs=300, patience=100, seed=0
+        )
+        surrogates[dataset.kind] = CircuitSurrogate(
+            model=result.model,
+            input_normalizer=result.input_normalizer,
+            eta_normalizer=result.eta_normalizer,
+            kind=dataset.kind,
+            test_mse=result.test_mse,
+        )
+    return SurrogateBundle(
+        ptanh=surrogates["ptanh"], negweight=surrogates["negweight"], space=DESIGN_SPACE
+    )
+
+
+@pytest.fixture(scope="session")
+def blob_data():
+    """A small, well-separated 2-class problem in the 0..1 V input range."""
+    rng = np.random.default_rng(0)
+    n = 60
+    x0 = rng.normal([0.3, 0.3], 0.07, size=(n, 2))
+    x1 = rng.normal([0.7, 0.7], 0.07, size=(n, 2))
+    x = np.clip(np.vstack([x0, x1]), 0.0, 1.0)
+    y = np.r_[np.zeros(n, dtype=np.int64), np.ones(n, dtype=np.int64)]
+    order = rng.permutation(len(x))
+    x, y = x[order], y[order]
+    return x[:80], y[:80], x[80:], y[80:]

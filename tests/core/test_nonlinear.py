@@ -1,0 +1,134 @@
+"""Learnable nonlinear circuit module (the Fig. 5 processing chain)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+from repro.core import LearnableNonlinearCircuit
+from repro.surrogate import AnalyticSurrogate
+from repro.surrogate.design_space import DESIGN_SPACE
+
+
+@pytest.fixture
+def act_circuit():
+    return LearnableNonlinearCircuit(
+        AnalyticSurrogate("ptanh"), DESIGN_SPACE, "ptanh", rng=np.random.default_rng(0)
+    )
+
+
+@pytest.fixture
+def neg_circuit():
+    return LearnableNonlinearCircuit(
+        AnalyticSurrogate("negweight"), DESIGN_SPACE, "negweight",
+        rng=np.random.default_rng(0),
+    )
+
+
+class TestPrintableOmega:
+    def test_default_is_mid_range(self, act_circuit):
+        omega = act_circuit.printable_omega().numpy()[0]
+        centre_r1 = (DESIGN_SPACE.lower[0] + DESIGN_SPACE.upper[0]) / 2
+        assert omega[0] == pytest.approx(centre_r1, rel=0.01)
+
+    def test_always_feasible(self, act_circuit):
+        for value in (-10.0, -1.0, 0.0, 1.0, 10.0):
+            act_circuit.w_raw.data[:] = value
+            omega = act_circuit.printable_omega().numpy()[0]
+            assert DESIGN_SPACE.contains(omega, atol=1e-6), omega
+
+    def test_respects_divider_inequalities_at_extremes(self, act_circuit):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            act_circuit.w_raw.data[:] = rng.normal(scale=4.0, size=(1, 7))
+            omega = act_circuit.printable_omega().numpy()[0]
+            assert omega[1] <= omega[0] + 1e-9
+            assert omega[3] <= omega[2] + 1e-9
+
+    def test_differentiable_chain(self, act_circuit):
+        # Gradients must flow from the printable ω back to the raw 𝔴.
+        act_circuit.w_raw.zero_grad()
+        act_circuit.printable_omega().sum().backward()
+        assert act_circuit.w_raw.grad is not None
+        assert np.any(act_circuit.w_raw.grad != 0)
+
+    def test_per_neuron_shape(self):
+        circuit = LearnableNonlinearCircuit(
+            AnalyticSurrogate("ptanh"), DESIGN_SPACE, "ptanh",
+            n_circuits=3, rng=np.random.default_rng(1),
+        )
+        assert circuit.printable_omega().shape == (3, 7)
+
+
+class TestEta:
+    def test_nominal_shape(self, act_circuit):
+        assert act_circuit.eta().shape == (1, 1, 4)
+
+    def test_variation_shape(self, act_circuit):
+        eps = np.random.default_rng(0).uniform(0.9, 1.1, size=(5, 1, 7))
+        assert act_circuit.eta(eps).shape == (5, 1, 4)
+
+    def test_variation_changes_eta(self, act_circuit):
+        eps = np.random.default_rng(0).uniform(0.9, 1.1, size=(5, 1, 7))
+        etas = act_circuit.eta(eps).data
+        assert np.std(etas, axis=0).max() > 0
+
+    def test_rejects_bad_eps_shape(self, act_circuit):
+        with pytest.raises(ValueError):
+            act_circuit.eta(np.ones((5, 2, 7)))
+
+    def test_gradient_reaches_w(self, act_circuit):
+        act_circuit.w_raw.zero_grad()
+        act_circuit.eta().sum().backward()
+        assert np.any(act_circuit.w_raw.grad != 0)
+
+
+class TestTransfer:
+    def test_ptanh_formula(self, act_circuit):
+        eta = Tensor(np.array([[[0.5, 0.3, 0.4, 5.0]]]))
+        voltage = Tensor(np.linspace(0, 1, 7).reshape(1, 7, 1))
+        out = act_circuit.transfer(voltage, eta).data
+        expected = 0.5 + 0.3 * np.tanh((voltage.data - 0.4) * 5.0)
+        assert np.allclose(out, expected)
+
+    def test_negweight_is_negated(self, neg_circuit):
+        eta = Tensor(np.array([[[0.5, 0.3, 0.4, 5.0]]]))
+        voltage = Tensor(np.linspace(0, 1, 7).reshape(1, 7, 1))
+        out = neg_circuit.transfer(voltage, eta).data
+        expected = -(0.5 + 0.3 * np.tanh((voltage.data - 0.4) * 5.0))
+        assert np.allclose(out, expected)
+
+    def test_forward_monotone_for_activation(self, act_circuit):
+        voltage = Tensor(np.linspace(0, 1, 11).reshape(1, 11, 1))
+        out = act_circuit.forward(voltage).data[0, :, 0]
+        assert np.all(np.diff(out) >= -1e-9)
+
+    def test_forward_antitone_for_negation(self, neg_circuit):
+        voltage = Tensor(np.linspace(0, 1, 11).reshape(1, 11, 1))
+        out = neg_circuit.forward(voltage).data[0, :, 0]
+        assert np.all(np.diff(out) <= 1e-9)
+
+    def test_per_neuron_transfer_broadcasts(self):
+        circuit = LearnableNonlinearCircuit(
+            AnalyticSurrogate("ptanh"), DESIGN_SPACE, "ptanh",
+            n_circuits=4, rng=np.random.default_rng(2),
+        )
+        voltage = Tensor(np.random.default_rng(0).uniform(size=(2, 5, 4)))
+        assert circuit.forward(voltage).shape == (2, 5, 4)
+
+    def test_full_chain_gradcheck(self, act_circuit):
+        # Finite-difference check through the whole ω → η → transfer chain
+        # w.r.t. the voltage input (𝔴 gradients are checked above).
+        voltage = Tensor(np.random.default_rng(1).uniform(0.2, 0.8, size=(1, 4, 2)))
+        assert gradcheck(lambda v: act_circuit.forward(v), [voltage])
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            LearnableNonlinearCircuit(
+                AnalyticSurrogate("ptanh"), DESIGN_SPACE, "relu"
+            )
+
+    def test_invalid_circuit_count_rejected(self):
+        with pytest.raises(ValueError):
+            LearnableNonlinearCircuit(
+                AnalyticSurrogate("ptanh"), DESIGN_SPACE, "ptanh", n_circuits=0
+            )

@@ -1,0 +1,51 @@
+"""Dataset container invariants."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import Dataset
+
+
+def toy():
+    return Dataset(
+        name="toy",
+        x=np.arange(12.0).reshape(6, 2),
+        y=np.array([0, 1, 0, 1, 2, 2]),
+        n_classes=3,
+        feature_names=("a", "b"),
+        class_names=("x", "y", "z"),
+    )
+
+
+class TestDataset:
+    def test_counts(self):
+        dataset = toy()
+        assert dataset.n_samples == 6
+        assert dataset.n_features == 2
+        assert list(dataset.class_counts()) == [2, 2, 2]
+
+    def test_shuffle_preserves_pairs(self):
+        dataset = toy()
+        shuffled = dataset.shuffled(np.random.default_rng(0))
+        # Each row must keep its original label: recover by matching rows.
+        for row, label in zip(shuffled.x, shuffled.y):
+            original_idx = np.flatnonzero((dataset.x == row).all(axis=1))[0]
+            assert dataset.y[original_idx] == label
+
+    def test_shuffle_changes_order(self):
+        dataset = toy()
+        shuffled = dataset.shuffled(np.random.default_rng(3))
+        assert not np.array_equal(shuffled.x, dataset.x)
+
+    def test_rejects_label_out_of_range(self):
+        with pytest.raises(ValueError):
+            Dataset(name="bad", x=np.zeros((2, 2)), y=np.array([0, 5]), n_classes=3)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Dataset(name="bad", x=np.zeros((3, 2)), y=np.array([0, 1]), n_classes=2)
+        with pytest.raises(ValueError):
+            Dataset(name="bad", x=np.zeros(3), y=np.array([0, 1, 0]), n_classes=2)
+
+    def test_repr(self):
+        assert "n=6" in repr(toy())

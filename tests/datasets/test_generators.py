@@ -1,0 +1,193 @@
+"""Every dataset generator: published sizes, balances and structure."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import DATASET_NAMES, load_dataset
+from repro.datasets.generators import (
+    balance_scale,
+    energy_efficiency,
+    pendigits,
+    tictactoe,
+)
+from repro.datasets.generators.acute_inflammation import bladder_rule
+from repro.datasets.generators.tictactoe import _terminal_boards, winner
+
+#: Published (n_samples, n_features, n_classes) per dataset.
+EXPECTED_SHAPES = {
+    "acute_inflammation": (120, 6, 2),
+    "balance_scale": (625, 4, 3),
+    "breast_cancer": (683, 9, 2),
+    "cardiotocography": (2126, 21, 3),
+    "energy_y1": (768, 8, 3),
+    "energy_y2": (768, 8, 3),
+    "iris": (150, 4, 3),
+    "mammographic_mass": (830, 5, 2),
+    "pendigits": (10990, 16, 10),
+    "seeds": (210, 7, 3),
+    "tictactoe": (958, 9, 2),
+    "vertebral_2c": (310, 6, 2),
+    "vertebral_3c": (310, 6, 3),
+}
+
+
+class TestAllGenerators:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_shape_matches_published(self, name):
+        dataset = load_dataset(name, seed=0)
+        n, d, c = EXPECTED_SHAPES[name]
+        assert dataset.n_samples == n
+        assert dataset.n_features == d
+        assert dataset.n_classes == c
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_every_class_present(self, name):
+        dataset = load_dataset(name, seed=0)
+        assert np.all(dataset.class_counts() > 0)
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_features_finite(self, name):
+        dataset = load_dataset(name, seed=0)
+        assert np.all(np.isfinite(dataset.x))
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_deterministic_given_seed(self, name):
+        a = load_dataset(name, seed=3)
+        b = load_dataset(name, seed=3)
+        assert np.array_equal(a.x, b.x) and np.array_equal(a.y, b.y)
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_feature_names_match_width(self, name):
+        dataset = load_dataset(name, seed=0)
+        assert len(dataset.feature_names) == dataset.n_features
+
+
+class TestExactDatasets:
+    def test_balance_scale_class_counts(self):
+        dataset = balance_scale.generate()
+        assert list(dataset.class_counts()) == [288, 49, 288]
+
+    def test_balance_scale_rule_holds_per_row(self):
+        dataset = balance_scale.generate()
+        torque_left = dataset.x[:, 0] * dataset.x[:, 1]
+        torque_right = dataset.x[:, 2] * dataset.x[:, 3]
+        expected = np.where(
+            torque_left > torque_right, 0, np.where(torque_left == torque_right, 1, 2)
+        )
+        assert np.array_equal(dataset.y, expected)
+
+    def test_tictactoe_known_totals(self):
+        boards = _terminal_boards()
+        outcomes = {"x": 0, "o": 0, "": 0}
+        for board in boards:
+            outcomes[winner(board)] += 1
+        assert len(boards) == 958
+        assert outcomes["x"] == 626
+        assert outcomes["o"] == 316
+        assert outcomes[""] == 16
+
+    def test_tictactoe_positive_rate(self):
+        dataset = tictactoe.generate()
+        assert dataset.class_counts()[1] == 626
+
+    def test_tictactoe_boards_are_legal(self):
+        dataset = tictactoe.generate()
+        x_count = (dataset.x == 2.0).sum(axis=1)
+        o_count = (dataset.x == 1.0).sum(axis=1)
+        # X moves first: X count equals O count or exceeds it by one.
+        assert np.all((x_count - o_count >= 0) & (x_count - o_count <= 1))
+
+    def test_energy_grid_is_full_factorial(self):
+        dataset = energy_efficiency.generate_y1()
+        # 12 shapes × 4 orientations × (1 + 3·5) glazing cases = 768.
+        assert dataset.n_samples == 768
+        unique_rows = np.unique(dataset.x, axis=0)
+        assert len(unique_rows) == 768
+
+    def test_energy_y1_y2_differ(self):
+        y1 = energy_efficiency.generate_y1()
+        y2 = energy_efficiency.generate_y2()
+        assert np.array_equal(y1.x, y2.x)
+        assert not np.array_equal(y1.y, y2.y)
+
+    def test_acute_rule_vectorized_consistency(self):
+        dataset = load_dataset("acute_inflammation", seed=0)
+        recomputed = np.array([bladder_rule(row) for row in dataset.x])
+        assert np.array_equal(recomputed, dataset.y)
+
+    def test_acute_classes_roughly_balanced(self):
+        dataset = load_dataset("acute_inflammation", seed=0)
+        positive_rate = dataset.class_counts()[1] / dataset.n_samples
+        assert 0.3 < positive_rate < 0.7
+
+
+class TestStatisticalGenerators:
+    def test_iris_class_means_match_published(self):
+        dataset = load_dataset("iris", seed=0)
+        setosa = dataset.x[dataset.y == 0]
+        virginica = dataset.x[dataset.y == 2]
+        assert abs(setosa[:, 2].mean() - 1.46) < 0.15      # petal length
+        assert abs(virginica[:, 2].mean() - 5.55) < 0.3
+
+    def test_breast_cancer_grades_in_range(self):
+        dataset = load_dataset("breast_cancer", seed=0)
+        assert dataset.x.min() >= 1 and dataset.x.max() <= 10
+        benign = dataset.x[dataset.y == 0].mean()
+        malignant = dataset.x[dataset.y == 1].mean()
+        assert malignant > benign + 2.0
+
+    def test_cardiotocography_imbalance(self):
+        dataset = load_dataset("cardiotocography", seed=0)
+        counts = dataset.class_counts()
+        assert list(counts) == [1655, 295, 176]
+
+    def test_vertebral_identity_holds(self):
+        dataset = load_dataset("vertebral_3c", seed=0)
+        incidence = dataset.x[:, 0]
+        tilt = dataset.x[:, 1]
+        slope = dataset.x[:, 3]
+        assert np.allclose(incidence, tilt + slope, atol=1e-9)
+
+    def test_vertebral_2c_merges_pathologies(self):
+        dataset = load_dataset("vertebral_2c", seed=0)
+        assert list(dataset.class_counts()) == [210, 100]
+
+    def test_seeds_compactness_definition(self):
+        dataset = load_dataset("seeds", seed=0)
+        area, perimeter, compactness = dataset.x[:, 0], dataset.x[:, 1], dataset.x[:, 2]
+        assert np.allclose(compactness, 4 * np.pi * area / perimeter**2, rtol=1e-9)
+
+    def test_pendigits_coordinates_in_tablet_range(self):
+        dataset = load_dataset("pendigits", seed=0)
+        assert dataset.x.min() >= 0 and dataset.x.max() <= 100
+
+    def test_pendigits_classes_distinguishable(self):
+        """Nearest-centroid accuracy must be far above chance."""
+        dataset = load_dataset("pendigits", seed=0)
+        rng = np.random.default_rng(0)
+        idx = rng.choice(dataset.n_samples, size=2000, replace=False)
+        x, y = dataset.x[idx], dataset.y[idx]
+        centroids = np.stack([x[y == c].mean(axis=0) for c in range(10)])
+        predictions = np.argmin(
+            ((x[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2), axis=1
+        )
+        assert (predictions == y).mean() > 0.6
+
+    def test_mammographic_latent_orders_classes(self):
+        dataset = load_dataset("mammographic_mass", seed=0)
+        benign_birads = dataset.x[dataset.y == 0][:, 0].mean()
+        malignant_birads = dataset.x[dataset.y == 1][:, 0].mean()
+        assert malignant_birads > benign_birads
+
+
+class TestResampling:
+    def test_pendigits_resample_uniform_arclength(self):
+        points = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0]])
+        resampled = pendigits._resample(points, 5)
+        deltas = np.sqrt((np.diff(resampled, axis=0) ** 2).sum(axis=1))
+        assert np.allclose(deltas, deltas[0], rtol=1e-6)
+
+    def test_pendigits_degenerate_stroke(self):
+        points = np.zeros((3, 2))
+        resampled = pendigits._resample(points, 8)
+        assert resampled.shape == (8, 2)

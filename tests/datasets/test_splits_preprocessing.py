@@ -1,0 +1,112 @@
+"""Splits, scaling and the registry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets import (
+    DATASET_NAMES,
+    MinMaxScaler,
+    load_dataset,
+    load_splits,
+    stratified_split,
+)
+from repro.datasets.preprocessing import scale_splits
+from repro.datasets.registry import DISPLAY_NAMES
+
+
+class TestStratifiedSplit:
+    def test_partition_disjoint_and_complete(self):
+        dataset = load_dataset("iris", seed=0)
+        splits = stratified_split(dataset, seed=0)
+        total = sum(splits.sizes())
+        assert total == dataset.n_samples
+
+    def test_fractions_respected(self):
+        dataset = load_dataset("balance_scale", seed=0)
+        splits = stratified_split(dataset, seed=0)
+        n_train, n_val, n_test = splits.sizes()
+        assert abs(n_train / dataset.n_samples - 0.6) < 0.02
+        assert abs(n_val / dataset.n_samples - 0.2) < 0.02
+
+    def test_stratification_keeps_class_balance(self):
+        dataset = load_dataset("cardiotocography", seed=0)
+        splits = stratified_split(dataset, seed=0)
+        full_balance = dataset.class_counts() / dataset.n_samples
+        train_balance = np.bincount(splits.y_train, minlength=3) / len(splits.y_train)
+        assert np.allclose(full_balance, train_balance, atol=0.02)
+
+    def test_every_class_in_train(self):
+        for name in ("vertebral_3c", "pendigits", "balance_scale"):
+            splits = stratified_split(load_dataset(name, seed=1), seed=1)
+            assert len(np.unique(splits.y_train)) == splits.n_classes
+
+    def test_different_seeds_differ(self):
+        dataset = load_dataset("iris", seed=0)
+        a = stratified_split(dataset, seed=1)
+        b = stratified_split(dataset, seed=2)
+        assert not np.array_equal(a.x_train, b.x_train)
+
+    def test_rejects_bad_fractions(self):
+        with pytest.raises(ValueError):
+            stratified_split(load_dataset("iris", seed=0), seed=0, fractions=(0.5, 0.1, 0.1))
+
+
+class TestMinMaxScaler:
+    @given(st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_train_data_lands_in_unit_box(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(scale=10.0, size=(30, 4))
+        scaled = MinMaxScaler().fit_transform(x)
+        assert scaled.min() >= 0.0 and scaled.max() <= 1.0
+
+    def test_test_data_clipped(self):
+        scaler = MinMaxScaler().fit(np.array([[0.0], [1.0]]))
+        out = scaler.transform(np.array([[-5.0], [0.5], [9.0]]))
+        assert np.allclose(out.ravel(), [0.0, 0.5, 1.0])
+
+    def test_constant_feature_safe(self):
+        scaler = MinMaxScaler().fit(np.full((5, 1), 3.0))
+        out = scaler.transform(np.full((2, 1), 3.0))
+        assert np.all(np.isfinite(out))
+
+    def test_transform_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform(np.zeros((2, 2)))
+
+    def test_scale_splits_uses_train_statistics(self):
+        splits = stratified_split(load_dataset("seeds", seed=0), seed=0)
+        scaled = scale_splits(splits)
+        assert scaled.x_train.min() == pytest.approx(0.0)
+        assert scaled.x_train.max() == pytest.approx(1.0)
+        # Validation/test stay within [0, 1] thanks to clipping.
+        assert scaled.x_val.min() >= 0.0 and scaled.x_val.max() <= 1.0
+
+
+class TestRegistry:
+    def test_thirteen_datasets(self):
+        assert len(DATASET_NAMES) == 13
+
+    def test_display_names_cover_all(self):
+        assert set(DISPLAY_NAMES) == set(DATASET_NAMES)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            load_dataset("mnist")
+
+    def test_load_splits_scaled_by_default(self):
+        splits = load_splits("iris", seed=0)
+        assert splits.x_train.min() >= 0.0 and splits.x_train.max() <= 1.0
+
+    def test_load_splits_max_train_caps(self):
+        splits = load_splits("pendigits", seed=0, max_train=500)
+        assert len(splits.x_train) == 500
+        # Validation and test splits are untouched.
+        assert len(splits.x_val) > 500
+
+    def test_loaded_dataset_is_shuffled(self):
+        dataset = load_dataset("balance_scale", seed=0)
+        # The raw enumeration is ordered; after shuffling the first rows
+        # must not be the lexicographic prefix (1,1,1,·).
+        assert not np.array_equal(dataset.x[:5, 0], np.ones(5))

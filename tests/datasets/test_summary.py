@@ -1,0 +1,21 @@
+"""Dataset summary rendering."""
+
+from repro.datasets.registry import DISPLAY_NAMES
+from repro.datasets.summary import summarize_datasets
+
+
+class TestSummary:
+    def test_all_datasets_listed(self):
+        text = summarize_datasets()
+        for display in DISPLAY_NAMES.values():
+            assert display in text
+
+    def test_subset(self):
+        text = summarize_datasets(["iris", "seeds"])
+        assert "Iris" in text and "Seeds" in text
+        assert "Pendigits" not in text
+
+    def test_majority_rate_sane(self):
+        text = summarize_datasets(["balance_scale"])
+        # Balance Scale's majority class is 288/625 ≈ 0.46.
+        assert "0.46" in text

@@ -1,0 +1,54 @@
+"""Command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import cli
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.main([])
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            cli.main(["cell", "--dataset", "mnist"])
+
+    def test_rejects_unknown_profile(self):
+        with pytest.raises(SystemExit):
+            cli.main(["table2", "--profile", "gigantic"])
+
+
+class TestCellCommand:
+    def test_runs_one_cell(self, capsys, monkeypatch, analytic_surrogates):
+        # Patch the bundle loader so the CLI test stays lightweight.
+        monkeypatch.setattr(cli, "get_default_bundle", lambda **k: analytic_surrogates)
+        monkeypatch.setitem(
+            cli.PROFILES, "smoke",
+            cli.PROFILES["smoke"].with_overrides(
+                seeds=(1,), max_epochs=20, patience=20, n_mc_train=2,
+                n_test=4, max_train=40,
+            ),
+        )
+        code = cli.main(
+            ["cell", "--dataset", "iris", "--learnable", "--epsilon", "0.05"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "iris" in out and "±" in out
+
+    def test_table2_single_dataset(self, capsys, monkeypatch, analytic_surrogates):
+        monkeypatch.setattr(cli, "get_default_bundle", lambda **k: analytic_surrogates)
+        monkeypatch.setitem(
+            cli.PROFILES, "smoke",
+            cli.PROFILES["smoke"].with_overrides(
+                seeds=(1,), max_epochs=10, patience=10, n_mc_train=2,
+                n_test=4, max_train=40,
+            ),
+        )
+        code = cli.main(["table2", "--datasets", "iris"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Average" in out
+        assert "accuracy" in out   # improvement summary lines

@@ -1,0 +1,26 @@
+"""Table-II column order and display names."""
+
+from repro.datasets.registry import DISPLAY_NAMES
+from repro.experiments.tables import TABLE2_COLUMNS
+
+
+class TestColumnOrder:
+    def test_eight_columns(self):
+        assert len(TABLE2_COLUMNS) == 8
+
+    def test_grouping_matches_paper(self):
+        """Non-learnable block first, nominal before variation-aware,
+        5% before 10% — the paper's left-to-right order."""
+        expected = [
+            (False, False, 0.05), (False, False, 0.10),
+            (False, True, 0.05), (False, True, 0.10),
+            (True, False, 0.05), (True, False, 0.10),
+            (True, True, 0.05), (True, True, 0.10),
+        ]
+        assert list(TABLE2_COLUMNS) == expected
+
+    def test_display_names_match_paper_rows(self):
+        assert DISPLAY_NAMES["acute_inflammation"] == "Acute Inflammation"
+        assert DISPLAY_NAMES["vertebral_3c"] == "Vertebral Column (3 cl.)"
+        assert DISPLAY_NAMES["energy_y1"] == "Energy Efficiency (y1)"
+        assert DISPLAY_NAMES["tictactoe"] == "Tic-Tac-Toe Endgame"

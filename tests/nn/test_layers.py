@@ -1,0 +1,115 @@
+"""Linear, activations, containers, losses and initializers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor, gradcheck
+from repro.nn import init
+
+
+class TestLinear:
+    def test_shapes(self):
+        layer = nn.Linear(4, 3, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_no_bias(self):
+        layer = nn.Linear(4, 3, bias=False, rng=np.random.default_rng(0))
+        assert layer.bias is None
+        assert layer(Tensor(np.zeros((2, 4)))).data.sum() == 0.0
+
+    def test_matches_manual_computation(self):
+        layer = nn.Linear(2, 2, rng=np.random.default_rng(1))
+        x = np.array([[1.0, 2.0]])
+        expected = x @ layer.weight.data + layer.bias.data
+        assert np.allclose(layer(Tensor(x)).data, expected)
+
+    def test_gradcheck(self):
+        layer = nn.Linear(3, 2, rng=np.random.default_rng(2))
+        x = Tensor(np.random.default_rng(3).normal(size=(4, 3)))
+        assert gradcheck(lambda x, w, b: x @ w + b, [x, layer.weight, layer.bias])
+
+    def test_rejects_nonpositive_sizes(self):
+        with pytest.raises(ValueError):
+            nn.Linear(0, 3)
+
+    def test_batched_leading_dims(self):
+        layer = nn.Linear(4, 3, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((7, 5, 4))))
+        assert out.shape == (7, 5, 3)
+
+
+class TestActivationsAndContainers:
+    def test_sequential_applies_in_order(self):
+        model = nn.Sequential(
+            nn.Linear(2, 2, rng=np.random.default_rng(0)), nn.Tanh(), nn.Identity()
+        )
+        out = model(Tensor(np.ones((1, 2))))
+        assert np.all(np.abs(out.data) <= 1.0)
+
+    def test_sequential_len_iter_getitem(self):
+        model = nn.Sequential(nn.Tanh(), nn.ReLU(), nn.Sigmoid())
+        assert len(model) == 3
+        assert isinstance(model[1], nn.ReLU)
+        assert [type(m).__name__ for m in model] == ["Tanh", "ReLU", "Sigmoid"]
+
+    def test_sequential_registers_parameters(self):
+        model = nn.Sequential(nn.Linear(2, 2, rng=np.random.default_rng(0)), nn.Tanh())
+        assert model.num_parameters() == 6
+
+    @pytest.mark.parametrize(
+        "module,reference",
+        [
+            (nn.Tanh(), np.tanh),
+            (nn.ReLU(), lambda v: np.maximum(v, 0)),
+            (nn.Sigmoid(), lambda v: 1 / (1 + np.exp(-v))),
+        ],
+        ids=["tanh", "relu", "sigmoid"],
+    )
+    def test_activation_values(self, module, reference):
+        values = np.linspace(-2, 2, 9)
+        assert np.allclose(module(Tensor(values)).data, reference(values))
+
+    def test_leaky_relu_slope(self):
+        module = nn.LeakyReLU(0.2)
+        assert np.allclose(module(Tensor([-1.0])).data, [-0.2])
+
+    def test_softplus_positive(self):
+        out = nn.Softplus()(Tensor(np.linspace(-5, 5, 11))).data
+        assert np.all(out > 0)
+
+
+class TestLosses:
+    def test_mse_zero_for_exact(self):
+        loss = nn.MSELoss()(Tensor([1.0, 2.0]), np.array([1.0, 2.0]))
+        assert loss.item() == 0.0
+
+    def test_ce_decreases_with_confidence(self):
+        loss_fn = nn.CrossEntropyLoss()
+        weak = loss_fn(Tensor([[1.0, 0.0]]), np.array([0]))
+        strong = loss_fn(Tensor([[5.0, 0.0]]), np.array([0]))
+        assert strong.item() < weak.item()
+
+
+class TestInit:
+    def test_xavier_uniform_bound(self):
+        rng = np.random.default_rng(0)
+        w = init.xavier_uniform((100, 50), rng)
+        bound = np.sqrt(6.0 / 150)
+        assert np.all(np.abs(w) <= bound)
+
+    def test_xavier_normal_std(self):
+        rng = np.random.default_rng(0)
+        w = init.xavier_normal((400, 400), rng)
+        assert abs(w.std() - np.sqrt(2.0 / 800)) < 5e-4
+
+    def test_kaiming_uniform_bound(self):
+        rng = np.random.default_rng(0)
+        w = init.kaiming_uniform((64, 8), rng)
+        assert np.all(np.abs(w) <= np.sqrt(6.0 / 64))
+
+    def test_uniform_range(self):
+        rng = np.random.default_rng(0)
+        w = init.uniform((1000,), rng, -0.5, 0.25)
+        assert w.min() >= -0.5 and w.max() <= 0.25

@@ -1,0 +1,95 @@
+"""Module system: registration, traversal, state dicts, train/eval."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor
+
+
+class TwoLayer(nn.Module):
+    def __init__(self):
+        super().__init__()
+        rng = np.random.default_rng(0)
+        self.fc1 = nn.Linear(3, 4, rng=rng)
+        self.fc2 = nn.Linear(4, 2, rng=rng)
+        self.scale = nn.Parameter(np.ones(1))
+
+    def forward(self, x):
+        from repro.autograd import functional as F
+
+        return self.fc2(F.tanh(self.fc1(x))) * self.scale
+
+
+class TestRegistration:
+    def test_parameters_discovered_recursively(self):
+        model = TwoLayer()
+        names = dict(model.named_parameters())
+        assert set(names) == {
+            "scale", "fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"
+        }
+
+    def test_num_parameters(self):
+        model = TwoLayer()
+        assert model.num_parameters() == 3 * 4 + 4 + 4 * 2 + 2 + 1
+
+    def test_named_modules(self):
+        model = TwoLayer()
+        names = [name for name, _ in model.named_modules()]
+        assert "" in names and "fc1" in names and "fc2" in names
+
+    def test_parameters_always_require_grad(self):
+        from repro.autograd import no_grad
+
+        with no_grad():
+            p = nn.Parameter(np.zeros(3))
+        assert p.requires_grad
+
+
+class TestState:
+    def test_state_dict_roundtrip(self):
+        model_a, model_b = TwoLayer(), TwoLayer()
+        model_b.fc1.weight.data += 1.0
+        model_b.load_state_dict(model_a.state_dict())
+        assert np.allclose(model_b.fc1.weight.data, model_a.fc1.weight.data)
+
+    def test_state_dict_is_a_copy(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["fc1.weight"] += 100.0
+        assert not np.allclose(model.fc1.weight.data, state["fc1.weight"])
+
+    def test_load_rejects_missing_keys(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_load_rejects_wrong_shape(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["scale"] = np.zeros(7)
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+
+class TestTrainingState:
+    def test_train_eval_propagates(self):
+        model = TwoLayer()
+        model.eval()
+        assert not model.training and not model.fc1.training
+        model.train()
+        assert model.training and model.fc2.training
+
+    def test_zero_grad_clears_all(self):
+        model = TwoLayer()
+        out = model(Tensor(np.ones((2, 3))))
+        out.sum().backward()
+        assert model.fc1.weight.grad is not None
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_forward_not_implemented_on_base(self):
+        with pytest.raises(NotImplementedError):
+            nn.Module()(1)

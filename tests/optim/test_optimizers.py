@@ -1,0 +1,119 @@
+"""Optimizers: convergence, parameter groups, state handling."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam
+
+
+def quadratic_loss(param: Parameter, target: np.ndarray) -> Tensor:
+    diff = param - Tensor(target)
+    return (diff * diff).sum()
+
+
+def minimize(optimizer, param, target, steps=300):
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = quadratic_loss(param, target)
+        loss.backward()
+        optimizer.step()
+    return param.data
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.zeros(3))
+        target = np.array([1.0, -2.0, 0.5])
+        minimize(SGD([param], lr=0.1), param, target)
+        assert np.allclose(param.data, target, atol=1e-6)
+
+    def test_momentum_converges(self):
+        param = Parameter(np.zeros(3))
+        target = np.array([1.0, -2.0, 0.5])
+        minimize(SGD([param], lr=0.02, momentum=0.9), param, target)
+        assert np.allclose(param.data, target, atol=1e-4)
+
+    def test_skips_params_without_grad(self):
+        param = Parameter(np.ones(2))
+        SGD([param], lr=0.1).step()  # no backward happened
+        assert np.allclose(param.data, [1.0, 1.0])
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_rejects_non_parameters(self):
+        with pytest.raises(TypeError):
+            SGD([Tensor(np.zeros(1), requires_grad=True)], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.zeros(3))
+        target = np.array([1.0, -2.0, 0.5])
+        minimize(Adam([param], lr=0.05), param, target, steps=600)
+        assert np.allclose(param.data, target, atol=1e-4)
+
+    def test_first_step_size_is_lr(self):
+        # Adam's bias correction makes the very first update ≈ lr·sign(grad).
+        param = Parameter(np.array([0.0]))
+        optimizer = Adam([param], lr=0.01)
+        quadratic_loss(param, np.array([1.0])).backward()
+        optimizer.step()
+        assert np.isclose(abs(param.data[0]), 0.01, rtol=1e-6)
+
+    def test_scale_invariance_of_updates(self):
+        # Tiny but consistent gradients should still move parameters ~lr.
+        p1, p2 = Parameter(np.array([0.0])), Parameter(np.array([0.0]))
+        opt1, opt2 = Adam([p1], lr=0.01), Adam([p2], lr=0.01)
+        for _ in range(10):
+            for p, opt, scale in ((p1, opt1, 1.0), (p2, opt2, 1e-6)):
+                opt.zero_grad()
+                p.grad = np.array([scale])
+                opt.step()
+        # sqrt(v̂) ≈ 1e-6 is comparable to eps = 1e-8, costing ~1% step size.
+        assert np.isclose(p1.data[0], p2.data[0], rtol=2e-2)
+
+    def test_weight_decay_shrinks_solution(self):
+        target = np.array([1.0])
+        plain = Parameter(np.zeros(1))
+        decayed = Parameter(np.zeros(1))
+        minimize(Adam([plain], lr=0.05), plain, target, steps=800)
+        minimize(Adam([decayed], lr=0.05, weight_decay=1.0), decayed, target, steps=800)
+        assert abs(decayed.data[0]) < abs(plain.data[0])
+
+    def test_rejects_bad_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], betas=(1.0, 0.999))
+
+
+class TestParameterGroups:
+    def test_per_group_learning_rates(self):
+        fast = Parameter(np.array([0.0]))
+        slow = Parameter(np.array([0.0]))
+        optimizer = Adam(
+            [{"params": [fast], "lr": 0.1}, {"params": [slow], "lr": 0.001}]
+        )
+        for _ in range(3):
+            optimizer.zero_grad()
+            loss = quadratic_loss(fast, np.array([1.0])) + quadratic_loss(
+                slow, np.array([1.0])
+            )
+            loss.backward()
+            optimizer.step()
+        assert abs(fast.data[0]) > abs(slow.data[0]) * 10
+
+    def test_groups_share_defaults(self):
+        p = Parameter(np.zeros(1))
+        optimizer = Adam([{"params": [p]}], lr=0.5)
+        assert optimizer.param_groups[0]["lr"] == 0.5
+
+    def test_zero_grad_covers_all_groups(self):
+        a, b = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        optimizer = SGD([{"params": [a]}, {"params": [b]}], lr=0.1)
+        a.grad = np.ones(1)
+        b.grad = np.ones(1)
+        optimizer.zero_grad()
+        assert a.grad is None and b.grad is None

@@ -1,0 +1,101 @@
+"""Early stopping and LR schedules."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import Adam, CosineAnnealingLR, EarlyStopping, SGD, StepLR
+
+
+class TestEarlyStopping:
+    def test_tracks_best(self):
+        stopper = EarlyStopping(patience=3)
+        assert stopper.update(1.0, epoch=0)
+        assert not stopper.update(1.5, epoch=1)
+        assert stopper.update(0.5, epoch=2)
+        assert stopper.best_epoch == 2
+        assert stopper.best_value == 0.5
+
+    def test_stops_after_patience(self):
+        stopper = EarlyStopping(patience=2)
+        stopper.update(1.0, epoch=0)
+        stopper.update(1.1, epoch=1)
+        assert not stopper.should_stop
+        stopper.update(1.2, epoch=2)
+        assert stopper.should_stop
+
+    def test_improvement_resets_counter(self):
+        stopper = EarlyStopping(patience=2)
+        stopper.update(1.0, 0)
+        stopper.update(1.1, 1)
+        stopper.update(0.9, 2)
+        stopper.update(1.0, 3)
+        assert not stopper.should_stop
+
+    def test_min_delta_requires_real_improvement(self):
+        stopper = EarlyStopping(patience=10, min_delta=0.1)
+        stopper.update(1.0, 0)
+        assert not stopper.update(0.95, 1)   # too small to count
+        assert stopper.update(0.85, 2)
+
+    def test_keeps_best_state(self):
+        stopper = EarlyStopping(patience=5)
+        stopper.update(1.0, 0, state={"w": np.array([1.0])})
+        stopper.update(2.0, 1, state={"w": np.array([2.0])})
+        assert stopper.best_state["w"][0] == 1.0
+
+    def test_rejects_bad_patience(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)
+
+
+class TestSchedulers:
+    def _optimizer(self, lr=1.0):
+        return SGD([Parameter(np.zeros(1))], lr=lr)
+
+    def test_step_lr_decays(self):
+        optimizer = self._optimizer(lr=1.0)
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(5):
+            scheduler.step()
+            lrs.append(optimizer.param_groups[0]["lr"])
+        # Epochs 1..5 → decade drops at epochs 2 and 4.
+        assert lrs == [1.0, 0.1, 0.1, pytest.approx(0.01), pytest.approx(0.01)]
+
+    def test_cosine_endpoints(self):
+        optimizer = self._optimizer(lr=1.0)
+        scheduler = CosineAnnealingLR(optimizer, t_max=10, eta_min=0.0)
+        for _ in range(5):
+            scheduler.step()
+        mid = optimizer.param_groups[0]["lr"]
+        assert math.isclose(mid, 0.5, rel_tol=1e-9)
+        for _ in range(5):
+            scheduler.step()
+        assert optimizer.param_groups[0]["lr"] == pytest.approx(0.0)
+
+    def test_cosine_monotone_decreasing(self):
+        optimizer = self._optimizer(lr=1.0)
+        scheduler = CosineAnnealingLR(optimizer, t_max=20)
+        previous = 1.0
+        for _ in range(20):
+            scheduler.step()
+            current = optimizer.param_groups[0]["lr"]
+            assert current <= previous + 1e-12
+            previous = current
+
+    def test_scheduler_applies_to_all_groups(self):
+        a, b = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        optimizer = Adam([{"params": [a], "lr": 1.0}, {"params": [b], "lr": 0.1}])
+        scheduler = StepLR(optimizer, step_size=1, gamma=0.5)
+        scheduler.step()
+        assert optimizer.param_groups[0]["lr"] == 0.5
+        assert optimizer.param_groups[1]["lr"] == pytest.approx(0.05)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            StepLR(self._optimizer(), step_size=0)
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(self._optimizer(), t_max=0)

@@ -1,0 +1,93 @@
+"""EGT compact model: physical sanity and derivative correctness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.spice.egt import EGTModel
+
+MODEL = EGTModel()
+
+
+class TestBasicBehaviour:
+    def test_off_below_threshold(self):
+        current, _, _ = MODEL.ids(vgs=-0.5, vds=0.5, width=400, length=30)
+        assert current < 1e-9
+
+    def test_on_above_threshold(self):
+        current, _, _ = MODEL.ids(vgs=0.8, vds=0.8, width=400, length=30)
+        assert current > 1e-6
+
+    def test_current_increases_with_vgs(self):
+        currents = [
+            MODEL.ids(vgs, 0.5, 400, 30)[0] for vgs in np.linspace(0.0, 1.0, 9)
+        ]
+        assert all(b >= a for a, b in zip(currents, currents[1:]))
+
+    def test_current_increases_with_vds(self):
+        currents = [
+            MODEL.ids(0.6, vds, 400, 30)[0] for vds in np.linspace(0.0, 1.0, 9)
+        ]
+        assert all(b >= a for a, b in zip(currents, currents[1:]))
+
+    def test_zero_vds_zero_current(self):
+        current, _, _ = MODEL.ids(vgs=0.7, vds=0.0, width=400, length=30)
+        assert current == pytest.approx(0.0, abs=1e-15)
+
+    def test_geometry_scaling(self):
+        wide, _, _ = MODEL.ids(0.6, 0.6, width=800, length=10)
+        narrow, _, _ = MODEL.ids(0.6, 0.6, width=200, length=70)
+        assert wide / narrow == pytest.approx((800 / 10) / (200 / 70), rel=1e-9)
+
+    def test_beta_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            MODEL.beta(0.0, 30.0)
+        with pytest.raises(ValueError):
+            MODEL.beta(400.0, -1.0)
+
+
+class TestSymmetry:
+    def test_odd_in_vds(self):
+        """Id(vgs, -vds) must equal -Id(vgd, vds) with roles swapped."""
+        forward, _, _ = MODEL.ids(vgs=0.5, vds=0.3, width=400, length=30)
+        # Swap: with vgs measured from the new source (= old drain).
+        backward, _, _ = MODEL.ids(vgs=0.5 - (-0.3), vds=0.3, width=400, length=30)
+        reported, _, _ = MODEL.ids(vgs=0.5, vds=-0.3, width=400, length=30)
+        assert reported == pytest.approx(-backward, rel=1e-12)
+
+    def test_continuity_at_vds_zero(self):
+        just_above, _, _ = MODEL.ids(0.6, 1e-9, 400, 30)
+        just_below, _, _ = MODEL.ids(0.6, -1e-9, 400, 30)
+        assert abs(just_above - just_below) < 1e-12
+
+
+class TestDerivatives:
+    @given(
+        vgs=st.floats(-0.3, 1.0),
+        vds=st.floats(-0.8, 0.8),
+        width=st.floats(200, 800),
+        length=st.floats(10, 70),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_gm_matches_finite_difference(self, vgs, vds, width, length):
+        h = 1e-7
+        _, gm, _ = MODEL.ids(vgs, vds, width, length)
+        plus, _, _ = MODEL.ids(vgs + h, vds, width, length)
+        minus, _, _ = MODEL.ids(vgs - h, vds, width, length)
+        numeric = (plus - minus) / (2 * h)
+        assert gm == pytest.approx(numeric, rel=1e-4, abs=1e-12)
+
+    @given(
+        vgs=st.floats(-0.3, 1.0),
+        vds=st.floats(-0.8, 0.8),
+        width=st.floats(200, 800),
+        length=st.floats(10, 70),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_gds_matches_finite_difference(self, vgs, vds, width, length):
+        h = 1e-7
+        _, _, gds = MODEL.ids(vgs, vds, width, length)
+        plus, _, _ = MODEL.ids(vgs, vds + h, width, length)
+        minus, _, _ = MODEL.ids(vgs, vds - h, width, length)
+        numeric = (plus - minus) / (2 * h)
+        assert gds == pytest.approx(numeric, rel=1e-4, abs=1e-12)

@@ -1,0 +1,150 @@
+"""MNA solver: analytic linear circuits and nonlinear operating points."""
+
+import numpy as np
+import pytest
+
+from repro.spice import (
+    EGTModel,
+    Netlist,
+    NetlistError,
+    dc_sweep,
+    solve_dc,
+)
+
+
+class TestLinearCircuits:
+    def test_voltage_divider(self):
+        netlist = Netlist("divider")
+        netlist.add_voltage_source("V1", "in", "0", 1.0)
+        netlist.add_resistor("R1", "in", "mid", 3000.0)
+        netlist.add_resistor("R2", "mid", "0", 1000.0)
+        op = solve_dc(netlist)
+        assert op.voltage("mid") == pytest.approx(0.25, rel=1e-9)
+
+    def test_source_current(self):
+        netlist = Netlist()
+        netlist.add_voltage_source("V1", "a", "0", 2.0)
+        netlist.add_resistor("R1", "a", "0", 1000.0)
+        op = solve_dc(netlist)
+        # The MNA current flows from + through the source; magnitude 2 mA.
+        assert abs(op.source_currents["V1"]) == pytest.approx(2e-3, rel=1e-9)
+
+    def test_superposition_two_sources(self):
+        netlist = Netlist()
+        netlist.add_voltage_source("Va", "a", "0", 1.0)
+        netlist.add_voltage_source("Vb", "b", "0", 2.0)
+        netlist.add_resistor("R1", "a", "out", 1000.0)
+        netlist.add_resistor("R2", "b", "out", 1000.0)
+        netlist.add_resistor("R3", "out", "0", 1000.0)
+        op = solve_dc(netlist)
+        assert op.voltage("out") == pytest.approx(1.0, rel=1e-9)
+
+    def test_wheatstone_bridge_balanced(self):
+        netlist = Netlist("bridge")
+        netlist.add_voltage_source("V1", "top", "0", 1.0)
+        for name, a, b in (
+            ("R1", "top", "left"), ("R2", "top", "right"),
+            ("R3", "left", "0"), ("R4", "right", "0"),
+        ):
+            netlist.add_resistor(name, a, b, 1000.0)
+        netlist.add_resistor("Rg", "left", "right", 500.0)
+        op = solve_dc(netlist)
+        assert op.voltage("left") == pytest.approx(op.voltage("right"), abs=1e-9)
+
+    def test_ground_voltage_is_zero(self):
+        netlist = Netlist()
+        netlist.add_voltage_source("V1", "a", "0", 1.0)
+        netlist.add_resistor("R1", "a", "0", 100.0)
+        assert solve_dc(netlist).voltage("0") == 0.0
+
+
+class TestNonlinearCircuits:
+    def _inverter(self, vin: float) -> Netlist:
+        netlist = Netlist("inverter")
+        netlist.add_voltage_source("Vdd", "vdd", "0", 1.0)
+        netlist.add_voltage_source("Vin", "g", "0", vin)
+        netlist.add_resistor("RL", "vdd", "d", 100e3)
+        netlist.add_egt("T1", "d", "g", "0", 500, 30, EGTModel())
+        return netlist
+
+    def test_inverter_inverts(self):
+        low = solve_dc(self._inverter(0.0)).voltage("d")
+        high = solve_dc(self._inverter(1.0)).voltage("d")
+        assert low > 0.9
+        assert high < 0.3
+        assert low > high
+
+    def test_kcl_at_drain(self):
+        """Resistor current must equal transistor current at the drain."""
+        netlist = self._inverter(0.6)
+        op = solve_dc(netlist)
+        vd = op.voltage("d")
+        resistor_current = (1.0 - vd) / 100e3
+        egt = netlist.transistors[0]
+        device_current, _, _ = egt.model.ids(0.6, vd, egt.width, egt.length)
+        assert resistor_current == pytest.approx(device_current, rel=1e-5)
+
+    def test_warm_start_converges_faster(self):
+        netlist = self._inverter(0.55)
+        cold = solve_dc(netlist)
+        warm = solve_dc(netlist, initial=cold.voltages)
+        assert warm.iterations <= cold.iterations
+
+    def test_sweep_monotone_falling(self):
+        netlist = self._inverter(0.0)
+        xs, ys = dc_sweep(netlist, "Vin", np.linspace(0, 1, 21), output_node="d")
+        assert np.all(np.diff(ys) <= 1e-9)
+
+    def test_sweep_restores_source_value(self):
+        netlist = self._inverter(0.33)
+        dc_sweep(netlist, "Vin", [0.0, 0.5, 1.0], output_node="d")
+        assert netlist.source("Vin").voltage == 0.33
+
+    def test_sweep_accepts_generator(self):
+        netlist = self._inverter(0.0)
+        xs, ys = dc_sweep(netlist, "Vin", (v / 4 for v in range(5)), output_node="d")
+        assert len(xs) == 5 and len(ys) == 5
+
+
+class TestValidation:
+    def test_empty_netlist_rejected(self):
+        with pytest.raises(NetlistError):
+            solve_dc(Netlist())
+
+    def test_floating_node_rejected(self):
+        netlist = Netlist()
+        netlist.add_voltage_source("V1", "a", "0", 1.0)
+        netlist.add_resistor("R1", "a", "0", 100.0)
+        netlist.add_resistor("R2", "x", "y", 100.0)   # island
+        with pytest.raises(NetlistError, match="not connected"):
+            solve_dc(netlist)
+
+    def test_no_ground_rejected(self):
+        netlist = Netlist()
+        netlist.add_voltage_source("V1", "a", "b", 1.0)
+        netlist.add_resistor("R1", "a", "b", 100.0)
+        with pytest.raises(NetlistError):
+            solve_dc(netlist)
+
+    def test_duplicate_device_name_rejected(self):
+        netlist = Netlist()
+        netlist.add_resistor("R1", "a", "0", 100.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            netlist.add_resistor("R1", "b", "0", 100.0)
+
+    def test_nonpositive_resistance_rejected(self):
+        with pytest.raises(ValueError):
+            Netlist().add_resistor("R1", "a", "0", 0.0)
+
+    def test_unknown_source_lookup(self):
+        netlist = Netlist()
+        netlist.add_resistor("R1", "a", "0", 100.0)
+        with pytest.raises(KeyError):
+            netlist.source("Vmissing")
+
+    def test_nodes_exclude_ground(self):
+        netlist = Netlist()
+        netlist.add_voltage_source("V1", "a", "0", 1.0)
+        netlist.add_resistor("R1", "a", "b", 1.0)
+        netlist.add_resistor("R2", "b", "0", 1.0)
+        assert set(netlist.nodes()) == {"a", "b"}

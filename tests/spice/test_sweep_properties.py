@@ -1,0 +1,44 @@
+"""Property tests for DC sweeps of the printed circuits."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import simulate_negweight_curve, simulate_ptanh_curve
+from repro.surrogate.design_space import DESIGN_SPACE
+
+
+def omega_strategy():
+    """Feasible design points via the reduced parameterization."""
+    return st.builds(
+        lambda u: DESIGN_SPACE.assemble(
+            DESIGN_SPACE.reduced_lower
+            + np.asarray(u) * (DESIGN_SPACE.reduced_upper - DESIGN_SPACE.reduced_lower)
+        ),
+        st.lists(st.floats(0.01, 0.99), min_size=7, max_size=7),
+    )
+
+
+class TestSweepInvariants:
+    @given(omega=omega_strategy())
+    @settings(max_examples=12, deadline=None)
+    def test_ptanh_monotone_rising_within_rails(self, omega):
+        _, v_out = simulate_ptanh_curve(omega, n_points=13)
+        assert np.all(np.diff(v_out) >= -1e-6)
+        assert np.all((v_out >= -1e-6) & (v_out <= 1.0 + 1e-6))
+
+    @given(omega=omega_strategy())
+    @settings(max_examples=12, deadline=None)
+    def test_negweight_monotone_falling_negative(self, omega):
+        _, v_out = simulate_negweight_curve(omega, n_points=13)
+        assert np.all(np.diff(v_out) <= 1e-6)
+        assert np.all(v_out <= 1e-9)
+        assert np.all(v_out >= -1.0 - 1e-6)
+
+    @given(omega=omega_strategy())
+    @settings(max_examples=8, deadline=None)
+    def test_sweep_resolution_consistency(self, omega):
+        """A denser sweep must agree with a coarse one at shared points."""
+        x_coarse, y_coarse = simulate_ptanh_curve(omega, n_points=5)
+        x_fine, y_fine = simulate_ptanh_curve(omega, n_points=9)
+        shared = np.isin(np.round(x_fine, 9), np.round(x_coarse, 9))
+        assert np.allclose(y_fine[shared], y_coarse, atol=1e-7)

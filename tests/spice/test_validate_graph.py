@@ -1,0 +1,48 @@
+"""Netlist connectivity graph."""
+
+import networkx as nx
+import pytest
+
+from repro.spice import EGTModel, Netlist
+from repro.spice.validate import NetlistError, connectivity_graph, validate_netlist
+
+
+def inverter_netlist():
+    netlist = Netlist("inv")
+    netlist.add_voltage_source("Vdd", "vdd", "0", 1.0)
+    netlist.add_voltage_source("Vin", "g", "0", 0.5)
+    netlist.add_resistor("RL", "vdd", "d", 100e3)
+    netlist.add_egt("T1", "d", "g", "0", 400, 30, EGTModel())
+    return netlist
+
+
+class TestConnectivityGraph:
+    def test_nodes_and_edges(self):
+        graph = connectivity_graph(inverter_netlist())
+        assert set(graph.nodes) == {"0", "vdd", "g", "d"}
+        assert graph.has_edge("vdd", "d")        # load resistor
+        assert graph.has_edge("d", "0")          # EGT channel
+        assert graph.has_edge("g", "0")          # gate reference edge
+
+    def test_edge_device_attribution(self):
+        graph = connectivity_graph(inverter_netlist())
+        assert graph.edges["vdd", "d"]["device"] == "RL"
+
+    def test_connected_single_component(self):
+        graph = connectivity_graph(inverter_netlist())
+        assert nx.number_connected_components(graph) == 1
+
+
+class TestValidate:
+    def test_valid_netlist_passes(self):
+        validate_netlist(inverter_netlist())
+
+    def test_error_lists_floating_nodes(self):
+        netlist = inverter_netlist()
+        netlist.add_resistor("Rfloat", "island_a", "island_b", 1e3)
+        with pytest.raises(NetlistError) as excinfo:
+            validate_netlist(netlist)
+        assert "island_a" in str(excinfo.value)
+
+    def test_repr(self):
+        assert "R=1" in repr(inverter_netlist())

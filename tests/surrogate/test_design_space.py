@@ -1,0 +1,81 @@
+"""Design space (Table I): bounds, constraints, reduced parameterization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.surrogate import DESIGN_SPACE, DesignSpace
+from repro.surrogate.design_space import OMEGA_NAMES, REDUCED_NAMES
+
+
+class TestTableI:
+    def test_bounds_match_paper(self):
+        assert np.allclose(DESIGN_SPACE.lower, [10, 5, 10e3, 8e3, 10e3, 200, 10])
+        assert np.allclose(DESIGN_SPACE.upper, [500, 250, 500e3, 400e3, 500e3, 800, 70])
+
+    def test_names(self):
+        assert OMEGA_NAMES == ("R1", "R2", "R3", "R4", "R5", "W", "L")
+        assert REDUCED_NAMES == ("R1", "R3", "R5", "W", "L", "k1", "k2")
+
+    def test_table_rendering_mentions_inequalities(self):
+        table = DESIGN_SPACE.as_table()
+        assert "R1 > R2" in table and "R3 > R4" in table
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            DesignSpace(lower=np.ones(7), upper=np.ones(7))
+        with pytest.raises(ValueError):
+            DesignSpace(lower=np.ones(3), upper=np.ones(3) * 2)
+
+
+class TestMembership:
+    def test_contains_valid_point(self):
+        omega = np.array([200, 80, 100e3, 40e3, 100e3, 500, 30])
+        assert DESIGN_SPACE.contains(omega)
+
+    def test_rejects_out_of_box(self):
+        omega = np.array([600, 80, 100e3, 40e3, 100e3, 500, 30])
+        assert not DESIGN_SPACE.contains(omega)
+
+    def test_rejects_inequality_violation(self):
+        omega = np.array([50, 80, 100e3, 40e3, 100e3, 500, 30])   # R2 > R1
+        assert not DESIGN_SPACE.contains(omega)
+        omega2 = np.array([200, 80, 20e3, 40e3, 100e3, 500, 30])  # R4 > R3
+        assert not DESIGN_SPACE.contains(omega2)
+
+    def test_rejects_wrong_shape(self):
+        assert not DESIGN_SPACE.contains(np.ones(5))
+
+    def test_clip_restores_feasibility(self):
+        omega = np.array([700, 900, 600e3, 700e3, 5e3, 1000, 5])
+        clipped = DESIGN_SPACE.clip(omega)
+        assert DESIGN_SPACE.contains(clipped, atol=1e-6)
+
+
+class TestReduced:
+    def test_assemble_single_point(self):
+        reduced = np.array([200, 100e3, 100e3, 500, 30, 0.4, 0.4])
+        omega = DESIGN_SPACE.assemble(reduced)
+        assert omega.shape == (7,)
+        assert omega[1] == pytest.approx(80.0)       # R2 = k1 R1
+        assert omega[3] == pytest.approx(40e3)       # R4 = k2 R3
+
+    def test_assemble_batch(self):
+        reduced = np.tile([200, 100e3, 100e3, 500, 30, 0.4, 0.4], (5, 1))
+        omega = DESIGN_SPACE.assemble(reduced)
+        assert omega.shape == (5, 7)
+
+    def test_assemble_clips_r2_r4(self):
+        # k1·R1 = 0.94·500 = 470 > 250 must clip to the R2 bound.
+        reduced = np.array([500, 500e3, 100e3, 500, 30, 0.94, 0.94])
+        omega = DESIGN_SPACE.assemble(reduced)
+        assert omega[1] == 250.0
+        assert omega[3] == 400e3
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_assembled_points_always_feasible(self, seed):
+        rng = np.random.default_rng(seed)
+        reduced = rng.uniform(DESIGN_SPACE.reduced_lower, DESIGN_SPACE.reduced_upper)
+        omega = DESIGN_SPACE.assemble(reduced)
+        assert DESIGN_SPACE.contains(omega, atol=1e-9)

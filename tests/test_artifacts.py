@@ -1,0 +1,19 @@
+"""Artifacts directory resolution."""
+
+from pathlib import Path
+
+from repro import default_artifacts_dir
+
+
+def test_env_override(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_ARTIFACTS", str(tmp_path / "custom"))
+    path = default_artifacts_dir()
+    assert path == tmp_path / "custom"
+    assert path.is_dir()
+
+
+def test_default_is_repo_artifacts(monkeypatch):
+    monkeypatch.delenv("REPRO_ARTIFACTS", raising=False)
+    path = default_artifacts_dir()
+    assert path.name == "artifacts"
+    assert path.is_dir()

@@ -1,0 +1,112 @@
+"""Cross-module consistency: the pNN math must equal the circuit physics.
+
+The printed layer's weighted sum is an abstraction of the resistor
+crossbar; these tests close the loop between ``repro.core`` (training
+math), ``repro.circuits`` (analytic circuit model) and ``repro.spice``
+(solved netlist).
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.circuits import CrossbarColumn, crossbar_netlist, crossbar_output
+from repro.core import LearnableNonlinearCircuit, PrintedLayer
+from repro.spice import solve_dc
+from repro.surrogate import AnalyticSurrogate
+from repro.surrogate.design_space import DESIGN_SPACE
+
+
+def make_layer(n_in, n_out, seed=0):
+    rng = np.random.default_rng(seed)
+    activation = LearnableNonlinearCircuit(
+        AnalyticSurrogate("ptanh"), DESIGN_SPACE, "ptanh", rng=rng
+    )
+    negation = LearnableNonlinearCircuit(
+        AnalyticSurrogate("negweight"), DESIGN_SPACE, "negweight", rng=rng
+    )
+    return PrintedLayer(
+        n_in, n_out, activation=activation, negation=negation,
+        apply_activation=False, rng=rng,
+    )
+
+
+class TestLayerVsCrossbar:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_positive_theta_matches_analytic_crossbar(self, seed):
+        """For all-positive θ the layer output IS Eq. 1."""
+        layer = make_layer(3, 1, seed=seed)
+        layer.theta.data = np.abs(layer.theta.data)
+        theta = layer.printable_theta()[:, 0]
+
+        rng = np.random.default_rng(seed + 10)
+        voltages = rng.uniform(0.0, 1.0, size=3)
+        column = CrossbarColumn(
+            input_conductances=theta[:3],
+            bias_conductance=theta[3],
+            down_conductance=theta[4],
+        )
+        expected = crossbar_output(column, voltages)
+        out = layer.forward(Tensor(voltages.reshape(1, 1, 3))).data[0, 0, 0]
+        assert out == pytest.approx(expected, rel=1e-9)
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_positive_theta_matches_solved_netlist(self, seed):
+        """...and the solved physical netlist agrees with both."""
+        layer = make_layer(2, 1, seed=seed)
+        layer.theta.data = np.abs(layer.theta.data)
+        theta = layer.printable_theta()[:, 0]
+
+        # The surrogate conductances are dimensionless; the netlist check
+        # uses the export scale (weights g/G are scale invariant).
+        from repro.exporting.report import PHYSICAL_SCALE
+
+        voltages = np.array([0.35, 0.8])
+        column = CrossbarColumn(
+            input_conductances=theta[:2] * PHYSICAL_SCALE,
+            bias_conductance=theta[2] * PHYSICAL_SCALE,
+            down_conductance=theta[3] * PHYSICAL_SCALE,
+        )
+        solved = solve_dc(crossbar_netlist(column, voltages)).voltage("vz")
+        out = layer.forward(Tensor(voltages.reshape(1, 1, 2))).data[0, 0, 0]
+        assert out == pytest.approx(solved, abs=1e-6)
+
+    def test_scale_invariance_of_the_weighted_sum(self):
+        """Multiplying a whole column by a constant leaves V_z unchanged —
+        the physical reason surrogate conductances are dimensionless."""
+        layer = make_layer(3, 2, seed=5)
+        layer.theta.data = np.abs(layer.theta.data)
+        x = Tensor(np.random.default_rng(0).uniform(size=(1, 4, 3)))
+        before = layer.forward(x).data
+        layer.theta.data = layer.theta.data * 3.7
+        layer.theta.data = np.clip(layer.theta.data, 0.01, 10.0)  # stay printable
+        after = layer.forward(x).data
+        assert np.allclose(before, after, atol=1e-9)
+
+
+class TestActivationVsCircuitSim:
+    def test_learned_activation_matches_its_own_circuit(self):
+        """The η the pNN uses must describe the circuit that ω builds.
+
+        Round trip: take the layer's printable ω, sweep the *physical*
+        circuit with the DC solver, fit η to that sweep, and compare with
+        the surrogate's prediction the pNN trained against.  The NN
+        surrogate carries regression error, so the analytic surrogate used
+        here is calibrated on a sample first.
+        """
+        from repro.circuits import simulate_ptanh_curve
+        from repro.surrogate import build_surrogate_dataset, fit_ptanh
+
+        dataset = build_surrogate_dataset("ptanh", n_points=64, sweep_points=21, seed=21)
+        surrogate = AnalyticSurrogate("ptanh").calibrate(dataset)
+        rng = np.random.default_rng(1)
+        activation = LearnableNonlinearCircuit(surrogate, DESIGN_SPACE, "ptanh", rng=rng)
+
+        omega = activation.printable_omega().numpy()[0]
+        v_in, v_out = simulate_ptanh_curve(omega, n_points=21)
+        fitted = fit_ptanh(v_in, v_out).eta
+        predicted = activation.eta().data[0, 0]
+        # Calibrated first-order physics: centre and amplitude within ~0.2 V.
+        assert predicted[0] == pytest.approx(fitted[0], abs=0.2)
+        assert predicted[1] == pytest.approx(fitted[1], abs=0.2)
+        assert predicted[2] == pytest.approx(fitted[2], abs=0.25)

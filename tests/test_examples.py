@@ -1,0 +1,27 @@
+"""The examples must at least import cleanly and expose a main()."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=[p.stem for p in EXAMPLES])
+def test_example_imports_and_has_main(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        assert callable(getattr(module, "main", None)), f"{path.name} lacks main()"
+        assert module.__doc__, f"{path.name} lacks a docstring"
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+def test_at_least_four_examples_ship():
+    assert len(EXAMPLES) >= 4
