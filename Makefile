@@ -1,0 +1,13 @@
+PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+export PYTHONPATH
+
+.PHONY: test verify bench
+
+test:              ## tier-1 unit/property/integration tests
+	python -m pytest -x -q
+
+verify: 	   ## tier-1 tests + 2-worker smoke table2 (the CI gate)
+	bash scripts/ci.sh
+
+bench:             ## regenerate every table & figure at $(REPRO_BENCH_PROFILE)
+	python -m pytest benchmarks/ --benchmark-only

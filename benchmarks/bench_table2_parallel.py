@@ -1,0 +1,41 @@
+"""Parallel engine: cold multi-worker run vs. warm (all-cache-hit) rerun.
+
+Times the smoke-scale Table-II grid for one dataset through the
+job/cache/parallel layer, then the identical invocation against the
+now-populated cache.  The warm run must journal zero re-trainings; the
+cold/warm ratio is the headline number for the caching layer.
+"""
+
+from benchmarks.conftest import save_and_print
+from repro.experiments import ResultCache, RunJournal, run_table2_parallel
+
+
+def test_table2_parallel_cache(benchmark, output_dir, profile, bundle, tmp_path):
+    cache = ResultCache(tmp_path / "table2_cache")
+    cold = run_table2_parallel(
+        ["iris"], profile, surrogates=bundle, workers=2, cache=cache,
+    )
+
+    warm = benchmark.pedantic(
+        lambda: run_table2_parallel(
+            ["iris"], profile, surrogates=bundle, workers=2, cache=cache,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    # The warm run must be a pure replay: identical cells, no re-training.
+    assert [(c.mean, c.std, c.best_seed) for c in cold] == \
+           [(c.mean, c.std, c.best_seed) for c in warm]
+    records = RunJournal.read(cache.journal_path)
+    warm_records = records[len(records) // 2:]
+    assert all(r["cache_hit"] for r in warm_records)
+
+    lines = ["job journal (warm run):"]
+    lines += [
+        f"  seed {r['seed']} ϵ_train={r['train_eps']:.2f} "
+        f"learnable={r['learnable']} va={r['variation_aware']} "
+        f"hit={r['cache_hit']}"
+        for r in warm_records
+    ]
+    save_and_print(output_dir, "table2_parallel_cache", "\n".join(lines))

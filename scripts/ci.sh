@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 tests + a 2-worker smoke Table-II run on one
+# dataset, so the parallel/cache path is exercised end-to-end on every PR.
+#
+#   bash scripts/ci.sh          # or: make verify
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== parallel smoke table2 (2 workers, fresh cache) =="
+CACHE_DIR="$(mktemp -d)/table2_cache"
+trap 'rm -rf "$(dirname "$CACHE_DIR")"' EXIT
+python -m repro.experiments.cli table2 --profile smoke --datasets iris \
+    --workers 2 --cache-dir "$CACHE_DIR"
+
+echo "== resume (must be 100% cache hits) =="
+python -m repro.experiments.cli table2 --profile smoke --datasets iris \
+    --workers 2 --cache-dir "$CACHE_DIR" --resume
+python - "$CACHE_DIR/journal.jsonl" <<'EOF'
+import sys
+from repro.experiments import RunJournal
+records = RunJournal.read(sys.argv[1])
+second = records[len(records) // 2:]
+assert second and all(r["cache_hit"] for r in second), "resume re-trained jobs!"
+print(f"journal OK: {len(second)} jobs, all cache hits on resume")
+EOF
+
+echo "CI OK"

@@ -1,21 +1,26 @@
 """Catch-up driver: fill missing Table-II datasets at a reduced budget.
 
-Reads the existing results JSON, determines which datasets are missing,
-and runs only those with a trimmed budget, merging into the same file.
+Since the experiment engine grew a persistent result cache, "catching up"
+is just a cache-aware re-invocation: already-trained jobs (from this or
+any interrupted previous run with the same budget) are served from disk,
+and only genuinely missing trainings execute.  The script keeps its old
+contract — determine which datasets are absent from the results JSON,
+run only those, merge into the same file.
 
-Usage:  python scripts/run_table2_catchup.py [epochs] [json_path]
+Usage:  python scripts/run_table2_catchup.py [epochs] [json_path] [workers]
 """
 
 import json
 import sys
 import time
 
-from repro import get_default_bundle
+from repro import default_artifacts_dir, get_default_bundle
 from repro.datasets import DATASET_NAMES
-from repro.experiments import ExperimentConfig, run_dataset
+from repro.experiments import ExperimentConfig, ResultCache, run_table2_parallel
 
-JSON_PATH = sys.argv[2] if len(sys.argv) > 2 else "artifacts/table2_fast.json"
 EPOCHS = int(sys.argv[1]) if len(sys.argv) > 1 else 400
+JSON_PATH = sys.argv[2] if len(sys.argv) > 2 else "artifacts/table2_fast.json"
+WORKERS = int(sys.argv[3]) if len(sys.argv) > 3 else 1
 
 
 def main() -> int:
@@ -29,16 +34,20 @@ def main() -> int:
     if not missing:
         print("nothing to do")
         return 0
-    print(f"catching up on: {', '.join(missing)} at {EPOCHS} epochs")
+    print(f"catching up on: {', '.join(missing)} at {EPOCHS} epochs "
+          f"({WORKERS} worker{'s' if WORKERS != 1 else ''})")
 
     config = ExperimentConfig(
         seeds=(1, 2), max_epochs=EPOCHS, patience=max(EPOCHS // 4, 50),
         n_mc_train=8, n_test=100, max_train=800,
     )
     bundle = get_default_bundle()
+    cache = ResultCache(default_artifacts_dir() / "table2_cache")
     t0 = time.time()
     for name in missing:
-        cells = run_dataset(name, config, surrogates=bundle)
+        cells = run_table2_parallel(
+            [name], config, surrogates=bundle, workers=WORKERS, cache=cache,
+        )
         payload.extend(
             dict(dataset=c.dataset, learnable=c.setup.learnable,
                  va=c.setup.variation_aware, eps=c.eps_test, mean=c.mean,

@@ -1,16 +1,34 @@
-"""One-off driver: fast-profile Table II run with the NN surrogate bundle."""
-import json, time
-from repro import get_default_bundle
+"""One-off driver: fast-profile Table II run with the NN surrogate bundle.
+
+Cache-aware and parallel: pass a worker count as the first argument
+(default 1).  A killed run restarts from the persistent result cache in
+``artifacts/table2_cache`` instead of from scratch.
+"""
+import json
+import sys
+import time
+
+from repro import default_artifacts_dir, get_default_bundle
 from repro.datasets import DATASET_NAMES
-from repro.experiments import PROFILES, run_dataset, render_table2, render_table3, improvement_summary
+from repro.experiments import (
+    PROFILES,
+    ResultCache,
+    improvement_summary,
+    render_table2,
+    render_table3,
+    run_table2_parallel,
+)
+
+WORKERS = int(sys.argv[1]) if len(sys.argv) > 1 else 1
 
 t0 = time.time()
 bundle = get_default_bundle()
 cfg = PROFILES["fast"]
+cache = ResultCache(default_artifacts_dir() / "table2_cache")
 all_results = []
 for name in DATASET_NAMES:
     t1 = time.time()
-    res = run_dataset(name, cfg, surrogates=bundle)
+    res = run_table2_parallel([name], cfg, surrogates=bundle, workers=WORKERS, cache=cache)
     all_results.extend(res)
     print(f"[{time.time()-t0:7.0f}s] {name} done in {time.time()-t1:.0f}s", flush=True)
     payload = [

@@ -28,6 +28,7 @@ from repro.core.losses import MarginLoss, make_loss
 from repro.core.training import TrainConfig, TrainResult, train_pnn
 from repro.core.evaluation import MonteCarloAccuracy, evaluate_mc
 from repro.core.aging import AgingModel, CompositeVariation, evaluate_lifetime
+from repro.core.serialization import load_pnn, save_pnn, surrogate_fingerprint
 
 __all__ = [
     "AgingModel",
@@ -45,4 +46,7 @@ __all__ = [
     "train_pnn",
     "MonteCarloAccuracy",
     "evaluate_mc",
+    "load_pnn",
+    "save_pnn",
+    "surrogate_fingerprint",
 ]

@@ -22,8 +22,16 @@ from repro.core.conductance import ConductanceConfig
 from repro.core.pnn import PrintedNeuralNetwork
 
 
-def _surrogate_fingerprint(surrogates) -> str:
-    """Stable hash of the surrogate parameters a pNN was trained against."""
+def surrogate_fingerprint(surrogates) -> str:
+    """Stable hash of the surrogate parameters a pNN was trained against.
+
+    Accepts either a :class:`~repro.surrogate.pipeline.SurrogateBundle` or
+    a plain ``(activation, negation)`` pair.  NN surrogates are hashed over
+    their full parameter state, analytic surrogates over their affine
+    calibration, so any retraining or recalibration changes the digest.
+    The experiment result cache (:mod:`repro.experiments.cache`) folds this
+    digest into every cache key.
+    """
     hasher = hashlib.sha256()
     pair = (
         (surrogates.ptanh, surrogates.negweight)
@@ -59,7 +67,7 @@ def save_pnn(pnn: PrintedNeuralNetwork, path: Union[str, Path], surrogates=None)
     }
     if surrogates is not None:
         payload["surrogate_fingerprint"] = np.frombuffer(
-            _surrogate_fingerprint(surrogates).encode(), dtype=np.uint8
+            surrogate_fingerprint(surrogates).encode(), dtype=np.uint8
         )
     for name, value in pnn.state_dict().items():
         payload[f"param.{name}"] = value
@@ -87,7 +95,7 @@ def load_pnn(
             if "surrogate_fingerprint" not in archive.files:
                 raise ValueError("design was saved without a surrogate fingerprint")
             recorded = bytes(archive["surrogate_fingerprint"]).decode()
-            current = _surrogate_fingerprint(surrogates)
+            current = surrogate_fingerprint(surrogates)
             if recorded != current:
                 raise ValueError(
                     f"surrogate mismatch: design trained against {recorded}, "

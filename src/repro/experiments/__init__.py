@@ -5,6 +5,12 @@
 - :mod:`~repro.experiments.runner` — trains pNNs per (dataset, setup, ϵ),
   selects the best seed by validation loss and evaluates with Monte-Carlo
   sampling, exactly following Sec. IV-C.
+- :mod:`~repro.experiments.jobs` — the protocol decomposed into
+  independent, hashable training jobs (dataset, setup, train ϵ, seed).
+- :mod:`~repro.experiments.cache` — SHA-256-keyed on-disk result cache
+  plus the JSONL run journal.
+- :mod:`~repro.experiments.parallel` — process-pool scheduler; bit-for-bit
+  identical to the serial runner at any worker count.
 - :mod:`~repro.experiments.tables` — renders Table II and Table III.
 - :mod:`~repro.experiments.figures` — data series for Fig. 2 and Fig. 4.
 - :mod:`~repro.experiments.ablation` — the §IV-D improvement summary.
@@ -17,11 +23,29 @@ from repro.experiments.config import (
     PROFILES,
     profile_from_env,
 )
-from repro.experiments.runner import CellResult, run_cell, run_dataset, run_table2
+from repro.experiments.runner import (
+    CellResult,
+    mc_evaluation_seed,
+    run_cell,
+    run_dataset,
+    run_table2,
+)
+from repro.experiments.jobs import JobKey, JobOutcome, enumerate_jobs, execute_job
+from repro.experiments.cache import ResultCache, RunJournal, job_digest
+from repro.experiments.parallel import run_table2_parallel
 from repro.experiments.tables import render_table2, render_table3, summarize_table3
 from repro.experiments.ablation import improvement_summary
 
 __all__ = [
+    "JobKey",
+    "JobOutcome",
+    "enumerate_jobs",
+    "execute_job",
+    "ResultCache",
+    "RunJournal",
+    "job_digest",
+    "run_table2_parallel",
+    "mc_evaluation_seed",
     "ExperimentConfig",
     "Setup",
     "SETUPS",

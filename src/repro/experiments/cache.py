@@ -1,0 +1,249 @@
+"""On-disk result cache and run journal for the Table-II engine.
+
+Training is by far the dominant cost of the Sec. IV protocol, and every
+training job is a pure function of ``(job key, training config, surrogate
+parameters, split seed)``.  This module fingerprints exactly that tuple
+with SHA-256 and persists each trained design next to a small metadata
+sidecar, so that:
+
+- an interrupted ``table2`` run resumes for free — already-solved jobs
+  are served from disk;
+- re-running at the same profile is a 100% cache hit (zero re-trainings);
+- *any* change that could alter a result (different budget, retrained
+  surrogates, another split seed) changes the digest and cleanly misses.
+
+Layout of a cache directory::
+
+    <cache-dir>/
+        <digest>.npz       # the trained design (repro.core.serialization)
+        <digest>.json      # metadata: key fields, val loss, epochs, ...
+        journal.jsonl      # one record per completed job, append-only
+
+The journal is the observability substrate: each record carries the job
+key, wall time, epochs run, best validation loss and whether the job was
+a cache hit, so later benchmarking/monitoring work can consume it
+directly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.core import PrintedNeuralNetwork, load_pnn, save_pnn
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.jobs import SPLIT_SEED, JobKey, JobOutcome
+
+#: Bump when the digest payload or sidecar format changes incompatibly.
+CACHE_SCHEMA = 1
+
+
+def job_digest(
+    key: JobKey,
+    config: ExperimentConfig,
+    surrogate_fp: str,
+    split_seed: int = SPLIT_SEED,
+) -> str:
+    """SHA-256 cache key for one training job.
+
+    The digest covers everything that determines the trained design:
+
+    - the job key ``(dataset, setup flags, train ϵ, seed)``;
+    - the training-relevant :class:`ExperimentConfig` fields (see
+      :meth:`ExperimentConfig.training_fingerprint` — ``seeds`` and
+      ``n_test`` are deliberately *not* part of it);
+    - the surrogate parameter fingerprint
+      (:func:`repro.core.serialization.surrogate_fingerprint`);
+    - the dataset split seed.
+
+    Parameters
+    ----------
+    key:
+        The job identity.
+    config:
+        The experiment profile the job runs under.
+    surrogate_fp:
+        Fingerprint of the surrogate pair/bundle the job trains against.
+    split_seed:
+        Seed of the 60/20/20 dataset split (the protocol fixes it to 0).
+
+    Returns
+    -------
+    str
+        A 64-hex-digit digest; equal digests ⇒ bit-identical outcomes.
+    """
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "job": key.astuple(),
+        "train": config.training_fingerprint(),
+        "surrogates": surrogate_fp,
+        "split_seed": split_seed,
+    }
+    blob = json.dumps(payload, sort_keys=True, default=str).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+class ResultCache:
+    """Persistent store of trained Table-II designs, keyed by digest.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; created on first use.
+
+    Notes
+    -----
+    Writes are atomic per entry (tempfile + ``os.replace``) and the
+    metadata sidecar is written *after* the design, so a killed run never
+    leaves an entry that looks complete but is not loadable.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def design_path(self, digest: str) -> Path:
+        """Path of the ``.npz`` design for ``digest``."""
+        return self.root / f"{digest}.npz"
+
+    def meta_path(self, digest: str) -> Path:
+        """Path of the JSON metadata sidecar for ``digest``."""
+        return self.root / f"{digest}.json"
+
+    @property
+    def journal_path(self) -> Path:
+        """Default journal location inside this cache directory."""
+        return self.root / "journal.jsonl"
+
+    def contains(self, digest: str) -> bool:
+        """Whether a complete (design + metadata) entry exists."""
+        return self.design_path(digest).exists() and self.meta_path(digest).exists()
+
+    def load_meta(self, digest: str) -> Optional[Dict]:
+        """The metadata sidecar for ``digest``, or ``None`` on a miss."""
+        if not self.contains(digest):
+            return None
+        with open(self.meta_path(digest)) as handle:
+            return json.load(handle)
+
+    def load_outcome(self, digest: str) -> Optional[JobOutcome]:
+        """Rebuild a (state-less) :class:`JobOutcome` from the sidecar.
+
+        The returned outcome has ``state=None`` and ``cache_hit=True``;
+        materialize the design itself with :meth:`load_design` only when
+        it is actually needed (i.e. for the best seed of a group).
+        """
+        meta = self.load_meta(digest)
+        if meta is None:
+            return None
+        return JobOutcome(
+            key=JobKey(*meta["key"]),
+            topology=tuple(meta["topology"]),
+            per_neuron_activation=bool(meta["per_neuron_activation"]),
+            val_loss=float(meta["val_loss"]),
+            best_epoch=int(meta["best_epoch"]),
+            epochs_run=int(meta["epochs_run"]),
+            wall_time=0.0,
+            state=None,
+            cache_hit=True,
+            digest=digest,
+        )
+
+    def load_design(self, digest: str, surrogates) -> PrintedNeuralNetwork:
+        """Load the trained design for ``digest``.
+
+        The surrogate fingerprint recorded at save time is checked
+        strictly — the digest already encodes it, so a mismatch means the
+        cache directory was tampered with or mixed between setups.
+        """
+        return load_pnn(self.design_path(digest), surrogates, strict_fingerprint=True)
+
+    def store(self, digest: str, pnn: PrintedNeuralNetwork, outcome: JobOutcome, surrogates) -> None:
+        """Persist a finished job: design ``.npz`` first, then metadata.
+
+        Both files are staged under temporary names and moved into place
+        with ``os.replace`` so concurrent readers never observe a partial
+        entry.
+        """
+        # Stage under a dotted name that keeps the .npz suffix (np.savez
+        # appends it otherwise) and stays invisible to the *.npz glob.
+        design_tmp = self.root / f".{digest}.tmp.npz"
+        save_pnn(pnn, design_tmp, surrogates=surrogates)
+        os.replace(design_tmp, self.design_path(digest))
+
+        meta = {
+            "schema": CACHE_SCHEMA,
+            "digest": digest,
+            "key": list(outcome.key.astuple()),
+            "topology": list(outcome.topology),
+            "per_neuron_activation": outcome.per_neuron_activation,
+            "val_loss": outcome.val_loss,
+            "best_epoch": outcome.best_epoch,
+            "epochs_run": outcome.epochs_run,
+            "wall_time": outcome.wall_time,
+        }
+        meta_tmp = self.meta_path(digest).with_suffix(".json.tmp")
+        meta_tmp.write_text(json.dumps(meta, sort_keys=True))
+        os.replace(meta_tmp, self.meta_path(digest))
+
+    def __len__(self) -> int:
+        """Number of complete entries in the cache."""
+        return sum(1 for p in self.root.glob("*.npz") if self.meta_path(p.stem).exists())
+
+
+class RunJournal:
+    """Append-only JSONL log of completed jobs (the run's flight recorder).
+
+    One :meth:`record` call per finished job writes a single line::
+
+        {"ts": ..., "dataset": ..., "learnable": ..., "variation_aware": ...,
+         "train_eps": ..., "seed": ..., "wall_time": ..., "epochs_run": ...,
+         "best_epoch": ..., "val_loss": ..., "cache_hit": ..., "digest": ...}
+
+    Parameters
+    ----------
+    path:
+        Journal file; parent directories are created on demand.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def record(self, outcome: JobOutcome) -> None:
+        """Append one journal line for ``outcome`` and flush it."""
+        entry = {
+            "ts": time.time(),
+            "dataset": outcome.key.dataset,
+            "learnable": outcome.key.learnable,
+            "variation_aware": outcome.key.variation_aware,
+            "train_eps": outcome.key.train_eps,
+            "seed": outcome.key.seed,
+            "wall_time": outcome.wall_time,
+            "epochs_run": outcome.epochs_run,
+            "best_epoch": outcome.best_epoch,
+            "val_loss": outcome.val_loss,
+            "cache_hit": outcome.cache_hit,
+            "digest": outcome.digest,
+        }
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            handle.flush()
+
+    @staticmethod
+    def read(path: Union[str, Path]) -> List[Dict]:
+        """All journal records at ``path`` (empty list if absent)."""
+        path = Path(path)
+        if not path.exists():
+            return []
+        records = []
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
+        return records

@@ -14,19 +14,28 @@ Run one Table-II cell::
 Regenerate the full Table II / Table III at a profile::
 
     python -m repro.experiments.cli table2 --profile smoke --datasets iris seeds
+
+Fan the trainings out over 4 processes with the on-disk result cache (a
+re-run — or a run interrupted and restarted — re-trains nothing)::
+
+    python -m repro.experiments.cli table2 --profile smoke --datasets iris \
+        --workers 4 --cache-dir artifacts/table2_cache
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
-from repro import get_default_bundle
+from repro import default_artifacts_dir, get_default_bundle
 from repro.datasets import DATASET_NAMES
 from repro.experiments.ablation import improvement_summary
+from repro.experiments.cache import ResultCache
 from repro.experiments.config import PROFILES, Setup
-from repro.experiments.runner import run_cell, run_table2
+from repro.experiments.parallel import run_table2_parallel
+from repro.experiments.runner import run_cell
 from repro.experiments.tables import render_table2, render_table3
 
 
@@ -58,6 +67,18 @@ def _build_parser() -> argparse.ArgumentParser:
     table2.add_argument("--datasets", nargs="*", choices=DATASET_NAMES,
                         default=list(DATASET_NAMES))
     _add_profile(table2)
+    table2.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="training processes; 1 is serial and bit-identical "
+                             "to higher counts (default: 1)")
+    table2.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="on-disk result cache directory "
+                             "(default: artifacts/table2_cache)")
+    table2.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache (always re-train)")
+    table2.add_argument("--resume", action="store_true",
+                        help="require an existing cache directory and resume "
+                             "it (resuming is otherwise automatic whenever "
+                             "the cache is enabled)")
 
     return parser
 
@@ -81,8 +102,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "table2":
-        results = run_table2(
+        if args.no_cache and args.resume:
+            print("error: --resume requires the cache; drop --no-cache", file=sys.stderr)
+            return 2
+        cache = None
+        if not args.no_cache:
+            cache_dir = (
+                Path(args.cache_dir) if args.cache_dir
+                else default_artifacts_dir() / "table2_cache"
+            )
+            if args.resume and not cache_dir.is_dir():
+                print(f"error: --resume given but no cache at {cache_dir}", file=sys.stderr)
+                return 2
+            cache = ResultCache(cache_dir)
+        results = run_table2_parallel(
             args.datasets, profile, surrogates=bundle,
+            workers=args.workers, cache=cache,
             progress=lambda msg: print(f"[run] {msg}", file=sys.stderr),
         )
         print(render_table2(results))

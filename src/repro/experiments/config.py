@@ -62,6 +62,31 @@ class ExperimentConfig:
 
         return replace(self, **kwargs)
 
+    def training_fingerprint(self) -> Dict[str, object]:
+        """Fields that determine the outcome of one *training* job.
+
+        Used by :mod:`repro.experiments.cache` to build the on-disk cache
+        key.  Two fields are deliberately excluded:
+
+        - ``seeds`` — the per-job seed is part of the job key itself, so a
+          run with more seeds can reuse every job already trained;
+        - ``n_test`` — Monte-Carlo *evaluation* budget; it never affects
+          the trained design, only how it is measured afterwards.
+
+        Any change to a field listed here invalidates cached designs.
+        """
+        return {
+            "max_epochs": self.max_epochs,
+            "patience": self.patience,
+            "n_mc_train": self.n_mc_train,
+            "lr_theta": self.lr_theta,
+            "lr_omega": self.lr_omega,
+            "loss": self.loss,
+            "hidden": self.hidden,
+            "max_train": self.max_train,
+            "per_neuron_activation": self.per_neuron_activation,
+        }
+
 
 PROFILES: Dict[str, ExperimentConfig] = {
     "paper": ExperimentConfig(),

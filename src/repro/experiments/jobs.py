@@ -1,0 +1,283 @@
+"""Decomposition of the Table-II protocol into independent training jobs.
+
+The Sec. IV grid is embarrassingly parallel: every cell trains one pNN per
+random seed, and each training owns its own ``default_rng(seed)``, so jobs
+can run in any order — or concurrently — without changing a single bit of
+the result.  This module defines the unit of work:
+
+- :class:`JobKey` — a frozen, hashable identifier
+  ``(dataset, setup, train ϵ, seed)`` for one training run;
+- :func:`enumerate_jobs` — the deduplicated job list for a set of
+  datasets (nominal setups train once with ϵ = 0 and are shared across
+  both test ϵ columns, exactly like the serial runner's ``trained`` dict);
+- :func:`execute_job` — train one pNN and return a picklable
+  :class:`JobOutcome` (parameter state + metadata, no live objects);
+- :func:`rebuild_design` — reconstruct the trained
+  :class:`~repro.core.pnn.PrintedNeuralNetwork` from an outcome in the
+  parent process.
+
+:mod:`repro.experiments.parallel` schedules these jobs across processes
+and :mod:`repro.experiments.cache` persists their outcomes on disk.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, fields
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core import PrintedNeuralNetwork, TrainConfig, train_pnn
+from repro.datasets import load_splits
+from repro.datasets.base import DatasetSplits
+from repro.experiments.config import SETUPS, TEST_EPSILONS, ExperimentConfig, Setup
+
+#: The dataset split seed used by the whole Table-II protocol
+#: (``run_dataset`` has always called ``load_splits(dataset, seed=0)``).
+SPLIT_SEED = 0
+
+
+@dataclass(frozen=True, order=True)
+class JobKey:
+    """Identity of one training job: ``(dataset, setup, train ϵ, seed)``.
+
+    Frozen (hence hashable) and totally ordered, so job lists enumerate
+    deterministically and keys can serve as dict/cache keys directly.
+
+    Attributes
+    ----------
+    dataset:
+        Registry name of the benchmark dataset (e.g. ``"iris"``).
+    learnable, variation_aware:
+        The :class:`~repro.experiments.config.Setup` flags, flattened so
+        the key is a plain tuple of primitives.
+    train_eps:
+        Training variation level: the cell's test ϵ for variation-aware
+        setups, ``0.0`` for nominal ones.
+    seed:
+        The random seed owning this training run (network init +
+        variation sampling).
+    """
+
+    dataset: str
+    learnable: bool
+    variation_aware: bool
+    train_eps: float
+    seed: int
+
+    @property
+    def setup(self) -> Setup:
+        """The 2×2-grid setup this job belongs to."""
+        return Setup(learnable=self.learnable, variation_aware=self.variation_aware)
+
+    @property
+    def group(self) -> Tuple[str, bool, bool, float]:
+        """Training-group key: all seeds of one ``(dataset, setup, train ϵ)``.
+
+        The best-of-seeds selection and the serial runner's ``trained``
+        dict both operate at this granularity.
+        """
+        return (self.dataset, self.learnable, self.variation_aware, self.train_eps)
+
+    def astuple(self) -> Tuple[str, bool, bool, float, int]:
+        """The key as a plain tuple (stable field order)."""
+        return tuple(getattr(self, f.name) for f in fields(self))
+
+
+@dataclass
+class JobOutcome:
+    """Everything a finished training job hands back to the scheduler.
+
+    Deliberately contains only primitives and numpy arrays so it crosses
+    process boundaries (and the on-disk cache) without dragging along live
+    surrogate or autograd objects.
+
+    Attributes
+    ----------
+    key:
+        The job's :class:`JobKey`.
+    topology:
+        Layer sizes of the trained network, ``(n_features, hidden,
+        n_classes)``.
+    per_neuron_activation:
+        Structural flag the network was built with.
+    state:
+        ``name → ndarray`` parameter state from
+        :meth:`~repro.nn.module.Module.state_dict`; ``None`` when the
+        outcome was restored from the persistent cache and the design has
+        not been materialized yet (see
+        :meth:`~repro.experiments.cache.ResultCache.load_design`).
+    val_loss:
+        Best validation loss reached (the best-of-seeds criterion).
+    best_epoch, epochs_run:
+        Early-stopping bookkeeping, journaled for observability.
+    wall_time:
+        Training wall time in seconds (0.0 for cache hits).
+    cache_hit:
+        Whether this outcome was served from the persistent cache.
+    digest:
+        The cache digest the outcome is stored under (``None`` when
+        caching is disabled).
+    """
+
+    key: JobKey
+    topology: Tuple[int, ...]
+    per_neuron_activation: bool
+    val_loss: float
+    best_epoch: int
+    epochs_run: int
+    wall_time: float
+    state: Optional[Dict[str, np.ndarray]] = None
+    cache_hit: bool = False
+    digest: Optional[str] = None
+
+
+def train_epsilon(setup: Setup, eps_test: float) -> float:
+    """The training ϵ a cell uses: its test ϵ if variation-aware, else 0."""
+    return eps_test if setup.variation_aware else 0.0
+
+
+def iter_cells(datasets: List[str]) -> Iterator[Tuple[str, Setup, float]]:
+    """Yield Table-II cells ``(dataset, setup, test ϵ)`` in render order.
+
+    The order matches the serial :func:`~repro.experiments.runner.run_table2`
+    exactly, so results assembled from job outcomes line up row for row.
+    """
+    for dataset in datasets:
+        for setup in SETUPS:
+            for eps_test in TEST_EPSILONS:
+                yield dataset, setup, eps_test
+
+
+def enumerate_jobs(datasets: List[str], config: ExperimentConfig) -> List[JobKey]:
+    """The deduplicated training jobs behind a Table-II run.
+
+    Nominal setups share a single ϵ = 0 training across both test ϵ
+    columns — the on-disk analogue of the serial runner's ``trained``
+    dict — so 4 setups × 2 test ϵ collapse to 6 training groups per
+    dataset, each fanned out over ``config.seeds``.
+
+    Returns
+    -------
+    list of JobKey
+        In deterministic cell order, then seed order; every key is
+        hashable and unique.
+    """
+    jobs: List[JobKey] = []
+    seen = set()
+    for dataset, setup, eps_test in iter_cells(datasets):
+        group = (dataset, setup.learnable, setup.variation_aware, train_epsilon(setup, eps_test))
+        if group in seen:
+            continue
+        seen.add(group)
+        for seed in config.seeds:
+            key = JobKey(
+                dataset=dataset,
+                learnable=setup.learnable,
+                variation_aware=setup.variation_aware,
+                train_eps=train_epsilon(setup, eps_test),
+                seed=int(seed),
+            )
+            assert isinstance(hash(key), int) and key.astuple() == (
+                key.dataset, key.learnable, key.variation_aware, key.train_eps, key.seed,
+            ), "job keys must be hashable dataclass tuples"
+            jobs.append(key)
+    return jobs
+
+
+def execute_job(
+    key: JobKey,
+    config: ExperimentConfig,
+    surrogates,
+    splits: Optional[DatasetSplits] = None,
+) -> JobOutcome:
+    """Train one pNN for ``key`` — bit-identical to the serial runner.
+
+    The network is seeded with ``default_rng(key.seed)`` and trained with
+    the same :class:`~repro.core.training.TrainConfig` the serial
+    ``_train_best`` loop builds, so executing jobs out of order (or in
+    other processes) reproduces the serial results exactly.
+
+    Parameters
+    ----------
+    key:
+        The job identity.
+    config:
+        The experiment profile; only its training fields (see
+        :meth:`ExperimentConfig.training_fingerprint`) influence the
+        outcome.
+    surrogates:
+        Surrogate bundle or analytic pair; *read-only* during training.
+    splits:
+        Optional pre-loaded dataset splits; when ``None`` they are loaded
+        with the protocol's fixed :data:`SPLIT_SEED`.
+
+    Returns
+    -------
+    JobOutcome
+        With the trained parameter ``state`` attached.
+    """
+    if splits is None:
+        splits = load_splits(key.dataset, seed=SPLIT_SEED, max_train=config.max_train)
+    topology = (splits.n_features, config.hidden, splits.n_classes)
+    start = time.perf_counter()
+    pnn = PrintedNeuralNetwork(
+        list(topology),
+        surrogates,
+        per_neuron_activation=config.per_neuron_activation,
+        rng=np.random.default_rng(key.seed),
+    )
+    train_config = TrainConfig(
+        lr_theta=config.lr_theta,
+        lr_omega=config.lr_omega,
+        learnable_nonlinear=key.learnable,
+        epsilon=key.train_eps,
+        n_mc_train=config.n_mc_train,
+        max_epochs=config.max_epochs,
+        patience=config.patience,
+        loss=config.loss,
+        seed=key.seed,
+    )
+    result = train_pnn(
+        pnn, splits.x_train, splits.y_train, splits.x_val, splits.y_val, train_config
+    )
+    return JobOutcome(
+        key=key,
+        topology=topology,
+        per_neuron_activation=config.per_neuron_activation,
+        val_loss=result.best_val_loss,
+        best_epoch=result.best_epoch,
+        epochs_run=result.epochs_run,
+        wall_time=time.perf_counter() - start,
+        state=pnn.state_dict(),
+    )
+
+
+def rebuild_design(outcome: JobOutcome, surrogates) -> PrintedNeuralNetwork:
+    """Reconstruct the trained network from a :class:`JobOutcome`.
+
+    Builds a fresh network with the outcome's topology and loads its
+    parameter state; the result is numerically identical to the network
+    the job trained (state dicts are exact float64 copies).
+
+    Raises
+    ------
+    ValueError
+        If the outcome carries no parameter state (e.g. a cache-hit
+        outcome whose design should be loaded with
+        :meth:`~repro.experiments.cache.ResultCache.load_design` instead).
+    """
+    if outcome.state is None:
+        raise ValueError(
+            f"outcome for {outcome.key} has no parameter state; "
+            "load the design from the result cache instead"
+        )
+    pnn = PrintedNeuralNetwork(
+        list(outcome.topology),
+        surrogates,
+        per_neuron_activation=outcome.per_neuron_activation,
+        rng=np.random.default_rng(outcome.key.seed),
+    )
+    pnn.load_state_dict(outcome.state)
+    return pnn

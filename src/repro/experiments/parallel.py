@@ -1,0 +1,226 @@
+"""Parallel, cache-aware execution of the Table-II protocol.
+
+:func:`run_table2_parallel` is the scaled-up counterpart of
+:func:`repro.experiments.runner.run_table2`: it enumerates the protocol's
+independent training jobs (:mod:`repro.experiments.jobs`), serves
+already-solved jobs from the persistent result cache
+(:mod:`repro.experiments.cache`), fans the remainder out over a
+``ProcessPoolExecutor``, and assembles the exact same ordered list of
+:class:`~repro.experiments.runner.CellResult` the serial runner produces.
+
+Determinism contract
+--------------------
+Every job owns its own ``default_rng(seed)`` and the Monte-Carlo test
+evaluation is seeded from the winning training seed
+(:func:`~repro.experiments.runner.mc_evaluation_seed`), so the assembled
+results are **bit-for-bit identical** for any worker count, any job
+completion order, and any mix of cache hits and fresh trainings.
+``workers=1`` additionally runs fully in-process (no pool, no pickling).
+
+Worker processes are created with the ``fork`` start method where
+available so the (possibly large, graph-bearing) surrogate objects are
+inherited rather than pickled; only the small
+:class:`~repro.experiments.jobs.JobKey` crosses the pipe per task.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core import evaluate_mc, surrogate_fingerprint
+from repro.datasets import load_splits
+from repro.experiments.cache import ResultCache, RunJournal, job_digest
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.jobs import (
+    SPLIT_SEED,
+    JobKey,
+    JobOutcome,
+    enumerate_jobs,
+    execute_job,
+    iter_cells,
+    rebuild_design,
+    train_epsilon,
+)
+from repro.experiments.runner import (
+    CellResult,
+    default_surrogates,
+    mc_evaluation_seed,
+)
+
+#: State inherited by forked workers (set just before the pool is created).
+_FORK_STATE: Dict[str, object] = {}
+
+
+def _forked_execute(key: JobKey) -> JobOutcome:
+    """Worker entry point under the ``fork`` start method.
+
+    Reads config/surrogates from :data:`_FORK_STATE`, which the child
+    inherited from the parent at fork time — avoiding a per-task pickle
+    of the surrogate bundle.
+    """
+    return execute_job(key, _FORK_STATE["config"], _FORK_STATE["surrogates"])
+
+
+def _pool_context():
+    """Prefer ``fork`` (zero-copy surrogate inheritance); fall back cleanly."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def run_table2_parallel(
+    datasets: List[str],
+    config: ExperimentConfig,
+    surrogates=None,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    journal: Optional[RunJournal] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[CellResult]:
+    """Run the Table-II grid with caching and multi-process training.
+
+    Parameters
+    ----------
+    datasets:
+        Dataset names, in the row order the results should carry.
+    config:
+        The experiment profile (budget + protocol knobs).
+    surrogates:
+        Surrogate bundle or analytic pair; defaults to the calibration-free
+        analytic fallback, like the serial runner.
+    workers:
+        Number of training processes.  ``1`` executes in-process and is
+        bit-identical to :func:`~repro.experiments.runner.run_table2`;
+        higher counts change only the wall time, never the results.
+    cache:
+        Optional :class:`~repro.experiments.cache.ResultCache`.  When
+        given, solved jobs are loaded instead of re-trained and fresh
+        jobs are persisted, which makes interrupted runs resumable and
+        repeated runs free.
+    journal:
+        Optional :class:`~repro.experiments.cache.RunJournal`; defaults
+        to ``<cache-dir>/journal.jsonl`` when a cache is given.  One
+        record is appended per job — cache hits included, so a
+        second invocation is auditable as "zero re-trainings".
+    progress:
+        Optional callback receiving one human-readable line per job.
+
+    Returns
+    -------
+    list of CellResult
+        In the exact order of the serial runner: dataset → setup →
+        test ϵ.
+    """
+    surrogates = surrogates if surrogates is not None else default_surrogates()
+    fingerprint = surrogate_fingerprint(surrogates)
+    if journal is None and cache is not None:
+        journal = RunJournal(cache.journal_path)
+
+    jobs = enumerate_jobs(datasets, config)
+    outcomes: Dict[JobKey, JobOutcome] = {}
+    pending: List[JobKey] = []
+
+    for key in jobs:
+        digest = job_digest(key, config, fingerprint) if cache is not None else None
+        cached = cache.load_outcome(digest) if cache is not None else None
+        if cached is not None:
+            outcomes[key] = cached
+            if journal is not None:
+                journal.record(cached)
+            if progress is not None:
+                progress(f"{key.dataset}: {key.setup.label} ϵ_train={key.train_eps:.0%} "
+                         f"seed {key.seed} [cache hit]")
+        else:
+            pending.append(key)
+
+    def _finish(outcome: JobOutcome) -> None:
+        key = outcome.key
+        outcome.digest = job_digest(key, config, fingerprint) if cache is not None else None
+        if cache is not None:
+            cache.store(outcome.digest, rebuild_design(outcome, surrogates), outcome, surrogates)
+        if journal is not None:
+            journal.record(outcome)
+        outcomes[key] = outcome
+        if progress is not None:
+            progress(f"{key.dataset}: {key.setup.label} ϵ_train={key.train_eps:.0%} "
+                     f"seed {key.seed} [trained {outcome.epochs_run} epochs "
+                     f"in {outcome.wall_time:.1f}s]")
+
+    if workers <= 1 or len(pending) <= 1:
+        for key in pending:
+            _finish(execute_job(key, config, surrogates))
+    else:
+        _FORK_STATE["config"] = config
+        _FORK_STATE["surrogates"] = surrogates
+        try:
+            ctx = _pool_context()
+            with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+                not_done = {pool.submit(_forked_execute, key) for key in pending}
+                while not_done:
+                    done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        _finish(future.result())
+        finally:
+            _FORK_STATE.clear()
+
+    return _assemble(datasets, config, surrogates, outcomes, cache)
+
+
+def _assemble(
+    datasets: List[str],
+    config: ExperimentConfig,
+    surrogates,
+    outcomes: Dict[JobKey, JobOutcome],
+    cache: Optional[ResultCache],
+) -> List[CellResult]:
+    """Best-of-seeds selection + MC evaluation, in serial-runner order.
+
+    Seeds are scanned in ``config.seeds`` order with a strict ``<`` on the
+    validation loss — the same tie-breaking as the serial ``_train_best``
+    loop — so the selected designs (and hence the reported cells) match
+    the serial run exactly.
+    """
+    results: List[CellResult] = []
+    designs: Dict[Tuple[str, bool, bool, float], Tuple[object, int, float]] = {}
+    splits_by_dataset: Dict[str, object] = {}
+    for dataset, setup, eps_test in iter_cells(datasets):
+        if dataset not in splits_by_dataset:
+            splits_by_dataset[dataset] = load_splits(
+                dataset, seed=SPLIT_SEED, max_train=config.max_train
+            )
+        splits = splits_by_dataset[dataset]
+        group = (dataset, setup.learnable, setup.variation_aware, train_epsilon(setup, eps_test))
+        if group not in designs:
+            best: Optional[JobOutcome] = None
+            for seed in config.seeds:
+                outcome = outcomes[JobKey(dataset, setup.learnable, setup.variation_aware,
+                                          train_epsilon(setup, eps_test), int(seed))]
+                if best is None or outcome.val_loss < best.val_loss:
+                    best = outcome
+            assert best is not None
+            if best.state is not None:
+                pnn = rebuild_design(best, surrogates)
+            else:
+                assert cache is not None and best.digest is not None
+                pnn = cache.load_design(best.digest, surrogates)
+            designs[group] = (pnn, best.key.seed, best.val_loss)
+        pnn, best_seed, val_loss = designs[group]
+        accuracy = evaluate_mc(
+            pnn, splits.x_test, splits.y_test,
+            epsilon=eps_test, n_test=config.n_test, seed=mc_evaluation_seed(best_seed),
+        )
+        results.append(
+            CellResult(
+                dataset=dataset,
+                setup=setup,
+                eps_test=eps_test,
+                mean=accuracy.mean,
+                std=accuracy.std,
+                best_seed=best_seed,
+                best_val_loss=val_loss,
+            )
+        )
+    return results

@@ -54,6 +54,24 @@ def default_surrogates() -> Tuple[AnalyticSurrogate, AnalyticSurrogate]:
     return (AnalyticSurrogate("ptanh"), AnalyticSurrogate("negweight"))
 
 
+def mc_evaluation_seed(best_seed: int) -> int:
+    """Seed of the Monte-Carlo *test* evaluation for a trained design.
+
+    The protocol evaluates the best-of-seeds design with ``N_test``
+    fabrication samples drawn from ``VariationModel(ϵ_test, seed)``.  That
+    seed is derived — explicitly and deterministically — from the winning
+    *training* seed, so (a) re-evaluating a design always reproduces the
+    same accuracy distribution, and (b) the parallel engine
+    (:mod:`repro.experiments.parallel`), the persistent result cache and
+    this serial runner all agree bit-for-bit on every Table-II cell.
+
+    The derivation is currently the identity.  It is factored out so any
+    future change to the evaluation-noise stream happens in exactly one
+    place (and visibly invalidates recorded results).
+    """
+    return int(best_seed)
+
+
 def _train_best(
     splits: DatasetSplits,
     setup: Setup,
@@ -102,14 +120,30 @@ def run_cell(
 ) -> CellResult:
     """Run one Table-II cell.
 
-    ``trained`` is an optional cache dict keyed by (setup, train ϵ): nominal
-    setups share one training across both test ϵ values.
+    Parameters
+    ----------
+    trained:
+        Optional *in-process* memo dict keyed by the hashable tuple
+        ``(learnable, variation_aware, train ϵ)``.  Nominal setups train
+        once with ϵ = 0 and share that training across both test ϵ
+        columns, so passing the same dict to all cells of one dataset
+        (as :func:`run_dataset` does) avoids redundant trainings.
+
+        This memo lives and dies with one Python process.  Its
+        *persistent* counterpart is the on-disk result cache
+        (:mod:`repro.experiments.cache`) used by
+        :func:`repro.experiments.parallel.run_table2_parallel`: same
+        sharing rule, but keyed additionally by dataset, config
+        fingerprint, surrogate fingerprint and seed, and it survives
+        interrupted runs.  The two compose — a cache-hit design is simply
+        never re-trained, whichever layer it lands in.
     """
     surrogates = surrogates if surrogates is not None else default_surrogates()
     if splits is None:
         splits = load_splits(dataset, seed=0, max_train=config.max_train)
     train_eps = eps_test if setup.variation_aware else 0.0
-    key = (setup.learnable, setup.variation_aware, train_eps)
+    key = (bool(setup.learnable), bool(setup.variation_aware), float(train_eps))
+    assert isinstance(hash(key), int), "trained-memo keys must be hashable tuples"
     if trained is not None and key in trained:
         pnn, seed, val_loss = trained[key]
     else:
@@ -117,7 +151,8 @@ def run_cell(
         if trained is not None:
             trained[key] = (pnn, seed, val_loss)
     accuracy = evaluate_mc(
-        pnn, splits.x_test, splits.y_test, epsilon=eps_test, n_test=config.n_test, seed=seed
+        pnn, splits.x_test, splits.y_test,
+        epsilon=eps_test, n_test=config.n_test, seed=mc_evaluation_seed(seed),
     )
     return CellResult(
         dataset=dataset,

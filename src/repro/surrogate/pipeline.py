@@ -101,7 +101,12 @@ def build_surrogate_bundle(
     if cache_dir is not None:
         path = bundle_cache_path(cache_dir, n_points, widths, seed)
         if path.exists():
-            return load_bundle(path)
+            try:
+                return load_bundle(path)
+            except Exception as exc:   # corrupt/truncated cache: rebuild it
+                if verbose:
+                    print(f"[surrogate] cached bundle {path} unreadable ({exc}); rebuilding")
+                path.unlink(missing_ok=True)
 
     surrogates: Dict[str, CircuitSurrogate] = {}
     results: Dict[str, SurrogateTrainingResult] = {}

@@ -1,0 +1,130 @@
+"""Result cache: digests, round-trips, invalidation, journal."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import surrogate_fingerprint
+from repro.experiments import (
+    ExperimentConfig,
+    ResultCache,
+    RunJournal,
+    execute_job,
+    job_digest,
+)
+from repro.experiments.jobs import JobKey, rebuild_design
+
+MICRO = ExperimentConfig(
+    seeds=(1,), max_epochs=12, patience=12, n_mc_train=2, n_test=4, max_train=50,
+)
+KEY = JobKey("iris", True, True, 0.05, 1)
+
+
+class TestDigest:
+    def test_stable(self, analytic_surrogates):
+        fp = surrogate_fingerprint(analytic_surrogates)
+        assert job_digest(KEY, MICRO, fp) == job_digest(KEY, MICRO, fp)
+        assert len(job_digest(KEY, MICRO, fp)) == 64
+
+    def test_changes_with_job_key(self, analytic_surrogates):
+        fp = surrogate_fingerprint(analytic_surrogates)
+        other = JobKey("iris", True, True, 0.05, 2)
+        assert job_digest(KEY, MICRO, fp) != job_digest(other, MICRO, fp)
+
+    def test_invalidated_by_training_config_change(self, analytic_surrogates):
+        fp = surrogate_fingerprint(analytic_surrogates)
+        changed = MICRO.with_overrides(max_epochs=13)
+        assert job_digest(KEY, MICRO, fp) != job_digest(KEY, changed, fp)
+
+    def test_not_invalidated_by_evaluation_budget(self, analytic_surrogates):
+        # n_test and the seed list don't affect a trained design.
+        fp = surrogate_fingerprint(analytic_surrogates)
+        changed = MICRO.with_overrides(n_test=100, seeds=(1, 2, 3))
+        assert job_digest(KEY, MICRO, fp) == job_digest(KEY, changed, fp)
+
+    def test_invalidated_by_surrogates_and_split_seed(self, analytic_surrogates):
+        fp = surrogate_fingerprint(analytic_surrogates)
+        assert job_digest(KEY, MICRO, fp) != job_digest(KEY, MICRO, "deadbeef")
+        assert job_digest(KEY, MICRO, fp) != job_digest(KEY, MICRO, fp, split_seed=1)
+
+
+class TestRoundTrip:
+    @pytest.fixture(scope="class")
+    def outcome(self, analytic_surrogates):
+        return execute_job(KEY, MICRO, analytic_surrogates)
+
+    def test_miss_then_hit(self, tmp_path, analytic_surrogates, outcome):
+        cache = ResultCache(tmp_path / "cache")
+        fp = surrogate_fingerprint(analytic_surrogates)
+        digest = job_digest(KEY, MICRO, fp)
+        assert not cache.contains(digest)
+        assert cache.load_outcome(digest) is None
+
+        pnn = rebuild_design(outcome, analytic_surrogates)
+        cache.store(digest, pnn, outcome, analytic_surrogates)
+        assert cache.contains(digest)
+        assert len(cache) == 1
+
+        restored = cache.load_outcome(digest)
+        assert restored.key == KEY
+        assert restored.cache_hit and restored.state is None
+        assert restored.val_loss == outcome.val_loss
+        assert restored.epochs_run == outcome.epochs_run
+
+    def test_design_roundtrip_is_exact(self, tmp_path, analytic_surrogates, outcome):
+        from repro.datasets import load_splits
+
+        cache = ResultCache(tmp_path / "cache")
+        fp = surrogate_fingerprint(analytic_surrogates)
+        digest = job_digest(KEY, MICRO, fp)
+        pnn = rebuild_design(outcome, analytic_surrogates)
+        cache.store(digest, pnn, outcome, analytic_surrogates)
+
+        loaded = cache.load_design(digest, analytic_surrogates)
+        splits = load_splits("iris", seed=0, max_train=MICRO.max_train)
+        np.testing.assert_array_equal(
+            loaded.predict(splits.x_test), pnn.predict(splits.x_test)
+        )
+
+    def test_config_change_misses(self, tmp_path, analytic_surrogates, outcome):
+        cache = ResultCache(tmp_path / "cache")
+        fp = surrogate_fingerprint(analytic_surrogates)
+        cache.store(job_digest(KEY, MICRO, fp),
+                    rebuild_design(outcome, analytic_surrogates),
+                    outcome, analytic_surrogates)
+        changed = MICRO.with_overrides(lr_theta=0.05)
+        assert cache.load_outcome(job_digest(KEY, changed, fp)) is None
+
+
+class TestJournal:
+    def test_records_round_trip(self, tmp_path, analytic_surrogates):
+        outcome = execute_job(KEY, MICRO, analytic_surrogates)
+        outcome.digest = "abc123"
+        journal = RunJournal(tmp_path / "journal.jsonl")
+        journal.record(outcome)
+        outcome.cache_hit = True
+        journal.record(outcome)
+
+        records = RunJournal.read(journal.path)
+        assert len(records) == 2
+        assert records[0]["cache_hit"] is False
+        assert records[1]["cache_hit"] is True
+        for record in records:
+            assert record["dataset"] == "iris"
+            assert record["seed"] == 1
+            assert record["train_eps"] == 0.05
+            assert record["epochs_run"] == outcome.epochs_run
+            assert record["val_loss"] == outcome.val_loss
+            assert record["digest"] == "abc123"
+            assert record["wall_time"] >= 0.0
+
+    def test_read_missing_is_empty(self, tmp_path):
+        assert RunJournal.read(tmp_path / "nope.jsonl") == []
+
+    def test_lines_are_plain_json(self, tmp_path, analytic_surrogates):
+        outcome = execute_job(KEY, MICRO, analytic_surrogates)
+        journal = RunJournal(tmp_path / "journal.jsonl")
+        journal.record(outcome)
+        line = (tmp_path / "journal.jsonl").read_text().strip()
+        assert json.loads(line)["dataset"] == "iris"

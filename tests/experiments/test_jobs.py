@@ -1,0 +1,98 @@
+"""Job decomposition: keys, enumeration, dedup, deterministic execution."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentConfig, enumerate_jobs, execute_job
+from repro.experiments.config import SETUPS, TEST_EPSILONS, Setup
+from repro.experiments.jobs import (
+    SPLIT_SEED,
+    JobKey,
+    iter_cells,
+    rebuild_design,
+    train_epsilon,
+)
+from repro.experiments.runner import mc_evaluation_seed
+
+
+MICRO = ExperimentConfig(
+    seeds=(1, 2), max_epochs=15, patience=15, n_mc_train=2, n_test=4, max_train=50,
+)
+
+
+class TestJobKey:
+    def test_hashable_and_ordered(self):
+        a = JobKey("iris", True, True, 0.05, 1)
+        b = JobKey("iris", True, True, 0.05, 2)
+        assert hash(a) != hash(b) or a != b
+        assert a < b
+        assert a.astuple() == ("iris", True, True, 0.05, 1)
+
+    def test_setup_and_group(self):
+        key = JobKey("iris", True, False, 0.0, 3)
+        assert key.setup == Setup(learnable=True, variation_aware=False)
+        assert key.group == ("iris", True, False, 0.0)
+
+    def test_train_epsilon_rule(self):
+        va = Setup(learnable=False, variation_aware=True)
+        nominal = Setup(learnable=False, variation_aware=False)
+        assert train_epsilon(va, 0.1) == 0.1
+        assert train_epsilon(nominal, 0.1) == 0.0
+
+
+class TestEnumeration:
+    def test_cell_order_matches_serial_runner(self):
+        cells = list(iter_cells(["iris", "seeds"]))
+        assert len(cells) == 2 * len(SETUPS) * len(TEST_EPSILONS)
+        assert cells[0] == ("iris", SETUPS[0], TEST_EPSILONS[0])
+        assert cells[-1] == ("seeds", SETUPS[-1], TEST_EPSILONS[-1])
+
+    def test_nominal_dedup(self):
+        # 4 setups × 2 test ϵ → 6 training groups (nominal ones collapse).
+        jobs = enumerate_jobs(["iris"], MICRO)
+        assert len(jobs) == 6 * len(MICRO.seeds)
+        assert len(set(jobs)) == len(jobs)
+        nominal = [j for j in jobs if not j.variation_aware]
+        assert all(j.train_eps == 0.0 for j in nominal)
+
+    def test_deterministic(self):
+        assert enumerate_jobs(["iris"], MICRO) == enumerate_jobs(["iris"], MICRO)
+
+
+class TestExecution:
+    def test_execute_matches_rerun_bitwise(self, analytic_surrogates):
+        key = JobKey("iris", False, False, 0.0, 1)
+        first = execute_job(key, MICRO, analytic_surrogates)
+        second = execute_job(key, MICRO, analytic_surrogates)
+        assert first.val_loss == second.val_loss
+        assert first.epochs_run == second.epochs_run
+        for name in first.state:
+            np.testing.assert_array_equal(first.state[name], second.state[name])
+
+    def test_rebuild_design_roundtrip(self, analytic_surrogates):
+        from repro.datasets import load_splits
+
+        key = JobKey("iris", True, True, 0.05, 1)
+        outcome = execute_job(key, MICRO, analytic_surrogates)
+        pnn = rebuild_design(outcome, analytic_surrogates)
+        splits = load_splits("iris", seed=SPLIT_SEED, max_train=MICRO.max_train)
+        np.testing.assert_array_equal(
+            pnn.predict(splits.x_test), rebuild_design(outcome, analytic_surrogates).predict(splits.x_test)
+        )
+        assert pnn.state_dict().keys() == outcome.state.keys()
+
+    def test_rebuild_without_state_raises(self, analytic_surrogates):
+        key = JobKey("iris", False, False, 0.0, 1)
+        outcome = execute_job(key, MICRO, analytic_surrogates)
+        outcome.state = None
+        with pytest.raises(ValueError, match="no parameter state"):
+            rebuild_design(outcome, analytic_surrogates)
+
+
+class TestEvaluationSeed:
+    def test_identity_and_deterministic(self):
+        # The MC-evaluation seed is derived from the winning training seed;
+        # today's derivation is the (explicit) identity.
+        assert mc_evaluation_seed(7) == 7
+        assert mc_evaluation_seed(np.int64(7)) == 7
+        assert isinstance(mc_evaluation_seed(np.int64(7)), int)

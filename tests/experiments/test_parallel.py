@@ -1,0 +1,149 @@
+"""Parallel engine: serial equivalence, resume-after-kill, CLI flags."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    ResultCache,
+    RunJournal,
+    run_table2,
+    run_table2_parallel,
+)
+from repro.experiments import cli, parallel
+
+MICRO = ExperimentConfig(
+    seeds=(1, 2), max_epochs=15, patience=15, n_mc_train=2, n_test=6, max_train=50,
+)
+
+
+def cells_signature(results):
+    return [
+        (c.dataset, c.setup.learnable, c.setup.variation_aware, c.eps_test,
+         c.mean, c.std, c.best_seed, c.best_val_loss)
+        for c in results
+    ]
+
+
+class TestEquivalence:
+    @pytest.fixture(scope="class")
+    def serial(self, analytic_surrogates):
+        return run_table2(["iris"], MICRO, surrogates=analytic_surrogates)
+
+    def test_workers1_no_cache_matches_serial(self, serial, analytic_surrogates):
+        par = run_table2_parallel(["iris"], MICRO, surrogates=analytic_surrogates, workers=1)
+        assert cells_signature(par) == cells_signature(serial)
+
+    def test_two_workers_match_serial_bitwise(self, serial, analytic_surrogates, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        par = run_table2_parallel(
+            ["iris"], MICRO, surrogates=analytic_surrogates, workers=2, cache=cache,
+        )
+        assert cells_signature(par) == cells_signature(serial)
+        # 6 training groups × 2 seeds solved and persisted.
+        assert len(cache) == 12
+
+
+class TestResume:
+    def test_prepopulated_cache_skips_all_training(self, analytic_surrogates, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path / "cache")
+        first = run_table2_parallel(
+            ["iris"], MICRO, surrogates=analytic_surrogates, workers=1, cache=cache,
+        )
+        n_jobs = len(RunJournal.read(cache.journal_path))
+
+        # Simulate resume-after-kill: a fresh invocation over the same cache
+        # dir must never re-enter training.
+        def boom(*args, **kwargs):
+            raise AssertionError("execute_job called despite a full cache")
+
+        monkeypatch.setattr(parallel, "execute_job", boom)
+        second = run_table2_parallel(
+            ["iris"], MICRO, surrogates=analytic_surrogates, workers=1, cache=cache,
+        )
+        assert cells_signature(second) == cells_signature(first)
+        hits = RunJournal.read(cache.journal_path)[n_jobs:]
+        assert len(hits) == n_jobs
+        assert all(r["cache_hit"] for r in hits)
+
+    def test_partial_cache_trains_only_missing(self, analytic_surrogates, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        one_seed = MICRO.with_overrides(seeds=(1,))
+        run_table2_parallel(["iris"], one_seed, surrogates=analytic_surrogates,
+                            workers=1, cache=cache)
+        solved = len(RunJournal.read(cache.journal_path))
+
+        run_table2_parallel(["iris"], MICRO, surrogates=analytic_surrogates,
+                            workers=1, cache=cache)
+        records = RunJournal.read(cache.journal_path)[solved:]
+        hits = [r for r in records if r["cache_hit"]]
+        fresh = [r for r in records if not r["cache_hit"]]
+        # Seed-1 jobs replay from cache; only the seed-2 jobs train.
+        assert len(hits) == 6
+        assert len(fresh) == 6
+        assert all(r["seed"] == 2 for r in fresh)
+
+    def test_cache_invalidation_on_config_change(self, analytic_surrogates, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_table2_parallel(["iris"], MICRO, surrogates=analytic_surrogates,
+                            workers=1, cache=cache)
+        before = len(RunJournal.read(cache.journal_path))
+        changed = MICRO.with_overrides(max_epochs=16)
+        run_table2_parallel(["iris"], changed, surrogates=analytic_surrogates,
+                            workers=1, cache=cache)
+        records = RunJournal.read(cache.journal_path)[before:]
+        assert all(not r["cache_hit"] for r in records)
+
+
+class TestCLIFlags:
+    def _trim_smoke(self, monkeypatch, analytic_surrogates):
+        monkeypatch.setattr(cli, "get_default_bundle", lambda **k: analytic_surrogates)
+        monkeypatch.setitem(
+            cli.PROFILES, "smoke",
+            cli.PROFILES["smoke"].with_overrides(
+                seeds=(1,), max_epochs=10, patience=10, n_mc_train=2,
+                n_test=4, max_train=40,
+            ),
+        )
+
+    def test_workers_and_cache_dir(self, capsys, monkeypatch, analytic_surrogates, tmp_path):
+        self._trim_smoke(monkeypatch, analytic_surrogates)
+        cache_dir = tmp_path / "cache"
+        code = cli.main(["table2", "--datasets", "iris", "--workers", "2",
+                         "--cache-dir", str(cache_dir)])
+        assert code == 0
+        assert "Average" in capsys.readouterr().out
+        assert (cache_dir / "journal.jsonl").exists()
+
+    def test_no_cache_writes_nothing(self, capsys, monkeypatch, analytic_surrogates, tmp_path):
+        self._trim_smoke(monkeypatch, analytic_surrogates)
+        cache_dir = tmp_path / "cache"
+        code = cli.main(["table2", "--datasets", "iris", "--no-cache",
+                         "--cache-dir", str(cache_dir)])
+        assert code == 0
+        assert not cache_dir.exists()
+
+    def test_resume_requires_existing_cache(self, capsys, monkeypatch, analytic_surrogates, tmp_path):
+        self._trim_smoke(monkeypatch, analytic_surrogates)
+        code = cli.main(["table2", "--datasets", "iris", "--resume",
+                         "--cache-dir", str(tmp_path / "absent")])
+        assert code == 2
+        assert "no cache" in capsys.readouterr().err
+
+    def test_resume_conflicts_with_no_cache(self, capsys, monkeypatch, analytic_surrogates):
+        self._trim_smoke(monkeypatch, analytic_surrogates)
+        code = cli.main(["table2", "--datasets", "iris", "--resume", "--no-cache"])
+        assert code == 2
+
+    def test_resume_over_populated_cache(self, capsys, monkeypatch, analytic_surrogates, tmp_path):
+        self._trim_smoke(monkeypatch, analytic_surrogates)
+        cache_dir = tmp_path / "cache"
+        assert cli.main(["table2", "--datasets", "iris",
+                         "--cache-dir", str(cache_dir)]) == 0
+        first = capsys.readouterr().out
+        assert cli.main(["table2", "--datasets", "iris", "--resume",
+                         "--cache-dir", str(cache_dir)]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        records = RunJournal.read(cache_dir / "journal.jsonl")
+        resumed = records[len(records) // 2:]
+        assert resumed and all(r["cache_hit"] for r in resumed)
