@@ -1,0 +1,82 @@
+"""Autograd-free kernel inference vs. the autograd Module path.
+
+Times Monte-Carlo evaluation (the dominant cost of Table II's test
+protocol) through both execution paths on the same trained design and the
+same variation stream:
+
+- ``evaluate_mc_autograd`` — the original path: tensor graph construction
+  on every forward, even under ``no_grad``;
+- ``evaluate_mc`` — the refactored path: a frozen ``PNNParams`` snapshot
+  executed by the stateless numpy kernels.
+
+Both produce bit-identical accuracies at ``batch_mc == SAMPLE_BLOCK``; the
+headline number is the speedup, which the PR's acceptance criteria require
+to be ≥ 2×.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import save_and_print
+from repro.core import (
+    SAMPLE_BLOCK,
+    PrintedNeuralNetwork,
+    TrainConfig,
+    evaluate_mc,
+    evaluate_mc_autograd,
+    snapshot_params,
+    train_pnn,
+)
+from repro.datasets import load_splits
+from repro.experiments.runner import default_surrogates
+
+N_TEST = 100
+EPSILON = 0.1
+REPEATS = 5
+
+
+def _best_time(fn, repeats=REPEATS):
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def test_inference_path_speedup(output_dir):
+    splits = load_splits("iris", seed=0, max_train=50)
+    surrogates = default_surrogates()
+    pnn = PrintedNeuralNetwork(
+        [splits.n_features, 3, splits.n_classes], surrogates,
+        rng=np.random.default_rng(1),
+    )
+    config = TrainConfig(max_epochs=300, patience=300, epsilon=0.0, seed=1)
+    train_pnn(pnn, splits.x_train, splits.y_train, splits.x_val, splits.y_val, config)
+    params = snapshot_params(pnn)
+
+    kwargs = dict(epsilon=EPSILON, n_test=N_TEST, seed=0, batch_mc=SAMPLE_BLOCK)
+    autograd = evaluate_mc_autograd(pnn, splits.x_test, splits.y_test, **kwargs)
+    kernel = evaluate_mc(params, splits.x_test, splits.y_test, **kwargs)
+    np.testing.assert_array_equal(kernel.accuracies, autograd.accuracies)
+
+    t_autograd = _best_time(
+        lambda: evaluate_mc_autograd(pnn, splits.x_test, splits.y_test, **kwargs)
+    )
+    t_kernel = _best_time(
+        lambda: evaluate_mc(params, splits.x_test, splits.y_test, **kwargs)
+    )
+    speedup = t_autograd / t_kernel
+
+    lines = [
+        f"MC evaluation, iris test set ({len(splits.x_test)} samples), "
+        f"ϵ={EPSILON}, n_test={N_TEST}, batch_mc={SAMPLE_BLOCK}, "
+        f"best of {REPEATS}:",
+        f"  autograd Module path : {t_autograd * 1e3:8.2f} ms",
+        f"  stateless kernel path: {t_kernel * 1e3:8.2f} ms",
+        f"  speedup              : {speedup:8.2f}x",
+        f"  accuracies identical : True ({kernel.mean:.3f} ± {kernel.std:.3f})",
+    ]
+    save_and_print(output_dir, "inference_path", "\n".join(lines))
+    assert speedup >= 2.0, f"kernel path only {speedup:.2f}x faster (need ≥ 2x)"

@@ -10,6 +10,31 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== tier-1 tests =="
 python -m pytest -x -q
 
+echo "== kernel-equivalence smoke (module vs stateless path) =="
+python - <<'EOF'
+import numpy as np
+from repro.autograd.tensor import no_grad
+from repro.core import PrintedNeuralNetwork, kernels, snapshot_params
+from repro.core.variation import VariationModel
+from repro.experiments.runner import default_surrogates
+
+pnn = PrintedNeuralNetwork([4, 3, 3], default_surrogates(),
+                           rng=np.random.default_rng(7))
+params = snapshot_params(pnn)
+x = np.random.default_rng(42).uniform(0.0, 1.0, size=(11, 4))
+for eps in (0.0, 0.05, 0.10):
+    n_mc = 4 if eps > 0 else 1
+    with no_grad():
+        module_out = pnn.forward(x, variation=VariationModel(eps, seed=5),
+                                 n_mc=n_mc).data
+    kernel_out = kernels.network_forward(params, x,
+                                         variation=VariationModel(eps, seed=5),
+                                         n_mc=n_mc)
+    diff = float(np.abs(kernel_out - module_out).max())
+    assert diff <= 1e-9, f"kernel/module divergence {diff:.2e} at eps={eps}"
+print("kernel smoke OK: module and stateless paths agree (<= 1e-9)")
+EOF
+
 echo "== parallel smoke table2 (2 workers, fresh cache) =="
 CACHE_DIR="$(mktemp -d)/table2_cache"
 trap 'rm -rf "$(dirname "$CACHE_DIR")"' EXIT

@@ -113,16 +113,24 @@ def variation_attribution(
     Evaluates the design with variation applied to *only one* group at a
     time — crossbar θ, activation-circuit ω, negative-weight ω — plus the
     all-groups reference, and reports the accuracy drop vs. nominal.
+
+    The design is snapshotted once and every evaluation runs through the
+    autograd-free kernel path; the kernels preserve the per-layer
+    θ → activation → negweight sampling cycle :class:`_SelectiveVariation`
+    keys on.
     """
+    from repro.core.params import PNNParams, snapshot_params
+
     y = np.asarray(y, dtype=np.int64)
-    nominal = evaluate_mc(pnn, x, y, epsilon=0.0)
+    params = pnn if isinstance(pnn, PNNParams) else snapshot_params(pnn)
+    nominal = evaluate_mc(params, x, y, epsilon=0.0)
     results = []
     for group in ("theta", "activation", "negweight", "all"):
         if group == "all":
             variation = VariationModel(epsilon, seed=seed)
         else:
             variation = _SelectiveVariation(epsilon, group, seed=seed)
-        predictions = pnn.predict(x, variation=variation, n_mc=n_test)
+        predictions = params.predict(x, variation=variation, n_mc=n_test)
         accuracies = (predictions == y).mean(axis=1)
         results.append(
             AttributionResult(

@@ -348,3 +348,37 @@ def mse_loss(prediction: Tensor, target: Union[Tensor, np.ndarray]) -> Tensor:
     target = _wrap(target)
     diff = prediction - target
     return (diff * diff).mean()
+
+
+# --------------------------------------------------------------------- #
+# kernel ops backend                                                     #
+# --------------------------------------------------------------------- #
+
+
+class _TensorOps:
+    """Autograd backend for the :mod:`repro.core.kernels` ops protocol.
+
+    The stateless circuit kernels take an ``ops`` adapter for their handful
+    of non-operator primitives; passing this one makes them record the
+    gradient tape, so the training modules and the autograd-free inference
+    path share one implementation of the circuit equations.
+    """
+
+    const = staticmethod(Tensor)
+
+    @staticmethod
+    def raw(x) -> np.ndarray:
+        return x.data if isinstance(x, Tensor) else np.asarray(x)
+
+    abs = staticmethod(abs)
+    tanh = staticmethod(tanh)
+    sigmoid = staticmethod(sigmoid)
+    sqrt = staticmethod(sqrt)
+    clip = staticmethod(clip)
+    clip_ste = staticmethod(clip_ste)
+    concatenate = staticmethod(concatenate)
+    broadcast_to = staticmethod(broadcast_to)
+
+
+#: Module-level singleton, mirroring ``repro.core.kernels.NUMPY_OPS``.
+TENSOR_OPS = _TensorOps()

@@ -13,22 +13,45 @@ This package is the paper's primary contribution (Sec. III):
   the experiments);
 - :mod:`~repro.core.variation` — the multiplicative printing-variation
   model ε ~ U[1−ϵ, 1+ϵ];
+- :mod:`~repro.core.kernels` — the stateless circuit math (Eqs. 1–3,
+  Fig. 5) as pure functions over pluggable array backends;
+- :mod:`~repro.core.params` — immutable :class:`PNNParams` inference
+  snapshots executed by the kernels without autograd;
 - :mod:`~repro.core.training` — nominal and variation-aware training
   (Monte-Carlo expected loss, N_train = 20);
 - :mod:`~repro.core.evaluation` — Monte-Carlo test evaluation
-  (N_test = 100) reporting mean ± std accuracy as in Table II.
+  (N_test = 100) reporting mean ± std accuracy as in Table II, running
+  through the autograd-free kernel path.
 """
 
 from repro.core.conductance import ConductanceConfig
 from repro.core.nonlinear import LearnableNonlinearCircuit
+from repro.core.params import (
+    PNN_PARAMS_VERSION,
+    LayerParams,
+    PNNParams,
+    SurrogateParams,
+    snapshot_params,
+)
 from repro.core.player import PrintedLayer
 from repro.core.pnn import PrintedNeuralNetwork
 from repro.core.variation import VariationModel
 from repro.core.losses import MarginLoss, make_loss
 from repro.core.training import TrainConfig, TrainResult, train_pnn
-from repro.core.evaluation import MonteCarloAccuracy, evaluate_mc
+from repro.core.evaluation import (
+    SAMPLE_BLOCK,
+    MonteCarloAccuracy,
+    evaluate_mc,
+    evaluate_mc_autograd,
+)
 from repro.core.aging import AgingModel, CompositeVariation, evaluate_lifetime
-from repro.core.serialization import load_pnn, save_pnn, surrogate_fingerprint
+from repro.core.serialization import (
+    load_params,
+    load_pnn,
+    save_params,
+    save_pnn,
+    surrogate_fingerprint,
+)
 
 __all__ = [
     "AgingModel",
@@ -38,6 +61,11 @@ __all__ = [
     "LearnableNonlinearCircuit",
     "PrintedLayer",
     "PrintedNeuralNetwork",
+    "PNNParams",
+    "LayerParams",
+    "SurrogateParams",
+    "PNN_PARAMS_VERSION",
+    "snapshot_params",
     "VariationModel",
     "MarginLoss",
     "make_loss",
@@ -45,8 +73,12 @@ __all__ = [
     "TrainResult",
     "train_pnn",
     "MonteCarloAccuracy",
+    "SAMPLE_BLOCK",
     "evaluate_mc",
+    "evaluate_mc_autograd",
+    "load_params",
     "load_pnn",
+    "save_params",
     "save_pnn",
     "surrogate_fingerprint",
 ]

@@ -162,14 +162,18 @@ def evaluate_lifetime(
 
     At each age the aging model is pinned to that time (stochastic spread
     still active) and the circuit is evaluated with ``n_test`` Monte-Carlo
-    device samples.
+    device samples.  The design is snapshotted once and the sweep runs
+    through the autograd-free kernel path.
     """
+    from repro.core.params import PNNParams, snapshot_params
+
     y = np.asarray(y, dtype=np.int64)
+    params = pnn if isinstance(pnn, PNNParams) else snapshot_params(pnn)
     points = []
     for time in times:
         pinned = aging.at_time(float(time))
         pinned.rng = np.random.default_rng(seed + int(1000 * time))
-        predictions = pnn.predict(x, variation=pinned, n_mc=n_test)
+        predictions = params.predict(x, variation=pinned, n_mc=n_test)
         accuracies = (predictions == y).mean(axis=1)
         points.append(
             LifetimePoint(time=float(time), mean=float(accuracies.mean()),

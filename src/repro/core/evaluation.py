@@ -5,16 +5,36 @@ sample instantiates one fabricated circuit (perturbed conductances and
 nonlinear-circuit components), classifies the whole test set, and yields
 one accuracy.  Table II reports the mean and standard deviation over these
 samples — the standard deviation is the paper's robustness measure.
+
+Evaluation runs through the autograd-free kernel path
+(:mod:`repro.core.kernels` over a :class:`~repro.core.params.PNNParams`
+snapshot): inference-heavy MC testing has no use for a gradient tape.
+
+**Sampling stream.**  The ε factors for all ``n_test`` fabrications are
+drawn *up front*, in fixed blocks of :data:`SAMPLE_BLOCK` samples (per
+block, per layer: θ, activation ω, negative-weight ω — the canonical
+order).  Compute chunking (``batch_mc``) then merely slices the pre-drawn
+factors, so results are exactly invariant to ``batch_mc``.  The block size
+is a frozen constant, not a tunable: it reproduces the historical noise
+stream (the sampler used to be consumed per evaluation chunk with the
+default ``batch_mc = 20``), keeping every recorded Table-II number
+bit-identical.  Changing it would silently re-roll all MC results.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Union
 
 import numpy as np
 
+from repro.core import kernels
+from repro.core.params import PNNParams, snapshot_params
 from repro.core.pnn import PrintedNeuralNetwork
 from repro.core.variation import VariationModel
+
+#: Frozen width of the ε pre-draw blocks (see the module docstring).
+SAMPLE_BLOCK = 20
 
 
 @dataclass
@@ -35,8 +55,52 @@ class MonteCarloAccuracy:
         return f"{self.mean:.3f} ± {self.std:.3f}"
 
 
+Design = Union[PrintedNeuralNetwork, PNNParams]
+
+
+def _as_params(design: Design) -> PNNParams:
+    if isinstance(design, PNNParams):
+        return design
+    return snapshot_params(design)
+
+
+def draw_variation_samples(
+    params: PNNParams,
+    variation: VariationModel,
+    n_test: int,
+    block: int = SAMPLE_BLOCK,
+) -> List[kernels.LayerEpsilons]:
+    """Pre-draw all ε factors for ``n_test`` fabrications.
+
+    Consumes the variation model's stream in blocks of ``block`` samples
+    (each block draws θ, activation ω, negative-weight ω per layer, in
+    order) and concatenates per layer.  Returns one
+    :data:`~repro.core.kernels.LayerEpsilons` triple per layer, each array
+    with leading axis ``n_test``.
+    """
+    per_layer: List[List[List[np.ndarray]]] = [
+        [[], [], []] for _ in params.layers
+    ]
+    remaining = n_test
+    while remaining > 0:
+        chunk = min(block, remaining)
+        for index, layer in enumerate(params.layers):
+            triple = kernels.sample_layer_epsilons(variation, chunk, layer)
+            for slot, eps in zip(per_layer[index], triple):
+                slot.append(eps)
+        remaining -= chunk
+    return [
+        (
+            np.concatenate(theta_parts, axis=0),
+            np.concatenate(act_parts, axis=0),
+            np.concatenate(neg_parts, axis=0),
+        )
+        for theta_parts, act_parts, neg_parts in per_layer
+    ]
+
+
 def evaluate_mc(
-    pnn: PrintedNeuralNetwork,
+    design: Design,
     x: np.ndarray,
     y: np.ndarray,
     epsilon: float,
@@ -46,21 +110,70 @@ def evaluate_mc(
 ) -> MonteCarloAccuracy:
     """Evaluate accuracy over ``n_test`` fabricated-circuit samples.
 
+    ``design`` may be a live :class:`PrintedNeuralNetwork` (snapshotted
+    once) or an already-frozen :class:`~repro.core.params.PNNParams`.
     ``epsilon = 0`` collapses to a single nominal evaluation.  Monte-Carlo
-    samples are processed in chunks of ``batch_mc`` to bound memory.
+    samples are *computed* in chunks of ``batch_mc`` to bound memory; the
+    ε stream is pre-drawn in fixed :data:`SAMPLE_BLOCK` blocks, so the
+    result is independent of ``batch_mc``.
     """
+    params = _as_params(design)
     y = np.asarray(y, dtype=np.int64)
     if epsilon == 0.0:
-        predictions = pnn.predict(x)                      # (1, B)
+        predictions = kernels.predict(params, x)          # (1, B)
         accuracy = float((predictions[0] == y).mean())
         return MonteCarloAccuracy(accuracies=np.asarray([accuracy]))
 
     variation = VariationModel(epsilon, seed=seed)
-    accuracies = []
+    epsilons = draw_variation_samples(params, variation, n_test)
+    batch_mc = max(1, int(batch_mc))
+    accuracies: List[float] = []
+    for start in range(0, n_test, batch_mc):
+        stop = min(start + batch_mc, n_test)
+        chunk = [
+            (theta[start:stop], act[start:stop], neg[start:stop])
+            for theta, act, neg in epsilons
+        ]
+        predictions = kernels.predict(params, x, epsilons=chunk)  # (stop-start, B)
+        accuracies.extend((predictions == y).mean(axis=1).tolist())
+    return MonteCarloAccuracy(accuracies=np.asarray(accuracies))
+
+
+def evaluate_mc_autograd(
+    pnn: PrintedNeuralNetwork,
+    x: np.ndarray,
+    y: np.ndarray,
+    epsilon: float,
+    n_test: int = 100,
+    seed: int = 0,
+    batch_mc: int = 20,
+) -> MonteCarloAccuracy:
+    """Reference MC evaluation through the autograd ``Module`` forward.
+
+    Kept as the slow, independent cross-check for :func:`evaluate_mc` (the
+    equivalence tests and ``benchmarks/bench_inference_path.py`` compare
+    the two).  Matches the kernel path bit for bit when
+    ``batch_mc == SAMPLE_BLOCK``, because then both consume the variation
+    stream in the same blocks.
+    """
+    from repro.autograd.tensor import no_grad
+
+    y = np.asarray(y, dtype=np.int64)
+    if epsilon == 0.0:
+        with no_grad():
+            voltages = pnn.forward(x)
+        predictions = np.argmax(voltages.data, axis=-1)   # (1, B)
+        accuracy = float((predictions[0] == y).mean())
+        return MonteCarloAccuracy(accuracies=np.asarray([accuracy]))
+
+    variation = VariationModel(epsilon, seed=seed)
+    accuracies: List[float] = []
     remaining = n_test
     while remaining > 0:
         chunk = min(batch_mc, remaining)
-        predictions = pnn.predict(x, variation=variation, n_mc=chunk)  # (chunk, B)
+        with no_grad():
+            voltages = pnn.forward(x, variation=variation, n_mc=chunk)
+        predictions = np.argmax(voltages.data, axis=-1)   # (chunk, B)
         accuracies.extend((predictions == y).mean(axis=1).tolist())
         remaining -= chunk
     return MonteCarloAccuracy(accuracies=np.asarray(accuracies))

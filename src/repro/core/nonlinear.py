@@ -27,8 +27,9 @@ from typing import Optional, Union
 
 import numpy as np
 
-from repro.autograd import functional as F
+from repro.autograd.functional import TENSOR_OPS
 from repro.autograd.tensor import Tensor
+from repro.core import kernels
 from repro.nn.module import Module, Parameter
 from repro.surrogate.analytic import AnalyticSurrogate
 from repro.surrogate.design_space import DesignSpace
@@ -87,21 +88,7 @@ class LearnableNonlinearCircuit(Module):
         Differentiable w.r.t. :attr:`w_raw`; this is the tensor printing
         variation multiplies (step 4 in the module docstring).
         """
-        squashed = F.sigmoid(self.w_raw)
-        lower = Tensor(self.space.reduced_lower)
-        span = Tensor(self.space.reduced_upper - self.space.reduced_lower)
-        reduced = squashed * span + lower
-
-        r1 = reduced[:, 0:1]
-        r3 = reduced[:, 1:2]
-        r5 = reduced[:, 2:3]
-        width = reduced[:, 3:4]
-        length = reduced[:, 4:5]
-        k1 = reduced[:, 5:6]
-        k2 = reduced[:, 6:7]
-        r2 = F.clip_ste(k1 * r1, self.space.lower[1], self.space.upper[1])
-        r4 = F.clip_ste(k2 * r3, self.space.lower[3], self.space.upper[3])
-        return F.concatenate([r1, r2, r3, r4, r5, width, length], axis=1)
+        return kernels.reassemble_printable_omega(self.w_raw, self.space, ops=TENSOR_OPS)
 
     def eta(self, epsilon_omega: Optional[np.ndarray] = None) -> Tensor:
         """Auxiliary tanh parameters, optionally under printing variation.
@@ -135,19 +122,7 @@ class LearnableNonlinearCircuit(Module):
         With a shared circuit the same η applies to every column; with
         per-neuron circuits ``F`` must equal :attr:`n_circuits`.
         """
-        n_mc = eta.shape[0]
-        if self.n_circuits == 1:
-            shape = (n_mc, 1, 1)
-        else:
-            shape = (n_mc, 1, self.n_circuits)
-        eta1 = eta[:, :, 0].reshape(*shape)
-        eta2 = eta[:, :, 1].reshape(*shape)
-        eta3 = eta[:, :, 2].reshape(*shape)
-        eta4 = eta[:, :, 3].reshape(*shape)
-        core = eta1 + eta2 * F.tanh((voltage - eta3) * eta4)
-        if self.kind == "negweight":
-            return -core
-        return core
+        return kernels.circuit_transfer(voltage, eta, self.kind, ops=TENSOR_OPS)
 
     def forward(self, voltage: Tensor, epsilon_omega: Optional[np.ndarray] = None) -> Tensor:
         """Convenience: compute η then apply the transfer."""

@@ -12,6 +12,10 @@ negative-weight circuit:
 followed by the (learned) ptanh activation.  All tensors carry an explicit
 leading Monte-Carlo axis so nominal and variation-aware forward passes share
 one code path (nominal is simply ``n_mc = 1``).
+
+The circuit math itself lives in :mod:`repro.core.kernels`; this module
+owns the learnable state and calls the generic kernels with the autograd
+ops backend so gradients flow through the shared equations.
 """
 
 from __future__ import annotations
@@ -20,14 +24,13 @@ from typing import Optional
 
 import numpy as np
 
-from repro.autograd import functional as F
+from repro.autograd.functional import TENSOR_OPS
 from repro.autograd.tensor import Tensor
+from repro.core import kernels
 from repro.core.conductance import ConductanceConfig
+from repro.core.kernels import BIAS_VOLTAGE  # noqa: F401 - re-exported
 from repro.core.nonlinear import LearnableNonlinearCircuit
 from repro.nn.module import Module, Parameter
-
-#: Voltage of the bias rail feeding the crossbar bias row (the paper's V_b).
-BIAS_VOLTAGE = 1.0
 
 
 class PrintedLayer(Module):
@@ -65,11 +68,7 @@ class PrintedLayer(Module):
 
     def augment(self, x: Tensor) -> Tensor:
         """Append the bias (1 V) and down (0 V) input lines."""
-        batch = x.shape[-2]
-        n_mc = x.shape[0]
-        ones = Tensor(np.full((n_mc, batch, 1), BIAS_VOLTAGE))
-        zeros = Tensor(np.zeros((n_mc, batch, 1)))
-        return F.concatenate([x, ones, zeros], axis=-1)
+        return kernels.augment_inputs(x, ops=TENSOR_OPS)
 
     def forward(
         self,
@@ -78,7 +77,7 @@ class PrintedLayer(Module):
         epsilon_act: Optional[np.ndarray] = None,
         epsilon_neg: Optional[np.ndarray] = None,
     ) -> Tensor:
-        """Forward voltages of shape ``(n_mc, batch, in_features)``.
+        """Forward voltages of shape ``(n_mc, batch, out_features)``.
 
         The optional ε arrays inject printing variation: ``epsilon_theta``
         multiplies the printable conductances, ``epsilon_act`` and
@@ -97,23 +96,8 @@ class PrintedLayer(Module):
                 raise ValueError("epsilon_theta must be (n_mc, in+2, out)")
             theta_eff = theta_eff * Tensor(eps)               # (N, I+2, O)
 
-        magnitude = F.abs(theta_eff)
-        positive_route = (theta_eff.data >= 0.0).astype(np.float64)
-        # The "down" row is a grounding resistor: its 0 V input must never be
-        # routed through the negative-weight circuit (its sign only matters
-        # for the denominator, where the magnitude is used anyway).
-        positive_route[:, -1, :] = 1.0
-
         inverted = self.negation.forward(x_aug, epsilon_omega=epsilon_neg)
-
-        pos_w = magnitude * Tensor(positive_route)
-        neg_w = magnitude * Tensor(1.0 - positive_route)
-        numerator = x_aug @ pos_w + inverted @ neg_w          # (N, B, O)
-        denominator = magnitude.sum(axis=1)                   # (N, O) or (1, O)
-        n_mc = denominator.shape[0]
-        denominator = denominator.reshape(n_mc, 1, self.out_features)
-
-        v_z = numerator / (denominator + 1e-12)
+        v_z = kernels.crossbar_output(x_aug, inverted, theta_eff, ops=TENSOR_OPS)
         if not self.apply_activation:
             return v_z
         return self.activation.forward(v_z, epsilon_omega=epsilon_act)

@@ -13,9 +13,10 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.autograd.tensor import Tensor, no_grad
+from repro.autograd.tensor import Tensor
 from repro.core.conductance import ConductanceConfig
 from repro.core.nonlinear import LearnableNonlinearCircuit
+from repro.core.params import PNNParams, snapshot_params
 from repro.core.player import PrintedLayer
 from repro.core.variation import VariationModel
 from repro.nn.module import Module, Parameter
@@ -167,7 +168,17 @@ class PrintedNeuralNetwork(Module):
         variation: Optional[VariationModel] = None,
         n_mc: int = 1,
     ) -> np.ndarray:
-        """Class predictions of shape ``(n_mc, batch)`` (argmax voltage)."""
-        with no_grad():
-            voltages = self.forward(x, variation=variation, n_mc=n_mc)
-        return np.argmax(voltages.data, axis=-1)
+        """Class predictions of shape ``(n_mc, batch)`` (argmax voltage).
+
+        Runs through the autograd-free kernel path: the network is
+        snapshotted into a :class:`~repro.core.params.PNNParams` and
+        executed by :func:`repro.core.kernels.predict` — no gradient tape,
+        same equations, same variation-sampling order as :meth:`forward`.
+        For repeated inference, snapshot once with
+        :func:`~repro.core.params.snapshot_params` and reuse it.
+        """
+        return self.snapshot().predict(x, variation=variation, n_mc=n_mc)
+
+    def snapshot(self) -> "PNNParams":
+        """Freeze the current design into an immutable inference snapshot."""
+        return snapshot_params(self)

@@ -1,13 +1,19 @@
 """Saving and loading trained pNN designs.
 
-A trained pNN is a circuit design: topology, surrogate conductances θ and
-nonlinear-circuit parameters 𝔴.  This module persists all of it (plus the
-conductance configuration and structural flags) to a single ``.npz`` so a
-design can be re-evaluated, exported or resumed later.  The surrogate
-models are *not* embedded — they are shared artifacts with their own cache
-(see :mod:`repro.surrogate.io`) — so loading requires passing compatible
-surrogates, and a fingerprint check warns when they differ from the ones
-used in training.
+Two on-disk formats live here:
+
+- :func:`save_pnn` / :func:`load_pnn` persist the *learnable* module state
+  (raw θ and 𝔴 parameters) so training can resume; the surrogate models
+  are *not* embedded — they are shared artifacts with their own cache (see
+  :mod:`repro.surrogate.io`) — so loading requires passing compatible
+  surrogates, and a fingerprint check warns when they differ from the ones
+  used in training.
+- :func:`save_params` / :func:`load_params` persist a frozen
+  :class:`~repro.core.params.PNNParams` inference snapshot — printable θ/ω
+  plus the surrogate snapshots, i.e. everything the autograd-free kernel
+  path needs, self-contained.  The format is stamped with
+  :data:`~repro.core.params.PNN_PARAMS_VERSION`; loading any other version
+  raises.  This is the artifact the experiment result cache stores.
 """
 
 from __future__ import annotations
@@ -19,6 +25,12 @@ from typing import Union
 import numpy as np
 
 from repro.core.conductance import ConductanceConfig
+from repro.core.params import (
+    PNN_PARAMS_VERSION,
+    LayerParams,
+    PNNParams,
+    SurrogateParams,
+)
 from repro.core.pnn import PrintedNeuralNetwork
 
 
@@ -120,3 +132,147 @@ def load_pnn(
                 state[key[len("param."):]] = archive[key]
         pnn.load_state_dict(state)
     return pnn
+
+
+# --------------------------------------------------------------------- #
+# PNNParams snapshot format                                             #
+# --------------------------------------------------------------------- #
+
+
+def _surrogate_payload(prefix: str, surrogate: SurrogateParams) -> dict:
+    payload = {
+        f"{prefix}.kind": np.asarray(surrogate.kind),
+        f"{prefix}.backend": np.asarray(surrogate.backend),
+    }
+    if surrogate.backend == "mlp":
+        payload[f"{prefix}.n_linear"] = np.asarray(len(surrogate.weights), dtype=np.int64)
+        for j, (weight, bias) in enumerate(zip(surrogate.weights, surrogate.biases)):
+            payload[f"{prefix}.weight{j}"] = weight
+            payload[f"{prefix}.bias{j}"] = bias
+        payload[f"{prefix}.input_min"] = surrogate.input_min
+        payload[f"{prefix}.input_span"] = surrogate.input_span
+        payload[f"{prefix}.eta_min"] = surrogate.eta_min
+        payload[f"{prefix}.eta_span"] = surrogate.eta_span
+    else:
+        payload[f"{prefix}.scale"] = surrogate.scale
+        payload[f"{prefix}.shift"] = surrogate.shift
+        payload[f"{prefix}.constants"] = np.asarray(
+            [surrogate.k_prime, surrogate.v_threshold,
+             surrogate.vdd, surrogate.second_stage_load]
+        )
+    return payload
+
+
+def _surrogate_from_archive(prefix: str, archive) -> SurrogateParams:
+    kind = str(archive[f"{prefix}.kind"])
+    backend = str(archive[f"{prefix}.backend"])
+    if backend == "mlp":
+        n_linear = int(archive[f"{prefix}.n_linear"])
+        return SurrogateParams(
+            kind=kind,
+            backend="mlp",
+            weights=tuple(archive[f"{prefix}.weight{j}"] for j in range(n_linear)),
+            biases=tuple(archive[f"{prefix}.bias{j}"] for j in range(n_linear)),
+            input_min=archive[f"{prefix}.input_min"],
+            input_span=archive[f"{prefix}.input_span"],
+            eta_min=archive[f"{prefix}.eta_min"],
+            eta_span=archive[f"{prefix}.eta_span"],
+        )
+    constants = archive[f"{prefix}.constants"]
+    return SurrogateParams(
+        kind=kind,
+        backend="analytic",
+        scale=archive[f"{prefix}.scale"],
+        shift=archive[f"{prefix}.shift"],
+        k_prime=float(constants[0]),
+        v_threshold=float(constants[1]),
+        vdd=float(constants[2]),
+        second_stage_load=float(constants[3]),
+    )
+
+
+def save_params(params: PNNParams, path: Union[str, Path], surrogates=None) -> Path:
+    """Write a frozen inference snapshot to ``path`` (``.npz``).
+
+    The snapshot is self-contained (surrogate snapshots included); passing
+    the live ``surrogates`` additionally records their fingerprint so
+    :func:`load_params` can verify provenance strictly.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "params_version": np.asarray(params.version, dtype=np.int64),
+        "layer_sizes": np.asarray(params.layer_sizes, dtype=np.int64),
+        "per_neuron_activation": np.asarray(params.per_neuron_activation, dtype=np.int64),
+        "activation_on_output": np.asarray(params.activation_on_output, dtype=np.int64),
+    }
+    for i, layer in enumerate(params.layers):
+        payload[f"layer{i}.theta"] = layer.theta
+        payload[f"layer{i}.act_omega"] = layer.act_omega
+        payload[f"layer{i}.neg_omega"] = layer.neg_omega
+        payload[f"layer{i}.apply_activation"] = np.asarray(layer.apply_activation, dtype=np.int64)
+    payload.update(_surrogate_payload("surrogate.act", params.act_surrogate))
+    payload.update(_surrogate_payload("surrogate.neg", params.neg_surrogate))
+    if surrogates is not None:
+        payload["surrogate_fingerprint"] = np.frombuffer(
+            surrogate_fingerprint(surrogates).encode(), dtype=np.uint8
+        )
+    np.savez(path, **payload)
+    return path
+
+
+def load_params(
+    path: Union[str, Path],
+    surrogates=None,
+    strict_fingerprint: bool = False,
+) -> PNNParams:
+    """Rebuild an inference snapshot saved with :func:`save_params`.
+
+    Refuses snapshots of any other :data:`PNN_PARAMS_VERSION` (the struct
+    they describe would be interpreted wrongly).  With
+    ``strict_fingerprint=True`` the surrogate fingerprint recorded at save
+    time must match ``surrogates``.
+    """
+    with np.load(Path(path)) as archive:
+        if "params_version" not in archive.files:
+            raise ValueError(
+                f"{path} is not a PNNParams snapshot "
+                "(legacy module state? use load_pnn)"
+            )
+        version = int(archive["params_version"])
+        if version != PNN_PARAMS_VERSION:
+            raise ValueError(
+                f"snapshot has params version {version}, "
+                f"this build expects {PNN_PARAMS_VERSION}"
+            )
+        if strict_fingerprint:
+            if surrogates is None:
+                raise ValueError("strict_fingerprint requires surrogates")
+            if "surrogate_fingerprint" not in archive.files:
+                raise ValueError("snapshot was saved without a surrogate fingerprint")
+            recorded = bytes(archive["surrogate_fingerprint"]).decode()
+            current = surrogate_fingerprint(surrogates)
+            if recorded != current:
+                raise ValueError(
+                    f"surrogate mismatch: snapshot taken against {recorded}, "
+                    f"got {current}"
+                )
+        layer_sizes = tuple(int(s) for s in archive["layer_sizes"])
+        layers = tuple(
+            LayerParams(
+                theta=archive[f"layer{i}.theta"],
+                act_omega=archive[f"layer{i}.act_omega"],
+                neg_omega=archive[f"layer{i}.neg_omega"],
+                apply_activation=bool(archive[f"layer{i}.apply_activation"]),
+            )
+            for i in range(len(layer_sizes) - 1)
+        )
+        return PNNParams(
+            layer_sizes=layer_sizes,
+            per_neuron_activation=bool(archive["per_neuron_activation"]),
+            activation_on_output=bool(archive["activation_on_output"]),
+            layers=layers,
+            act_surrogate=_surrogate_from_archive("surrogate.act", archive),
+            neg_surrogate=_surrogate_from_archive("surrogate.neg", archive),
+            version=version,
+        )

@@ -23,6 +23,16 @@ The journal is the observability substrate: each record carries the job
 key, wall time, epochs run, best validation loss and whether the job was
 a cache hit, so later benchmarking/monitoring work can consume it
 directly.
+
+**Entry format.**  New entries store the frozen
+:class:`~repro.core.params.PNNParams` inference snapshot
+(:func:`repro.core.serialization.save_params`, format stamped with
+``PNN_PARAMS_VERSION``).  Entries written before the kernel refactor hold
+the legacy module state (``save_pnn``); :meth:`ResultCache.load_design`
+detects those, rebuilds the module and snapshots it — numerically
+identical, so legacy caches keep replaying bit-for-bit without
+re-training.  Digests are unchanged by the migration: the cache key never
+covered the payload format, only what determines the trained design.
 """
 
 from __future__ import annotations
@@ -34,7 +44,10 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
-from repro.core import PrintedNeuralNetwork, load_pnn, save_pnn
+import numpy as np
+
+from repro.core import load_params, load_pnn, save_params, snapshot_params
+from repro.core.params import PNNParams
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.jobs import SPLIT_SEED, JobKey, JobOutcome
 
@@ -133,7 +146,7 @@ class ResultCache:
     def load_outcome(self, digest: str) -> Optional[JobOutcome]:
         """Rebuild a (state-less) :class:`JobOutcome` from the sidecar.
 
-        The returned outcome has ``state=None`` and ``cache_hit=True``;
+        The returned outcome has ``params=None`` and ``cache_hit=True``;
         materialize the design itself with :meth:`load_design` only when
         it is actually needed (i.e. for the best seed of a group).
         """
@@ -148,31 +161,45 @@ class ResultCache:
             best_epoch=int(meta["best_epoch"]),
             epochs_run=int(meta["epochs_run"]),
             wall_time=0.0,
-            state=None,
+            params=None,
             cache_hit=True,
             digest=digest,
         )
 
-    def load_design(self, digest: str, surrogates) -> PrintedNeuralNetwork:
-        """Load the trained design for ``digest``.
+    def load_design(self, digest: str, surrogates) -> PNNParams:
+        """Load the trained design for ``digest`` as a frozen snapshot.
 
         The surrogate fingerprint recorded at save time is checked
         strictly — the digest already encodes it, so a mismatch means the
         cache directory was tampered with or mixed between setups.
-        """
-        return load_pnn(self.design_path(digest), surrogates, strict_fingerprint=True)
 
-    def store(self, digest: str, pnn: PrintedNeuralNetwork, outcome: JobOutcome, surrogates) -> None:
+        Legacy entries (pre-``PNNParams`` module state) are rebuilt
+        through :func:`~repro.core.serialization.load_pnn` against the
+        given surrogates and snapshotted — numerically identical to the
+        design the job trained.
+        """
+        path = self.design_path(digest)
+        with np.load(path) as archive:
+            legacy = "params_version" not in archive.files
+        if legacy:
+            pnn = load_pnn(path, surrogates, strict_fingerprint=True)
+            return snapshot_params(pnn)
+        return load_params(path, surrogates, strict_fingerprint=True)
+
+    def store(self, digest: str, outcome: JobOutcome, surrogates) -> None:
         """Persist a finished job: design ``.npz`` first, then metadata.
 
-        Both files are staged under temporary names and moved into place
-        with ``os.replace`` so concurrent readers never observe a partial
+        The design is the outcome's frozen ``params`` snapshot.  Both
+        files are staged under temporary names and moved into place with
+        ``os.replace`` so concurrent readers never observe a partial
         entry.
         """
+        if outcome.params is None:
+            raise ValueError(f"outcome for {outcome.key} carries no params snapshot")
         # Stage under a dotted name that keeps the .npz suffix (np.savez
         # appends it otherwise) and stays invisible to the *.npz glob.
         design_tmp = self.root / f".{digest}.tmp.npz"
-        save_pnn(pnn, design_tmp, surrogates=surrogates)
+        save_params(outcome.params, design_tmp, surrogates=surrogates)
         os.replace(design_tmp, self.design_path(digest))
 
         meta = {

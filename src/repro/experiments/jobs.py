@@ -11,10 +11,14 @@ the result.  This module defines the unit of work:
   datasets (nominal setups train once with ϵ = 0 and are shared across
   both test ϵ columns, exactly like the serial runner's ``trained`` dict);
 - :func:`execute_job` — train one pNN and return a picklable
-  :class:`JobOutcome` (parameter state + metadata, no live objects);
-- :func:`rebuild_design` — reconstruct the trained
-  :class:`~repro.core.pnn.PrintedNeuralNetwork` from an outcome in the
-  parent process.
+  :class:`JobOutcome` carrying the frozen
+  :class:`~repro.core.params.PNNParams` inference snapshot (plain arrays
+  and metadata, no live module or surrogate objects).
+
+The snapshot *is* the design artifact: the parent process evaluates it
+directly through the autograd-free kernel path
+(:func:`repro.core.evaluation.evaluate_mc` accepts it as-is) — no module
+reconstruction needed.
 
 :mod:`repro.experiments.parallel` schedules these jobs across processes
 and :mod:`repro.experiments.cache` persists their outcomes on disk.
@@ -24,11 +28,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, fields
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core import PrintedNeuralNetwork, TrainConfig, train_pnn
+from repro.core.params import PNNParams, snapshot_params
 from repro.datasets import load_splits
 from repro.datasets.base import DatasetSplits
 from repro.experiments.config import SETUPS, TEST_EPSILONS, ExperimentConfig, Setup
@@ -102,11 +107,11 @@ class JobOutcome:
         n_classes)``.
     per_neuron_activation:
         Structural flag the network was built with.
-    state:
-        ``name → ndarray`` parameter state from
-        :meth:`~repro.nn.module.Module.state_dict`; ``None`` when the
-        outcome was restored from the persistent cache and the design has
-        not been materialized yet (see
+    params:
+        The frozen :class:`~repro.core.params.PNNParams` inference
+        snapshot of the trained design; ``None`` when the outcome was
+        restored from the persistent cache and the design has not been
+        materialized yet (see
         :meth:`~repro.experiments.cache.ResultCache.load_design`).
     val_loss:
         Best validation loss reached (the best-of-seeds criterion).
@@ -128,7 +133,7 @@ class JobOutcome:
     best_epoch: int
     epochs_run: int
     wall_time: float
-    state: Optional[Dict[str, np.ndarray]] = None
+    params: Optional[PNNParams] = None
     cache_hit: bool = False
     digest: Optional[str] = None
 
@@ -216,7 +221,7 @@ def execute_job(
     Returns
     -------
     JobOutcome
-        With the trained parameter ``state`` attached.
+        With the trained design's frozen ``params`` snapshot attached.
     """
     if splits is None:
         splits = load_splits(key.dataset, seed=SPLIT_SEED, max_train=config.max_train)
@@ -250,34 +255,5 @@ def execute_job(
         best_epoch=result.best_epoch,
         epochs_run=result.epochs_run,
         wall_time=time.perf_counter() - start,
-        state=pnn.state_dict(),
+        params=snapshot_params(pnn),
     )
-
-
-def rebuild_design(outcome: JobOutcome, surrogates) -> PrintedNeuralNetwork:
-    """Reconstruct the trained network from a :class:`JobOutcome`.
-
-    Builds a fresh network with the outcome's topology and loads its
-    parameter state; the result is numerically identical to the network
-    the job trained (state dicts are exact float64 copies).
-
-    Raises
-    ------
-    ValueError
-        If the outcome carries no parameter state (e.g. a cache-hit
-        outcome whose design should be loaded with
-        :meth:`~repro.experiments.cache.ResultCache.load_design` instead).
-    """
-    if outcome.state is None:
-        raise ValueError(
-            f"outcome for {outcome.key} has no parameter state; "
-            "load the design from the result cache instead"
-        )
-    pnn = PrintedNeuralNetwork(
-        list(outcome.topology),
-        surrogates,
-        per_neuron_activation=outcome.per_neuron_activation,
-        rng=np.random.default_rng(outcome.key.seed),
-    )
-    pnn.load_state_dict(outcome.state)
-    return pnn

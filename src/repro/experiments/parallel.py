@@ -20,7 +20,9 @@ completion order, and any mix of cache hits and fresh trainings.
 Worker processes are created with the ``fork`` start method where
 available so the (possibly large, graph-bearing) surrogate objects are
 inherited rather than pickled; only the small
-:class:`~repro.experiments.jobs.JobKey` crosses the pipe per task.
+:class:`~repro.experiments.jobs.JobKey` crosses the pipe per task, and
+only the frozen :class:`~repro.core.params.PNNParams` snapshot (plain
+arrays) comes back — never a live module.
 """
 
 from __future__ import annotations
@@ -40,7 +42,6 @@ from repro.experiments.jobs import (
     enumerate_jobs,
     execute_job,
     iter_cells,
-    rebuild_design,
     train_epsilon,
 )
 from repro.experiments.runner import (
@@ -140,7 +141,7 @@ def run_table2_parallel(
         key = outcome.key
         outcome.digest = job_digest(key, config, fingerprint) if cache is not None else None
         if cache is not None:
-            cache.store(outcome.digest, rebuild_design(outcome, surrogates), outcome, surrogates)
+            cache.store(outcome.digest, outcome, surrogates)
         if journal is not None:
             journal.record(outcome)
         outcomes[key] = outcome
@@ -201,15 +202,15 @@ def _assemble(
                 if best is None or outcome.val_loss < best.val_loss:
                     best = outcome
             assert best is not None
-            if best.state is not None:
-                pnn = rebuild_design(best, surrogates)
+            if best.params is not None:
+                design = best.params
             else:
                 assert cache is not None and best.digest is not None
-                pnn = cache.load_design(best.digest, surrogates)
-            designs[group] = (pnn, best.key.seed, best.val_loss)
-        pnn, best_seed, val_loss = designs[group]
+                design = cache.load_design(best.digest, surrogates)
+            designs[group] = (design, best.key.seed, best.val_loss)
+        design, best_seed, val_loss = designs[group]
         accuracy = evaluate_mc(
-            pnn, splits.x_test, splits.y_test,
+            design, splits.x_test, splits.y_test,
             epsilon=eps_test, n_test=config.n_test, seed=mc_evaluation_seed(best_seed),
         )
         results.append(

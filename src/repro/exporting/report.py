@@ -1,12 +1,19 @@
-"""Bill-of-components report for a trained pNN."""
+"""Bill-of-components report for a trained pNN.
+
+Works from the frozen :class:`~repro.core.params.PNNParams` snapshot —
+the printable θ/ω values are exactly what a snapshot holds — so both live
+networks (snapshotted on the fly) and cached/deserialized designs export
+identically.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Union
 
 import numpy as np
 
+from repro.core.params import PNNParams, snapshot_params
 from repro.core.pnn import PrintedNeuralNetwork
 
 #: Physical conductance corresponding to surrogate conductance 1.0 (S).
@@ -72,25 +79,23 @@ def _format_omega(omega: np.ndarray) -> str:
     )
 
 
-def design_report(pnn: PrintedNeuralNetwork) -> DesignReport:
-    """Extract the printable design from a trained network."""
-    from repro.autograd.tensor import no_grad
-
-    report = DesignReport(layer_sizes=list(pnn.layer_sizes))
-    with no_grad():
-        for index, layer in enumerate(pnn.layers):
-            theta = layer.printable_theta()
-            magnitude = np.abs(theta)
-            conductance = magnitude * PHYSICAL_SCALE
-            with np.errstate(divide="ignore"):
-                resistance = np.where(magnitude > 0, 1.0 / conductance, np.inf)
-            report.layers.append(
-                LayerReport(
-                    index=index,
-                    crossbar_resistances=resistance,
-                    negated_inputs=theta < 0,
-                    activation_omega=layer.activation.printable_omega().numpy(),
-                    negation_omega=layer.negation.printable_omega().numpy(),
-                )
+def design_report(design: Union[PrintedNeuralNetwork, PNNParams]) -> DesignReport:
+    """Extract the printable design from a trained network or a snapshot."""
+    params = design if isinstance(design, PNNParams) else snapshot_params(design)
+    report = DesignReport(layer_sizes=list(params.layer_sizes))
+    for index, layer in enumerate(params.layers):
+        theta = layer.theta
+        magnitude = np.abs(theta)
+        conductance = magnitude * PHYSICAL_SCALE
+        with np.errstate(divide="ignore"):
+            resistance = np.where(magnitude > 0, 1.0 / conductance, np.inf)
+        report.layers.append(
+            LayerReport(
+                index=index,
+                crossbar_resistances=resistance,
+                negated_inputs=theta < 0,
+                activation_omega=np.asarray(layer.act_omega),
+                negation_omega=np.asarray(layer.neg_omega),
             )
+        )
     return report

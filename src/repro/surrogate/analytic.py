@@ -15,8 +15,9 @@ first-order circuit analysis of the synthetic topology:
 First-order analysis ignores channel-length modulation and the interaction
 between stages, so predictions are refined by an optional per-output affine
 calibration against a small simulated dataset (:meth:`AnalyticSurrogate.calibrate`).
-Everything is expressed with autograd ops, making the analytic surrogate a
-drop-in replacement for the NN surrogate inside the pNN.
+The physics lives in :func:`repro.core.kernels.analytic_eta` and is evaluated
+here over autograd ops, making the analytic surrogate a drop-in replacement
+for the NN surrogate inside the pNN.
 """
 
 from __future__ import annotations
@@ -25,7 +26,7 @@ from typing import Union
 
 import numpy as np
 
-from repro.autograd import functional as F
+from repro.autograd.functional import TENSOR_OPS
 from repro.autograd.tensor import Tensor
 from repro.circuits.ptanh import SECOND_STAGE_LOAD, VDD
 from repro.spice.egt import EGTModel
@@ -53,43 +54,18 @@ class AnalyticSurrogate:
     # ------------------------------------------------------------------ #
 
     def _raw_eta(self, omega: Tensor) -> Tensor:
-        r1 = omega[..., 0:1]
-        r2 = omega[..., 1:2]
-        r3 = omega[..., 2:3]
-        r4 = omega[..., 3:4]
-        r5 = omega[..., 4:5]
-        width = omega[..., 5:6]
-        length = omega[..., 6:7]
+        # Deferred: repro.core imports repro.surrogate during its own init.
+        from repro.core import kernels
 
-        k1 = r2 / (r1 + r2)
-        k2 = r4 / (r3 + r4)
-        beta = self.model.k_prime * width / length
-
-        divider_chain = r3 + r4
-        load1 = r5 * divider_chain / (r5 + divider_chain)
-        overdrive = F.sqrt(Tensor(VDD) / (beta * load1))
-        trip = (overdrive + self.model.v_threshold) / (k1 + 1e-9)
-
-        gain1 = F.sqrt(beta * VDD * load1)
-        gain2 = F.sqrt(beta * VDD * SECOND_STAGE_LOAD)
-
-        # Fraction of the full swing reachable when the trip point sits
-        # inside the 0..1 V input window (smooth roll-off outside).
-        visibility = F.sigmoid((Tensor(VDD) - trip) * 6.0) * F.sigmoid(trip * 6.0)
-
-        if self.kind == "ptanh":
-            amplitude = 0.5 * VDD * visibility
-            centre = Tensor(np.full(1, 0.5 * VDD)) + 0.0 * trip
-            slope = k1 * gain1 * k2 * gain2 * 0.25
-        else:
-            # Negative-weight target is −inv(V) = VDD − k2·V_d1 (Eq. 3 fit).
-            amplitude = 0.5 * VDD * k2 * visibility
-            centre = Tensor(VDD) - k2 * (0.5 * VDD) + 0.0 * trip
-            slope = k1 * gain1 * 0.5
-
-        steepness = slope / (amplitude + 1e-3)
-        steepness = F.clip(steepness, 0.5, 200.0)
-        return F.concatenate([centre, amplitude, trip, steepness], axis=-1)
+        return kernels.analytic_eta(
+            omega,
+            self.kind,
+            self.model.k_prime,
+            self.model.v_threshold,
+            VDD,
+            SECOND_STAGE_LOAD,
+            ops=TENSOR_OPS,
+        )
 
     # ------------------------------------------------------------------ #
     # public API                                                         #

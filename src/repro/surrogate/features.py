@@ -18,7 +18,7 @@ from typing import Dict, Union
 
 import numpy as np
 
-from repro.autograd import functional as F
+from repro.autograd.functional import TENSOR_OPS
 from repro.autograd.tensor import Tensor
 
 ArrayOrTensor = Union[np.ndarray, Tensor]
@@ -31,26 +31,19 @@ def extend_with_ratios(omega: ArrayOrTensor) -> ArrayOrTensor:
     """Append [k1, k2, k3] to ω; works on arrays and autodiff tensors.
 
     ``omega`` may have any number of leading batch dimensions; the last axis
-    must hold the 7 physical parameters of Table I.
+    must hold the 7 physical parameters of Table I.  The math lives in
+    :func:`repro.core.kernels.extend_with_ratios`; this wrapper dispatches
+    on the value type and validates the numpy case.  (The kernels import is
+    deferred: ``repro.core`` imports this module during its own init.)
     """
+    from repro.core import kernels
+
     if isinstance(omega, Tensor):
-        r1 = omega[..., 0:1]
-        r2 = omega[..., 1:2]
-        r3 = omega[..., 2:3]
-        r4 = omega[..., 3:4]
-        width = omega[..., 5:6]
-        length = omega[..., 6:7]
-        k1 = r2 / r1
-        k2 = r4 / r3
-        k3 = width / length
-        return F.concatenate([omega, k1, k2, k3], axis=-1)
+        return kernels.extend_with_ratios(omega, ops=TENSOR_OPS)
     omega = np.asarray(omega, dtype=np.float64)
     if omega.shape[-1] != 7:
         raise ValueError("last axis of omega must hold the 7 Table-I parameters")
-    k1 = omega[..., 1:2] / omega[..., 0:1]
-    k2 = omega[..., 3:4] / omega[..., 2:3]
-    k3 = omega[..., 5:6] / omega[..., 6:7]
-    return np.concatenate([omega, k1, k2, k3], axis=-1)
+    return kernels.extend_with_ratios(omega)
 
 
 @dataclass

@@ -1,0 +1,137 @@
+"""Equivalence of the autograd Module path and the stateless kernel path.
+
+The refactor's core guarantee: a frozen :class:`~repro.core.params.PNNParams`
+snapshot evaluated through :mod:`repro.core.kernels` produces the same output
+voltages as the live autograd network — across variation levels, activation
+sharing modes, and both surrogate backends — and Monte-Carlo evaluation is
+invariant to the compute chunk size ``batch_mc``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import no_grad
+from repro.core import (
+    SAMPLE_BLOCK,
+    PrintedNeuralNetwork,
+    TrainConfig,
+    evaluate_mc,
+    evaluate_mc_autograd,
+    kernels,
+    snapshot_params,
+    train_pnn,
+)
+from repro.core.variation import VariationModel
+
+#: The property-test tolerance from the PR acceptance criteria.  In practice
+#: both paths execute the identical op sequence and agree exactly.
+TOLERANCE = 1e-9
+
+
+def make_pnn(surrogates, per_neuron, sizes=(4, 3, 3), seed=7):
+    pnn = PrintedNeuralNetwork(
+        list(sizes), surrogates, per_neuron_activation=per_neuron,
+        rng=np.random.default_rng(seed),
+    )
+    # Nudge parameters off the init point so the test is non-degenerate.
+    nudge = np.random.default_rng(1)
+    for param in pnn.parameters():
+        param.data = param.data + 0.05 * nudge.standard_normal(param.data.shape)
+    return pnn
+
+
+class TestForwardEquivalence:
+    """Module forward vs kernel ``network_forward`` on identical ε streams."""
+
+    @pytest.mark.parametrize("per_neuron", [False, True])
+    @pytest.mark.parametrize("epsilon", [0.0, 0.05, 0.10])
+    def test_analytic_surrogate(self, analytic_surrogates, per_neuron, epsilon):
+        self._check(analytic_surrogates, per_neuron, epsilon)
+
+    @pytest.mark.parametrize("per_neuron", [False, True])
+    @pytest.mark.parametrize("epsilon", [0.0, 0.05, 0.10])
+    def test_nn_surrogate(self, tiny_bundle, per_neuron, epsilon):
+        self._check(tiny_bundle, per_neuron, epsilon)
+
+    @staticmethod
+    def _check(surrogates, per_neuron, epsilon):
+        pnn = make_pnn(surrogates, per_neuron)
+        params = snapshot_params(pnn)
+        x = np.random.default_rng(42).uniform(0.0, 1.0, size=(11, 4))
+        n_mc = 4 if epsilon > 0 else 1
+
+        with no_grad():
+            module_out = pnn.forward(
+                x, variation=VariationModel(epsilon, seed=5), n_mc=n_mc
+            ).data
+        kernel_out = kernels.network_forward(
+            params, x, variation=VariationModel(epsilon, seed=5), n_mc=n_mc
+        )
+
+        assert kernel_out.shape == module_out.shape == (n_mc, 11, 3)
+        assert np.abs(kernel_out - module_out).max() <= TOLERANCE
+
+    def test_predict_delegates_to_kernels(self, analytic_surrogates):
+        pnn = make_pnn(analytic_surrogates, per_neuron=False)
+        x = np.random.default_rng(3).uniform(0.0, 1.0, size=(9, 4))
+        np.testing.assert_array_equal(
+            pnn.predict(x, variation=VariationModel(0.1, seed=2), n_mc=3),
+            snapshot_params(pnn).predict(x, variation=VariationModel(0.1, seed=2), n_mc=3),
+        )
+
+
+@pytest.fixture(scope="module")
+def trained_blob_pnn(blob_data):
+    """A briefly-trained network so MC accuracies actually vary with ε."""
+    from repro.surrogate import AnalyticSurrogate
+
+    x_train, y_train, x_val, y_val = blob_data
+
+    pnn = PrintedNeuralNetwork(
+        [2, 3, 2],
+        (AnalyticSurrogate("ptanh"), AnalyticSurrogate("negweight")),
+        rng=np.random.default_rng(13),
+    )
+    config = TrainConfig(max_epochs=60, patience=60, epsilon=0.0, seed=13)
+    train_pnn(pnn, x_train, y_train, x_val, y_val, config)
+    return pnn
+
+
+class TestChunkInvariance:
+    """``evaluate_mc`` must be exactly invariant to ``batch_mc``."""
+
+    def test_batch_mc_does_not_change_results(self, trained_blob_pnn, blob_data):
+        _, _, x_val, y_val = blob_data
+        params = snapshot_params(trained_blob_pnn)
+        reference = evaluate_mc(
+            params, x_val, y_val, epsilon=0.1, n_test=23, seed=11, batch_mc=20
+        )
+        # Non-degenerate: variation must actually move some accuracies.
+        assert len(set(reference.accuracies.tolist())) > 1
+        for batch_mc in (1, 7, 23, 64):
+            other = evaluate_mc(
+                params, x_val, y_val, epsilon=0.1, n_test=23, seed=11, batch_mc=batch_mc
+            )
+            np.testing.assert_array_equal(other.accuracies, reference.accuracies)
+
+    def test_matches_autograd_reference_at_sample_block(
+        self, trained_blob_pnn, blob_data
+    ):
+        # At batch_mc == SAMPLE_BLOCK both paths consume the variation
+        # stream in identical blocks, so agreement is bit-for-bit.
+        _, _, x_val, y_val = blob_data
+        kernel = evaluate_mc(
+            trained_blob_pnn, x_val, y_val, epsilon=0.1,
+            n_test=2 * SAMPLE_BLOCK + 3, seed=4, batch_mc=SAMPLE_BLOCK,
+        )
+        autograd = evaluate_mc_autograd(
+            trained_blob_pnn, x_val, y_val, epsilon=0.1,
+            n_test=2 * SAMPLE_BLOCK + 3, seed=4, batch_mc=SAMPLE_BLOCK,
+        )
+        np.testing.assert_array_equal(kernel.accuracies, autograd.accuracies)
+
+    def test_nominal_paths_agree(self, trained_blob_pnn, blob_data):
+        _, _, x_val, y_val = blob_data
+        kernel = evaluate_mc(trained_blob_pnn, x_val, y_val, epsilon=0.0)
+        autograd = evaluate_mc_autograd(trained_blob_pnn, x_val, y_val, epsilon=0.0)
+        np.testing.assert_array_equal(kernel.accuracies, autograd.accuracies)

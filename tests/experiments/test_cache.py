@@ -13,7 +13,7 @@ from repro.experiments import (
     execute_job,
     job_digest,
 )
-from repro.experiments.jobs import JobKey, rebuild_design
+from repro.experiments.jobs import JobKey
 
 MICRO = ExperimentConfig(
     seeds=(1,), max_epochs=12, patience=12, n_mc_train=2, n_test=4, max_train=50,
@@ -61,14 +61,13 @@ class TestRoundTrip:
         assert not cache.contains(digest)
         assert cache.load_outcome(digest) is None
 
-        pnn = rebuild_design(outcome, analytic_surrogates)
-        cache.store(digest, pnn, outcome, analytic_surrogates)
+        cache.store(digest, outcome, analytic_surrogates)
         assert cache.contains(digest)
         assert len(cache) == 1
 
         restored = cache.load_outcome(digest)
         assert restored.key == KEY
-        assert restored.cache_hit and restored.state is None
+        assert restored.cache_hit and restored.params is None
         assert restored.val_loss == outcome.val_loss
         assert restored.epochs_run == outcome.epochs_run
 
@@ -78,10 +77,33 @@ class TestRoundTrip:
         cache = ResultCache(tmp_path / "cache")
         fp = surrogate_fingerprint(analytic_surrogates)
         digest = job_digest(KEY, MICRO, fp)
-        pnn = rebuild_design(outcome, analytic_surrogates)
-        cache.store(digest, pnn, outcome, analytic_surrogates)
+        cache.store(digest, outcome, analytic_surrogates)
 
         loaded = cache.load_design(digest, analytic_surrogates)
+        splits = load_splits("iris", seed=0, max_train=MICRO.max_train)
+        np.testing.assert_array_equal(
+            loaded.predict(splits.x_test), outcome.params.predict(splits.x_test)
+        )
+
+    def test_legacy_module_state_entry_loads(self, tmp_path, analytic_surrogates, outcome):
+        # Entries written before the PNNParams refactor hold save_pnn module
+        # state; load_design must rebuild + snapshot them transparently.
+        from repro.core import PrintedNeuralNetwork, save_pnn
+        from repro.core.params import PNNParams
+        from repro.datasets import load_splits
+
+        cache = ResultCache(tmp_path / "cache")
+        fp = surrogate_fingerprint(analytic_surrogates)
+        digest = job_digest(KEY, MICRO, fp)
+        pnn = PrintedNeuralNetwork(
+            list(outcome.topology), analytic_surrogates,
+            per_neuron_activation=outcome.per_neuron_activation,
+            rng=np.random.default_rng(KEY.seed),
+        )
+        save_pnn(pnn, cache.design_path(digest), surrogates=analytic_surrogates)
+
+        loaded = cache.load_design(digest, analytic_surrogates)
+        assert isinstance(loaded, PNNParams)
         splits = load_splits("iris", seed=0, max_train=MICRO.max_train)
         np.testing.assert_array_equal(
             loaded.predict(splits.x_test), pnn.predict(splits.x_test)
@@ -90,9 +112,7 @@ class TestRoundTrip:
     def test_config_change_misses(self, tmp_path, analytic_surrogates, outcome):
         cache = ResultCache(tmp_path / "cache")
         fp = surrogate_fingerprint(analytic_surrogates)
-        cache.store(job_digest(KEY, MICRO, fp),
-                    rebuild_design(outcome, analytic_surrogates),
-                    outcome, analytic_surrogates)
+        cache.store(job_digest(KEY, MICRO, fp), outcome, analytic_surrogates)
         changed = MICRO.with_overrides(lr_theta=0.05)
         assert cache.load_outcome(job_digest(KEY, changed, fp)) is None
 

@@ -3,13 +3,13 @@
 import numpy as np
 import pytest
 
+from repro.core.params import PNNParams
 from repro.experiments import ExperimentConfig, enumerate_jobs, execute_job
 from repro.experiments.config import SETUPS, TEST_EPSILONS, Setup
 from repro.experiments.jobs import (
     SPLIT_SEED,
     JobKey,
     iter_cells,
-    rebuild_design,
     train_epsilon,
 )
 from repro.experiments.runner import mc_evaluation_seed
@@ -66,27 +66,23 @@ class TestExecution:
         second = execute_job(key, MICRO, analytic_surrogates)
         assert first.val_loss == second.val_loss
         assert first.epochs_run == second.epochs_run
-        for name in first.state:
-            np.testing.assert_array_equal(first.state[name], second.state[name])
+        for a, b in zip(first.params.layers, second.params.layers):
+            np.testing.assert_array_equal(a.theta, b.theta)
+            np.testing.assert_array_equal(a.act_omega, b.act_omega)
+            np.testing.assert_array_equal(a.neg_omega, b.neg_omega)
 
-    def test_rebuild_design_roundtrip(self, analytic_surrogates):
+    def test_outcome_params_snapshot(self, analytic_surrogates):
         from repro.datasets import load_splits
 
         key = JobKey("iris", True, True, 0.05, 1)
         outcome = execute_job(key, MICRO, analytic_surrogates)
-        pnn = rebuild_design(outcome, analytic_surrogates)
+        assert isinstance(outcome.params, PNNParams)
+        assert outcome.params.layer_sizes == outcome.topology
         splits = load_splits("iris", seed=SPLIT_SEED, max_train=MICRO.max_train)
         np.testing.assert_array_equal(
-            pnn.predict(splits.x_test), rebuild_design(outcome, analytic_surrogates).predict(splits.x_test)
+            outcome.params.predict(splits.x_test),
+            execute_job(key, MICRO, analytic_surrogates).params.predict(splits.x_test),
         )
-        assert pnn.state_dict().keys() == outcome.state.keys()
-
-    def test_rebuild_without_state_raises(self, analytic_surrogates):
-        key = JobKey("iris", False, False, 0.0, 1)
-        outcome = execute_job(key, MICRO, analytic_surrogates)
-        outcome.state = None
-        with pytest.raises(ValueError, match="no parameter state"):
-            rebuild_design(outcome, analytic_surrogates)
 
 
 class TestEvaluationSeed:
