@@ -17,8 +17,12 @@ This package is the paper's primary contribution (Sec. III):
   Fig. 5) as pure functions over pluggable array backends;
 - :mod:`~repro.core.params` — immutable :class:`PNNParams` inference
   snapshots executed by the kernels without autograd;
+- :mod:`~repro.core.grad_kernels` — hand-derived backward kernels (VJPs)
+  for every forward kernel, packaged as the autograd-free
+  :class:`KernelNetwork` training engine;
 - :mod:`~repro.core.training` — nominal and variation-aware training
-  (Monte-Carlo expected loss, N_train = 20);
+  (Monte-Carlo expected loss, N_train = 20) with selectable execution
+  engine (``"kernel"`` fast path / ``"autograd"`` cross-check);
 - :mod:`~repro.core.evaluation` — Monte-Carlo test evaluation
   (N_test = 100) reporting mean ± std accuracy as in Table II, running
   through the autograd-free kernel path.
@@ -37,6 +41,7 @@ from repro.core.player import PrintedLayer
 from repro.core.pnn import PrintedNeuralNetwork
 from repro.core.variation import VariationModel
 from repro.core.losses import MarginLoss, make_loss
+from repro.core.grad_kernels import KernelNetwork, Workspace
 from repro.core.training import TrainConfig, TrainResult, train_pnn
 from repro.core.evaluation import (
     SAMPLE_BLOCK,
@@ -69,6 +74,8 @@ __all__ = [
     "VariationModel",
     "MarginLoss",
     "make_loss",
+    "KernelNetwork",
+    "Workspace",
     "TrainConfig",
     "TrainResult",
     "train_pnn",

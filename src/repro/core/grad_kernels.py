@@ -1,0 +1,933 @@
+"""Hand-derived backward kernels: the pNN gradient path without autograd.
+
+:mod:`repro.core.kernels` made *inference* autograd-free; this module does
+the same for *training*.  Every forward kernel gets a hand-derived
+vector–Jacobian product (VJP), so one variation-aware training epoch — the
+Monte-Carlo expected loss of Sec. III-C over ``n_mc`` fabricated circuit
+instances — runs as a handful of plain-``numpy`` array operations instead
+of a dynamically-taped autograd graph:
+
+- Eq. 1 crossbar routing (:func:`crossbar_fwd` / :func:`crossbar_bwd`),
+  including the normalization denominator and the sign-based routing mask
+  (which, like the autograd path, carries no gradient);
+- the Fig. 5 ω-reassembly chain (:func:`reassemble_omega_fwd` /
+  :func:`reassemble_omega_bwd`) with the straight-through gradient of the
+  ``R2 = k1·R1`` / ``R4 = k2·R3`` feasibility clips;
+- both ω → η surrogate backends: the ratio-extend → normalize → MLP →
+  denormalize chain (:func:`mlp_eta_fwd` / :func:`mlp_eta_bwd`; surrogate
+  weights are frozen during pNN training, so only the input VJP is needed)
+  and the closed-form analytic surrogate (:func:`analytic_eta_fwd` /
+  :func:`analytic_eta_bwd`);
+- the Eq. 2/3 tanh-like transfer (:func:`transfer_fwd` /
+  :func:`transfer_bwd`);
+- the chain rule through the multiplicative printing-variation factors onto
+  the printable θ and ω (inside :class:`KernelNetwork`);
+- the margin and voltage-cross-entropy losses (:func:`margin_loss_fwd` /
+  :func:`margin_loss_bwd`, :func:`ce_loss_fwd` / :func:`ce_loss_bwd`).
+
+The formulas mirror :mod:`repro.autograd.functional` adjoint for adjoint
+(same straight-through estimators, same strict ReLU mask, same stable
+sigmoid), so gradients agree with the taped reference to float64 rounding —
+pinned by ``tests/core/test_grad_kernels.py`` against both finite
+differences and the autograd engine.
+
+:class:`KernelNetwork` packages the kernels into a training engine over a
+live :class:`~repro.core.pnn.PrintedNeuralNetwork`: it freezes the static
+structure (surrogate snapshots, design-space bounds, conductance limits),
+keeps per-epoch :class:`Workspace` buffers so the steady-state epoch
+allocates almost nothing of size ``(n_mc, batch, features)``, and exposes
+raw parameter arrays that :class:`repro.optim.RawParameter` /
+:class:`~repro.optim.Adam` update directly — no ``Tensor`` wrapper, graph
+node, or state-dict copy is materialized per epoch.
+:func:`repro.core.training.train_pnn` dispatches here by default
+(``engine="kernel"``), keeping the autograd loop as the slow cross-check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.kernels import (
+    BIAS_VOLTAGE,
+    positive_route_mask,
+    stable_sigmoid,
+)
+from repro.core.params import (
+    LayerParams,
+    PNNParams,
+    SurrogateParams,
+    snapshot_surrogate,
+)
+
+Epsilons = Optional[Sequence[Tuple[Optional[np.ndarray], ...]]]
+
+
+# --------------------------------------------------------------------- #
+# workspace                                                             #
+# --------------------------------------------------------------------- #
+
+
+class Workspace:
+    """Named, shape-checked scratch buffers reused across epochs.
+
+    Training shapes are constant over a run (full-batch, fixed ``n_mc``),
+    so the large ``(n_mc, batch, features)`` intermediates of every epoch
+    can live in preallocated buffers.  Buffers are keyed by name; a shape
+    change (e.g. the first call, or switching between the train and
+    validation batch) reallocates that one buffer.
+    """
+
+    def __init__(self):
+        self._buffers: Dict[str, np.ndarray] = {}
+
+    def buf(self, name: str, shape: Tuple[int, ...]) -> np.ndarray:
+        shape = tuple(int(s) for s in shape)
+        buffer = self._buffers.get(name)
+        if buffer is None or buffer.shape != shape:
+            buffer = np.empty(shape, dtype=np.float64)
+            self._buffers[name] = buffer
+        return buffer
+
+    def nbytes(self) -> int:
+        return sum(b.nbytes for b in self._buffers.values())
+
+
+# --------------------------------------------------------------------- #
+# Fig. 5 steps 1–3: raw 𝔴 → printable ω                                 #
+# --------------------------------------------------------------------- #
+
+
+def project_printable(theta: np.ndarray, g_min: float, g_max: float) -> np.ndarray:
+    """Forward of the printable-conductance projection (STE backward).
+
+    Identical to :func:`repro.autograd.functional.project_printable_ste`'s
+    forward; the backward pass is the identity, so no companion ``_bwd``
+    function exists — callers pass the printable-θ gradient straight
+    through to the raw θ.
+    """
+    magnitude = np.abs(theta)
+    snapped = np.where(magnitude < g_min / 2.0, 0.0, np.clip(magnitude, g_min, g_max))
+    return np.sign(theta) * snapped
+
+
+def reassemble_omega_fwd(w_raw: np.ndarray, space) -> Tuple[np.ndarray, tuple]:
+    """Fig. 5 steps 1–3 forward: raw 𝔴 ``(C, 7)`` → printable ω ``(C, 7)``.
+
+    Returns the printable component matrix and the context needed by
+    :func:`reassemble_omega_bwd`.
+    """
+    squashed = stable_sigmoid(w_raw)
+    lower = space.reduced_lower
+    span = space.reduced_upper - space.reduced_lower
+    reduced = squashed * span + lower
+
+    r1 = reduced[:, 0:1]
+    r3 = reduced[:, 1:2]
+    r5 = reduced[:, 2:3]
+    width = reduced[:, 3:4]
+    length = reduced[:, 4:5]
+    k1 = reduced[:, 5:6]
+    k2 = reduced[:, 6:7]
+    r2 = np.clip(k1 * r1, space.lower[1], space.upper[1])
+    r4 = np.clip(k2 * r3, space.lower[3], space.upper[3])
+    omega = np.concatenate([r1, r2, r3, r4, r5, width, length], axis=1)
+    return omega, (squashed, span, r1, r3, k1, k2)
+
+
+def reassemble_omega_bwd(d_omega: np.ndarray, ctx: tuple) -> np.ndarray:
+    """VJP of :func:`reassemble_omega_fwd`: dω ``(C, 7)`` → d𝔴 ``(C, 7)``.
+
+    The feasibility clips on R2/R4 use the straight-through estimator
+    (matching ``clip_ste``), so their gradient reaches ``k1·R1`` / ``k2·R3``
+    unchanged even when the product is clipped.
+    """
+    squashed, span, r1, r3, k1, k2 = ctx
+    d_r1 = d_omega[:, 0:1].copy()
+    d_r2 = d_omega[:, 1:2]                     # straight-through clip
+    d_r3 = d_omega[:, 2:3].copy()
+    d_r4 = d_omega[:, 3:4]                     # straight-through clip
+    d_k1 = d_r2 * r1
+    d_r1 += d_r2 * k1
+    d_k2 = d_r4 * r3
+    d_r3 += d_r4 * k2
+    d_reduced = np.concatenate(
+        [d_r1, d_r3, d_omega[:, 4:5], d_omega[:, 5:6], d_omega[:, 6:7], d_k1, d_k2],
+        axis=1,
+    )
+    return d_reduced * span * squashed * (1.0 - squashed)
+
+
+# --------------------------------------------------------------------- #
+# ω → η surrogates                                                      #
+# --------------------------------------------------------------------- #
+
+
+def mlp_eta_fwd(omega: np.ndarray, sp: SurrogateParams) -> Tuple[np.ndarray, tuple]:
+    """NN-surrogate forward ω ``(..., 7)`` → η ``(..., 4)`` with context.
+
+    Runs the ratio-extend → min-max normalize → tanh-MLP → denormalize
+    chain and records the per-layer tanh activations the backward pass
+    needs.  The MLP weights are part of the frozen surrogate snapshot —
+    only the VJP w.r.t. ω is ever required during pNN training.
+    """
+    r1 = omega[..., 0:1]
+    r2 = omega[..., 1:2]
+    r3 = omega[..., 2:3]
+    r4 = omega[..., 3:4]
+    width = omega[..., 5:6]
+    length = omega[..., 6:7]
+    extended = np.concatenate(
+        [omega, r2 / r1, r4 / r3, width / length], axis=-1
+    )
+    hidden = (extended - sp.input_min) / sp.input_span
+    activations: List[np.ndarray] = []
+    for weight, bias in zip(sp.weights[:-1], sp.biases[:-1]):
+        hidden = np.tanh(hidden @ weight + bias)
+        activations.append(hidden)
+    eta_norm = hidden @ sp.weights[-1] + sp.biases[-1]
+    eta = eta_norm * sp.eta_span + sp.eta_min
+    return eta, (omega, activations)
+
+
+def mlp_eta_bwd(d_eta: np.ndarray, ctx: tuple, sp: SurrogateParams) -> np.ndarray:
+    """VJP of :func:`mlp_eta_fwd`: dη ``(..., 4)`` → dω ``(..., 7)``."""
+    omega, activations = ctx
+    grad = (d_eta * sp.eta_span) @ sp.weights[-1].T
+    for weight, hidden in zip(reversed(sp.weights[:-1]), reversed(activations)):
+        grad = (grad * (1.0 - hidden * hidden)) @ weight.T
+    d_ext = grad / sp.input_span
+
+    r1 = omega[..., 0:1]
+    r2 = omega[..., 1:2]
+    r3 = omega[..., 2:3]
+    r4 = omega[..., 3:4]
+    width = omega[..., 5:6]
+    length = omega[..., 6:7]
+    d_omega = d_ext[..., 0:7].copy()
+    d_k1 = d_ext[..., 7:8]
+    d_k2 = d_ext[..., 8:9]
+    d_k3 = d_ext[..., 9:10]
+    d_omega[..., 1:2] += d_k1 / r1
+    d_omega[..., 0:1] += -d_k1 * r2 / (r1 * r1)
+    d_omega[..., 3:4] += d_k2 / r3
+    d_omega[..., 2:3] += -d_k2 * r4 / (r3 * r3)
+    d_omega[..., 5:6] += d_k3 / length
+    d_omega[..., 6:7] += -d_k3 * width / (length * length)
+    return d_omega
+
+
+def analytic_eta_fwd(omega: np.ndarray, sp: SurrogateParams) -> Tuple[np.ndarray, tuple]:
+    """Analytic-surrogate forward ω → η with calibration, saving context.
+
+    Mirrors :func:`repro.core.kernels.analytic_eta` (first-order circuit
+    analysis) followed by the per-η affine calibration
+    ``η = raw · scale + shift``.
+    """
+    r1 = omega[..., 0:1]
+    r2 = omega[..., 1:2]
+    r3 = omega[..., 2:3]
+    r4 = omega[..., 3:4]
+    r5 = omega[..., 4:5]
+    width = omega[..., 5:6]
+    length = omega[..., 6:7]
+    vdd, vt = sp.vdd, sp.v_threshold
+
+    s1 = r1 + r2
+    k1 = r2 / s1
+    s2 = r3 + r4
+    k2 = r4 / s2
+    beta = sp.k_prime * width / length
+
+    divider_chain = r3 + r4
+    load_den = r5 + divider_chain
+    load1 = r5 * divider_chain / load_den
+    bl = beta * load1
+    overdrive = np.sqrt(vdd / bl)
+    k1_eps = k1 + 1e-9
+    trip = (overdrive + vt) / k1_eps
+
+    gain1 = np.sqrt(beta * vdd * load1)
+    gain2 = np.sqrt(beta * vdd * sp.second_stage_load)
+
+    sig_hi = stable_sigmoid((vdd - trip) * 6.0)
+    sig_lo = stable_sigmoid(trip * 6.0)
+    visibility = sig_hi * sig_lo
+
+    if sp.kind == "ptanh":
+        amplitude = 0.5 * vdd * visibility
+        centre = np.broadcast_to(np.full(1, 0.5 * vdd), trip.shape).copy()
+        slope = k1 * gain1 * k2 * gain2 * 0.25
+    else:
+        amplitude = 0.5 * vdd * k2 * visibility
+        centre = vdd - k2 * (0.5 * vdd) + 0.0 * trip
+        slope = k1 * gain1 * 0.5
+
+    amp_eps = amplitude + 1e-3
+    steep_pre = slope / amp_eps
+    steepness = np.clip(steep_pre, 0.5, 200.0)
+    raw = np.concatenate([centre, amplitude, trip, steepness], axis=-1)
+    eta = raw * sp.scale + sp.shift
+    ctx = (
+        omega, s1, k1, s2, k2, beta, divider_chain, load_den, load1, bl,
+        overdrive, k1_eps, trip, gain1, gain2, sig_hi, sig_lo, visibility,
+        slope, amp_eps, steep_pre,
+    )
+    return eta, ctx
+
+
+def analytic_eta_bwd(d_eta: np.ndarray, ctx: tuple, sp: SurrogateParams) -> np.ndarray:
+    """VJP of :func:`analytic_eta_fwd`: dη ``(..., 4)`` → dω ``(..., 7)``.
+
+    The exact-clip on the steepness contributes zero gradient outside
+    ``[0.5, 200]`` (matching ``ops.clip``, not the straight-through
+    variant), and the constant part of the centre carries no gradient.
+    """
+    (omega, s1, k1, s2, k2, beta, divider_chain, load_den, load1, bl,
+     overdrive, k1_eps, trip, gain1, gain2, sig_hi, sig_lo, visibility,
+     slope, amp_eps, steep_pre) = ctx
+    r1 = omega[..., 0:1]
+    r2 = omega[..., 1:2]
+    r3 = omega[..., 2:3]
+    r4 = omega[..., 3:4]
+    r5 = omega[..., 4:5]
+    width = omega[..., 5:6]
+    length = omega[..., 6:7]
+    vdd, vt = sp.vdd, sp.v_threshold
+
+    d_raw = d_eta * sp.scale
+    d_centre = d_raw[..., 0:1]
+    d_amplitude = d_raw[..., 1:2].copy()
+    d_trip = d_raw[..., 2:3].copy()
+    d_steep = d_raw[..., 3:4]
+
+    clip_mask = ((steep_pre >= 0.5) & (steep_pre <= 200.0)).astype(np.float64)
+    d_pre = d_steep * clip_mask
+    d_slope = d_pre / amp_eps
+    d_amplitude += -d_pre * slope / (amp_eps * amp_eps)
+
+    if sp.kind == "ptanh":
+        d_visibility = 0.5 * vdd * d_amplitude
+        d_k1 = d_slope * gain1 * k2 * gain2 * 0.25
+        d_gain1 = d_slope * k1 * k2 * gain2 * 0.25
+        d_k2 = d_slope * k1 * gain1 * gain2 * 0.25
+        d_gain2 = d_slope * k1 * gain1 * k2 * 0.25
+        # centre is the constant VDD/2: no gradient.
+    else:
+        d_visibility = 0.5 * vdd * k2 * d_amplitude
+        d_k2 = 0.5 * vdd * visibility * d_amplitude
+        d_k2 += -(0.5 * vdd) * d_centre          # centre = VDD − k2·VDD/2
+        d_k1 = d_slope * gain1 * 0.5
+        d_gain1 = d_slope * k1 * 0.5
+        d_gain2 = np.zeros_like(d_slope)
+
+    d_sig_hi = d_visibility * sig_lo
+    d_sig_lo = d_visibility * sig_hi
+    d_trip += -6.0 * d_sig_hi * sig_hi * (1.0 - sig_hi)
+    d_trip += 6.0 * d_sig_lo * sig_lo * (1.0 - sig_lo)
+
+    d_overdrive = d_trip / k1_eps
+    d_k1 += -d_trip * (overdrive + vt) / (k1_eps * k1_eps)
+
+    d_beta = d_gain2 * (vdd * sp.second_stage_load) * 0.5 / gain2
+    d_beta += d_gain1 * (vdd * load1) * 0.5 / gain1
+    d_load1 = d_gain1 * (beta * vdd) * 0.5 / gain1
+    d_bl = -d_overdrive * 0.5 / overdrive * vdd / (bl * bl)
+    d_beta += d_bl * load1
+    d_load1 += d_bl * beta
+
+    d_num = d_load1 / load_den
+    d_den = -d_load1 * load1 / load_den
+    d_r5 = d_num * divider_chain + d_den
+    d_chain = d_num * r5 + d_den
+    d_r3 = d_chain.copy()
+    d_r4 = d_chain.copy()
+
+    d_width = d_beta * sp.k_prime / length
+    d_length = -d_beta * sp.k_prime * width / (length * length)
+
+    d_r4 += d_k2 / s2
+    d_s2 = -d_k2 * r4 / (s2 * s2)
+    d_r3 += d_s2
+    d_r4 += d_s2
+
+    d_r2 = d_k1 / s1
+    d_s1 = -d_k1 * r2 / (s1 * s1)
+    d_r1 = d_s1.copy()
+    d_r2 += d_s1
+
+    return np.concatenate(
+        [d_r1, d_r2, d_r3, d_r4, d_r5, d_width, d_length], axis=-1
+    )
+
+
+def surrogate_eta_fwd(omega: np.ndarray, sp: SurrogateParams) -> Tuple[np.ndarray, tuple]:
+    """Dispatch ω → η on the surrogate backend, returning (η, context)."""
+    if sp.backend == "mlp":
+        return mlp_eta_fwd(omega, sp)
+    if sp.backend == "analytic":
+        return analytic_eta_fwd(omega, sp)
+    raise ValueError(f"unknown surrogate backend {sp.backend!r}")
+
+
+def surrogate_eta_bwd(d_eta: np.ndarray, ctx: tuple, sp: SurrogateParams) -> np.ndarray:
+    """Dispatch the η VJP on the surrogate backend."""
+    if sp.backend == "mlp":
+        return mlp_eta_bwd(d_eta, ctx, sp)
+    return analytic_eta_bwd(d_eta, ctx, sp)
+
+
+# --------------------------------------------------------------------- #
+# Eqs. 2–3 — tanh-like transfer                                         #
+# --------------------------------------------------------------------- #
+
+
+def transfer_fwd(
+    voltage: np.ndarray, eta: np.ndarray, kind: str
+) -> Tuple[np.ndarray, tuple]:
+    """Eq. 2/3 forward: voltages ``(N, B, F)``, η ``(N, C, 4)`` → output.
+
+    With one shared circuit (``C = 1``) the same η applies to every output
+    column; with per-neuron circuits ``F`` must equal ``C``.
+    """
+    n_eta, n_circuits = eta.shape[0], eta.shape[1]
+    shape = (n_eta, 1, 1) if n_circuits == 1 else (n_eta, 1, n_circuits)
+    eta1 = eta[:, :, 0].reshape(shape)
+    eta2 = eta[:, :, 1].reshape(shape)
+    eta3 = eta[:, :, 2].reshape(shape)
+    eta4 = eta[:, :, 3].reshape(shape)
+    shifted = voltage - eta3
+    tanh_u = np.tanh(shifted * eta4)
+    core = eta1 + eta2 * tanh_u
+    out = -core if kind == "negweight" else core
+    return out, (kind, n_eta, n_circuits, eta2, eta4, shifted, tanh_u)
+
+
+def transfer_bwd(grad: np.ndarray, ctx: tuple) -> Tuple[np.ndarray, np.ndarray]:
+    """VJP of :func:`transfer_fwd` → (d_voltage ``(N,B,F)``, dη ``(N,C,4)``).
+
+    η gradients reduce over the batch axis, and — for a shared circuit —
+    over the output-column axis as well.
+    """
+    kind, n_eta, n_circuits, eta2, eta4, shifted, tanh_u = ctx
+    d_core = -grad if kind == "negweight" else grad
+    d_tanh = d_core * eta2
+    d_u = d_tanh * (1.0 - tanh_u * tanh_u)
+    d_voltage = d_u * eta4
+
+    axes = (1, 2) if n_circuits == 1 else (1,)
+
+    def reduce(term):
+        # Unbroadcast back to η's (n_eta, n_circuits): batch axis always,
+        # the column axis for a shared circuit, and the MC axis when η was
+        # nominal (leading 1) against a broadcasted MC voltage batch.
+        r = term.sum(axis=axes, keepdims=True)
+        if n_eta == 1 and r.shape[0] > 1:
+            r = r.sum(axis=0, keepdims=True)
+        return r.reshape(n_eta, n_circuits)
+
+    d_eta1 = reduce(d_core)
+    d_eta2 = reduce(d_core * tanh_u)
+    d_eta3 = -reduce(d_voltage)
+    d_eta4 = reduce(d_u * shifted)
+    d_eta = np.stack([d_eta1, d_eta2, d_eta3, d_eta4], axis=-1)
+    return d_voltage, d_eta
+
+
+# --------------------------------------------------------------------- #
+# Eq. 1 — crossbar routing                                              #
+# --------------------------------------------------------------------- #
+
+
+def crossbar_fwd(
+    x_aug: np.ndarray,
+    inverted: np.ndarray,
+    theta_eff: np.ndarray,
+    ws: Optional[Workspace] = None,
+    tag: str = "cb",
+) -> Tuple[np.ndarray, tuple]:
+    """Eq. 1 forward: normalized weighted sum with negative-weight routing.
+
+    ``theta_eff`` is ``(N | 1, in+2, out)``; the routing mask follows the
+    *sign* of the effective conductances and carries no gradient (exactly
+    like the autograd path, where it is a constant tensor).
+    """
+    ws = ws or Workspace()
+    n_mc, batch, _ = x_aug.shape
+    n_out = theta_eff.shape[-1]
+    magnitude = np.abs(theta_eff)
+    route = positive_route_mask(theta_eff)
+    pos_w = magnitude * route
+    neg_w = magnitude * (1.0 - route)
+    numerator = np.matmul(x_aug, pos_w, out=ws.buf(f"{tag}.num", (n_mc, batch, n_out)))
+    numerator += np.matmul(
+        inverted, neg_w, out=ws.buf(f"{tag}.num2", (n_mc, batch, n_out))
+    )
+    denom = magnitude.sum(axis=1).reshape(theta_eff.shape[0], 1, n_out) + 1e-12
+    out = np.divide(numerator, denom, out=ws.buf(f"{tag}.out", (n_mc, batch, n_out)))
+    return out, (x_aug, inverted, theta_eff, route, pos_w, neg_w, numerator, denom)
+
+
+def crossbar_bwd(
+    grad: np.ndarray, ctx: tuple, ws: Optional[Workspace] = None, tag: str = "cb"
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """VJP of :func:`crossbar_fwd` → (d_x_aug, d_inverted, d_theta_eff).
+
+    The normalization denominator receives the full quotient-rule gradient
+    ``−g·num/denom²`` (reduced over the batch), which then broadcasts back
+    over every crossbar row — this is the term a naive "matmul-only"
+    backward would miss.
+    """
+    ws = ws or Workspace()
+    x_aug, inverted, theta_eff, route, pos_w, neg_w, numerator, denom = ctx
+    n_mc, batch, n_in = x_aug.shape
+    n_eff = theta_eff.shape[0]
+    n_out = theta_eff.shape[-1]
+
+    d_num = np.divide(grad, denom, out=ws.buf(f"{tag}.dnum", (n_mc, batch, n_out)))
+    d_denom_full = -grad * numerator / (denom * denom)
+    d_denom = d_denom_full.sum(axis=1, keepdims=True)         # (N, 1, O)
+    if n_eff == 1 and n_mc > 1:
+        d_denom = d_denom.sum(axis=0, keepdims=True)
+
+    d_x_aug = np.matmul(
+        d_num, pos_w.swapaxes(-1, -2), out=ws.buf(f"{tag}.dx", (n_mc, batch, n_in))
+    )
+    d_inverted = np.matmul(
+        d_num, neg_w.swapaxes(-1, -2), out=ws.buf(f"{tag}.dinv", (n_mc, batch, n_in))
+    )
+    d_pos_w = np.matmul(x_aug.swapaxes(-1, -2), d_num)        # (N, I+2, O)
+    d_neg_w = np.matmul(inverted.swapaxes(-1, -2), d_num)
+    if n_eff == 1 and n_mc > 1:
+        d_pos_w = d_pos_w.sum(axis=0, keepdims=True)
+        d_neg_w = d_neg_w.sum(axis=0, keepdims=True)
+    d_magnitude = d_denom + d_neg_w * (1.0 - route) + d_pos_w * route
+    d_theta_eff = d_magnitude * np.sign(theta_eff)
+    return d_x_aug, d_inverted, d_theta_eff
+
+
+# --------------------------------------------------------------------- #
+# losses                                                                #
+# --------------------------------------------------------------------- #
+
+
+def margin_loss_fwd(
+    voltages: np.ndarray, targets: np.ndarray, margin: float = 0.3
+) -> Tuple[float, tuple]:
+    """Mean squared hinge on voltage margins (numpy mirror of MarginLoss)."""
+    if voltages.ndim != 3:
+        raise ValueError("expected (n_mc, batch, classes) voltages")
+    n_mc, batch, n_classes = voltages.shape
+    targets = np.asarray(targets, dtype=np.int64)
+    if targets.shape != (batch,):
+        raise ValueError("targets must be one class index per batch row")
+    target_grid = np.broadcast_to(targets, (n_mc, batch))
+    expanded = target_grid[..., None]
+    true_voltage = np.take_along_axis(voltages, expanded, axis=-1)     # (N, B, 1)
+    pre = margin - (true_voltage - voltages)                           # (N, B, C)
+    shortfall = np.maximum(pre, 0.0)
+    mask = np.ones((n_mc, batch, n_classes))
+    np.put_along_axis(mask, expanded, 0.0, axis=-1)
+    loss = float((shortfall * shortfall * mask).sum(axis=-1).mean())
+    return loss, (pre, shortfall, mask, expanded, voltages.shape)
+
+
+def margin_loss_bwd(ctx: tuple) -> np.ndarray:
+    """VJP of :func:`margin_loss_fwd` → d_voltages ``(N, B, C)``."""
+    pre, shortfall, mask, expanded, shape = ctx
+    n_mc, batch, _ = shape
+    scale = 1.0 / (n_mc * batch)
+    d_shortfall = 2.0 * shortfall * mask * scale
+    d_pre = d_shortfall * (pre > 0.0)          # strict ReLU mask, as autograd
+    d_voltages = d_pre.copy()
+    d_true = -d_pre.sum(axis=-1, keepdims=True)
+    scattered = np.zeros(shape)
+    np.put_along_axis(scattered, expanded, d_true, axis=-1)
+    d_voltages += scattered
+    return d_voltages
+
+
+def ce_loss_fwd(
+    voltages: np.ndarray, targets: np.ndarray, temperature: float = 0.1
+) -> Tuple[float, tuple]:
+    """Softmax cross-entropy on scaled voltages (mirror of VoltageCrossEntropy)."""
+    if voltages.ndim != 3:
+        raise ValueError("expected (n_mc, batch, classes) voltages")
+    n_mc, batch, _ = voltages.shape
+    targets = np.broadcast_to(np.asarray(targets, dtype=np.int64), (n_mc, batch))
+    logits = voltages * (1.0 / temperature)
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    log_probs = shifted - log_norm
+    expanded = targets[..., None]
+    gathered = np.take_along_axis(log_probs, expanded, axis=-1)
+    loss = float(-gathered.mean())
+    return loss, (log_probs, expanded, temperature, voltages.shape)
+
+
+def ce_loss_bwd(ctx: tuple) -> np.ndarray:
+    """VJP of :func:`ce_loss_fwd` → d_voltages ``(N, B, C)``."""
+    log_probs, expanded, temperature, shape = ctx
+    n_mc, batch, _ = shape
+    softmax = np.exp(log_probs)
+    one_hot = np.zeros(shape)
+    np.put_along_axis(one_hot, expanded, 1.0, axis=-1)
+    d_logits = (softmax - one_hot) / (n_mc * batch)
+    return d_logits * (1.0 / temperature)
+
+
+#: Loss registry: name → (forward, backward) pair used by the engine.
+LOSS_KERNELS = {
+    "margin": (margin_loss_fwd, margin_loss_bwd),
+    "ce": (ce_loss_fwd, ce_loss_bwd),
+}
+
+
+# --------------------------------------------------------------------- #
+# the training engine                                                   #
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class LayerMeta:
+    """Static structure of one printed layer inside the engine."""
+
+    in_features: int
+    out_features: int
+    n_act: int
+    n_neg: int
+    apply_activation: bool
+    g_min: float
+    g_max: float
+
+    @property
+    def theta_shape(self) -> Tuple[int, int]:
+        return (self.in_features + 2, self.out_features)
+
+
+@dataclass
+class _LayerTape:
+    """Per-layer saved intermediates of one recorded forward pass."""
+
+    x_aug: np.ndarray
+    eps_theta: Optional[np.ndarray]
+    eps_act: Optional[np.ndarray]
+    eps_neg: Optional[np.ndarray]
+    crossbar: tuple = ()
+    neg_transfer: tuple = ()
+    act_transfer: Optional[tuple] = None
+    act_chain: Optional[tuple] = None
+    neg_chain: Optional[tuple] = None
+
+
+@dataclass
+class LayerGrads:
+    """Gradients of one layer's raw parameters (``None`` where not computed)."""
+
+    theta: Optional[np.ndarray] = None
+    w_act: Optional[np.ndarray] = None
+    w_neg: Optional[np.ndarray] = None
+
+
+class KernelNetwork:
+    """Autograd-free forward/backward executor over raw pNN parameter arrays.
+
+    Freezes everything that does not change during training — surrogate
+    snapshots, design-space bounds, conductance limits, layer topology —
+    and exposes :meth:`forward` / :meth:`backward` over a flat list of raw
+    parameter arrays ``[θ, 𝔴_act, 𝔴_neg]`` per layer.  One instance owns a
+    :class:`Workspace`, so repeated epochs with constant shapes reuse the
+    same large buffers.
+    """
+
+    def __init__(
+        self,
+        layers: Sequence[LayerMeta],
+        act_surrogate: SurrogateParams,
+        neg_surrogate: SurrogateParams,
+        space,
+        layer_sizes: Sequence[int],
+        per_neuron_activation: bool = False,
+    ):
+        self.layers = list(layers)
+        self.act_surrogate = act_surrogate
+        self.neg_surrogate = neg_surrogate
+        self.space = space
+        self.layer_sizes = tuple(int(s) for s in layer_sizes)
+        self.per_neuron_activation = bool(per_neuron_activation)
+        self.workspace = Workspace()
+
+    # ------------------------------------------------------------------ #
+    # construction                                                       #
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_pnn(cls, pnn) -> "KernelNetwork":
+        """Freeze a live network's static structure into an engine."""
+        metas = [
+            LayerMeta(
+                in_features=layer.in_features,
+                out_features=layer.out_features,
+                n_act=layer.activation.n_circuits,
+                n_neg=layer.negation.n_circuits,
+                apply_activation=layer.apply_activation,
+                g_min=layer.conductance.g_min,
+                g_max=layer.conductance.g_max,
+            )
+            for layer in pnn.layers
+        ]
+        return cls(
+            metas,
+            act_surrogate=snapshot_surrogate(pnn.layers[0].activation.surrogate),
+            neg_surrogate=snapshot_surrogate(pnn.layers[0].negation.surrogate),
+            space=pnn.space,
+            layer_sizes=pnn.layer_sizes,
+            per_neuron_activation=pnn.per_neuron_activation,
+        )
+
+    @staticmethod
+    def extract_arrays(pnn) -> List[List[np.ndarray]]:
+        """Copy a network's raw parameters as ``[[θ, 𝔴_act, 𝔴_neg], ...]``."""
+        return [
+            [
+                layer.theta.data.copy(),
+                layer.activation.w_raw.data.copy(),
+                layer.negation.w_raw.data.copy(),
+            ]
+            for layer in pnn.layers
+        ]
+
+    @staticmethod
+    def state_names(index: int) -> Tuple[str, str, str]:
+        """The ``state_dict`` keys of layer ``index``'s three parameters."""
+        return (
+            f"layer{index}.theta",
+            f"layer{index}.activation.w_raw",
+            f"layer{index}.negation.w_raw",
+        )
+
+    # ------------------------------------------------------------------ #
+    # forward                                                            #
+    # ------------------------------------------------------------------ #
+
+    def _eta_chain(
+        self,
+        w_raw: np.ndarray,
+        epsilon: Optional[np.ndarray],
+        sp: SurrogateParams,
+        record: bool,
+    ):
+        """𝔴 → printable ω → (× ε) → η, optionally keeping the VJP context."""
+        omega_printable, ctx_re = reassemble_omega_fwd(w_raw, self.space)
+        omega = omega_printable[None]
+        if epsilon is not None:
+            omega = omega * epsilon
+        eta, ctx_sp = surrogate_eta_fwd(omega, sp)
+        ctx = (ctx_re, omega, epsilon, ctx_sp) if record else None
+        return eta, ctx
+
+    def _eta_chain_bwd(self, d_eta: np.ndarray, ctx, sp: SurrogateParams) -> np.ndarray:
+        """VJP of :meth:`_eta_chain`: dη → d𝔴 (chain rule through ε)."""
+        ctx_re, _omega, epsilon, ctx_sp = ctx
+        d_omega_scaled = surrogate_eta_bwd(d_eta, ctx_sp, sp)
+        if epsilon is not None:
+            d_printable = (d_omega_scaled * epsilon).sum(axis=0)
+        else:
+            d_printable = d_omega_scaled[0]
+        return reassemble_omega_bwd(d_printable, ctx_re)
+
+    def forward(
+        self,
+        arrays: Sequence[Sequence[np.ndarray]],
+        x: np.ndarray,
+        epsilons: Epsilons = None,
+        record: bool = False,
+        tag: str = "train",
+    ) -> Tuple[np.ndarray, Optional[List[_LayerTape]]]:
+        """Run the pNN forward over raw arrays; optionally record the tape.
+
+        ``epsilons`` supplies one ``(ε_θ, ε_act, ε_neg)`` triple per layer
+        (pre-drawn, leading axis ``n_mc``) or ``None`` for the nominal
+        pass.  ``tag`` namespaces the workspace buffers so alternating
+        train/validation batches do not thrash reallocations.
+        """
+        data = np.asarray(x, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError("expected a (batch, features) input")
+        if data.shape[1] != self.layer_sizes[0]:
+            raise ValueError(
+                f"input has {data.shape[1]} features, network expects {self.layer_sizes[0]}"
+            )
+        if epsilons is not None and len(epsilons) != len(self.layers):
+            raise ValueError("need one epsilon triple per layer")
+        n_mc = 1
+        if epsilons is not None and epsilons[0][0] is not None:
+            n_mc = int(epsilons[0][0].shape[0])
+
+        ws = self.workspace
+        batch = data.shape[0]
+        hidden = np.broadcast_to(data[None], (n_mc, batch, data.shape[1]))
+        tape: Optional[List[_LayerTape]] = [] if record else None
+
+        for index, (meta, params) in enumerate(zip(self.layers, arrays)):
+            theta_raw, w_act, w_neg = params
+            eps_theta = eps_act = eps_neg = None
+            if epsilons is not None:
+                eps_theta, eps_act, eps_neg = epsilons[index]
+
+            n_in = hidden.shape[-1]
+            x_aug = ws.buf(f"{tag}.l{index}.x_aug", (n_mc, batch, n_in + 2))
+            x_aug[..., :n_in] = hidden
+            x_aug[..., n_in] = BIAS_VOLTAGE
+            x_aug[..., n_in + 1] = 0.0
+
+            printable = project_printable(theta_raw, meta.g_min, meta.g_max)
+            theta_eff = printable[None]
+            if eps_theta is not None:
+                theta_eff = theta_eff * eps_theta
+
+            eta_neg, neg_chain = self._eta_chain(
+                w_neg, eps_neg, self.neg_surrogate, record
+            )
+            inverted, ctx_neg_transfer = transfer_fwd(x_aug, eta_neg, "negweight")
+            v_z, ctx_crossbar = crossbar_fwd(
+                x_aug, inverted, theta_eff, ws=ws, tag=f"{tag}.l{index}"
+            )
+            if meta.apply_activation:
+                eta_act, act_chain = self._eta_chain(
+                    w_act, eps_act, self.act_surrogate, record
+                )
+                hidden, ctx_act_transfer = transfer_fwd(v_z, eta_act, "ptanh")
+            else:
+                act_chain = ctx_act_transfer = None
+                hidden = v_z
+
+            if record:
+                tape.append(
+                    _LayerTape(
+                        x_aug=x_aug,
+                        eps_theta=eps_theta,
+                        eps_act=eps_act,
+                        eps_neg=eps_neg,
+                        crossbar=ctx_crossbar,
+                        neg_transfer=ctx_neg_transfer,
+                        act_transfer=ctx_act_transfer,
+                        act_chain=act_chain,
+                        neg_chain=neg_chain,
+                    )
+                )
+        return hidden, tape
+
+    # ------------------------------------------------------------------ #
+    # backward                                                           #
+    # ------------------------------------------------------------------ #
+
+    def backward(
+        self,
+        tape: List[_LayerTape],
+        d_out: np.ndarray,
+        need_omega_grads: bool = True,
+    ) -> List[LayerGrads]:
+        """VJP of :meth:`forward` from d(output voltages) to raw parameters.
+
+        Returns one :class:`LayerGrads` per layer; 𝔴 gradients are ``None``
+        when ``need_omega_grads`` is off (the non-learnable baselines never
+        pay for them) or when a layer applies no activation circuit.
+        """
+        grads = [LayerGrads() for _ in self.layers]
+        grad = d_out
+        for index in range(len(self.layers) - 1, -1, -1):
+            meta, ctx = self.layers[index], tape[index]
+            if meta.apply_activation:
+                grad, d_eta_act = transfer_bwd(grad, ctx.act_transfer)
+                if need_omega_grads:
+                    grads[index].w_act = self._eta_chain_bwd(
+                        d_eta_act, ctx.act_chain, self.act_surrogate
+                    )
+            d_x_aug, d_inverted, d_theta_eff = crossbar_bwd(
+                grad, ctx.crossbar, ws=self.workspace, tag=f"bwd.l{index}"
+            )
+            if ctx.eps_theta is not None:
+                d_printable = (d_theta_eff * ctx.eps_theta).sum(axis=0)
+            else:
+                d_printable = d_theta_eff[0]
+            grads[index].theta = d_printable          # straight-through projection
+
+            d_x_aug2, d_eta_neg = transfer_bwd(d_inverted, ctx.neg_transfer)
+            d_x_aug += d_x_aug2
+            if need_omega_grads:
+                grads[index].w_neg = self._eta_chain_bwd(
+                    d_eta_neg, ctx.neg_chain, self.neg_surrogate
+                )
+            grad = d_x_aug[..., : meta.in_features]
+        return grads
+
+    # ------------------------------------------------------------------ #
+    # loss + gradient in one call                                        #
+    # ------------------------------------------------------------------ #
+
+    def loss_and_grads(
+        self,
+        arrays: Sequence[Sequence[np.ndarray]],
+        x: np.ndarray,
+        targets: np.ndarray,
+        loss: str = "margin",
+        epsilons: Epsilons = None,
+        need_omega_grads: bool = True,
+    ) -> Tuple[float, List[LayerGrads]]:
+        """One full training step's math: MC loss and raw-parameter grads."""
+        loss_fwd, loss_bwd = LOSS_KERNELS[loss]
+        voltages, tape = self.forward(
+            arrays, x, epsilons=epsilons, record=True, tag="train"
+        )
+        value, ctx = loss_fwd(voltages, targets)
+        d_voltages = loss_bwd(ctx)
+        return value, self.backward(tape, d_voltages, need_omega_grads=need_omega_grads)
+
+    def loss_value(
+        self,
+        arrays: Sequence[Sequence[np.ndarray]],
+        x: np.ndarray,
+        targets: np.ndarray,
+        loss: str = "margin",
+        epsilons: Epsilons = None,
+        tag: str = "val",
+    ) -> float:
+        """Forward-only loss (validation): no tape, no gradients."""
+        loss_fwd, _ = LOSS_KERNELS[loss]
+        voltages, _ = self.forward(arrays, x, epsilons=epsilons, record=False, tag=tag)
+        value, _ = loss_fwd(voltages, targets)
+        return value
+
+    # ------------------------------------------------------------------ #
+    # snapshots                                                          #
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self, arrays: Sequence[Sequence[np.ndarray]]) -> PNNParams:
+        """Freeze the current raw arrays into a :class:`PNNParams` design.
+
+        Equivalent to :func:`repro.core.params.snapshot_params` on a module
+        holding the same raw values, but without touching autograd.
+        """
+        layers = []
+        for meta, (theta_raw, w_act, w_neg) in zip(self.layers, arrays):
+            act_omega, _ = reassemble_omega_fwd(w_act, self.space)
+            neg_omega, _ = reassemble_omega_fwd(w_neg, self.space)
+            layers.append(
+                LayerParams(
+                    theta=project_printable(theta_raw, meta.g_min, meta.g_max),
+                    act_omega=act_omega,
+                    neg_omega=neg_omega,
+                    apply_activation=meta.apply_activation,
+                )
+            )
+        return PNNParams(
+            layer_sizes=self.layer_sizes,
+            per_neuron_activation=self.per_neuron_activation,
+            activation_on_output=self.layers[-1].apply_activation,
+            layers=tuple(layers),
+            act_surrogate=self.act_surrogate,
+            neg_surrogate=self.neg_surrogate,
+        )

@@ -124,11 +124,17 @@ class PrintedNeuralNetwork(Module):
         x: Union[np.ndarray, Tensor],
         variation: Optional[VariationModel] = None,
         n_mc: int = 1,
+        epsilons: Optional[Sequence[tuple]] = None,
     ) -> Tensor:
         """Output voltages of shape ``(n_mc, batch, n_classes)``.
 
         ``variation=None`` (or ϵ = 0) runs the nominal forward pass with a
-        single Monte-Carlo sample.
+        single Monte-Carlo sample.  ``epsilons`` optionally supplies
+        pre-drawn variation factors — one ``(ε_θ, ε_act, ε_neg)`` triple per
+        layer with leading axis ``n_mc``, the same convention as
+        :func:`repro.core.kernels.network_forward` — bypassing ``variation``
+        sampling entirely; this is how the kernel-gradient tests drive both
+        execution paths with identical draws.
         """
         data = x.data if isinstance(x, Tensor) else np.asarray(x, dtype=np.float64)
         if data.ndim != 2:
@@ -137,7 +143,11 @@ class PrintedNeuralNetwork(Module):
             raise ValueError(
                 f"input has {data.shape[1]} features, network expects {self.layer_sizes[0]}"
             )
-        if variation is None or variation.is_nominal:
+        if epsilons is not None:
+            if len(epsilons) != len(self.layers):
+                raise ValueError("need one epsilon triple per layer")
+            n_mc = int(epsilons[0][0].shape[0]) if epsilons[0][0] is not None else 1
+        elif variation is None or variation.is_nominal:
             n_mc = 1
 
         hidden = x if isinstance(x, Tensor) else Tensor(data)
@@ -147,9 +157,11 @@ class PrintedNeuralNetwork(Module):
 
             hidden = F.broadcast_to(hidden, (n_mc, *data.shape))
 
-        for layer in self.layers:
+        for index, layer in enumerate(self.layers):
             eps_theta = eps_act = eps_neg = None
-            if variation is not None and not variation.is_nominal:
+            if epsilons is not None:
+                eps_theta, eps_act, eps_neg = epsilons[index]
+            elif variation is not None and not variation.is_nominal:
                 eps_theta = variation.sample(n_mc, (layer.in_features + 2, layer.out_features))
                 eps_act = variation.sample(n_mc, (layer.activation.n_circuits, 7))
                 eps_neg = variation.sample(n_mc, (layer.negation.n_circuits, 7))

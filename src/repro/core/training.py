@@ -13,6 +13,22 @@ Hyperparameters mirror the paper:
   paper uses 5000 epochs; the benchmark profiles scale this down), keeping
   the best epoch's parameters — those are the circuits that "would be
   printed".
+
+Two execution engines implement the identical optimization:
+
+- ``engine="kernel"`` (default) — the autograd-free fast path: one
+  :class:`repro.core.grad_kernels.KernelNetwork` executes hand-derived
+  forward/backward kernels over raw parameter arrays
+  (:class:`repro.optim.RawParameter`), with preallocated workspaces and no
+  per-epoch graph, Tensor wrapper, or state-dict copy;
+- ``engine="autograd"`` — the original taped loop over the live
+  :class:`~repro.core.pnn.PrintedNeuralNetwork` module, kept as the slow
+  cross-check.
+
+Both engines consume the train-variation RNG stream in the same canonical
+per-layer (θ, activation ω, negweight ω) order and produce per-epoch loss
+histories that agree to float64 rounding (pinned by
+``tests/core/test_training_engine.py``).
 """
 
 from __future__ import annotations
@@ -22,11 +38,17 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.autograd.tensor import no_grad
-from repro.core.losses import make_loss
+from repro.autograd.tensor import Tensor, no_grad
+from repro.core import kernels
+from repro.core.grad_kernels import KernelNetwork, ce_loss_fwd, margin_loss_fwd
+from repro.core.losses import MarginLoss, VoltageCrossEntropy, make_loss
+from repro.core.params import snapshot_params
 from repro.core.pnn import PrintedNeuralNetwork
 from repro.core.variation import VariationModel
-from repro.optim import Adam, EarlyStopping
+from repro.optim import Adam, EarlyStopping, RawParameter
+
+#: Seed offset separating the fixed validation ε stream from training draws.
+VALIDATION_SEED_OFFSET = 104729
 
 
 @dataclass
@@ -59,6 +81,45 @@ class TrainResult:
     history: List[Tuple[int, float, float]] = field(default_factory=list)
 
 
+def draw_epoch_epsilons(variation, n_mc: int, pnn: PrintedNeuralNetwork):
+    """Draw one epoch's variation factors in the canonical stream order.
+
+    One ``(ε_θ, ε_act, ε_neg)`` triple per layer, exactly the shapes and
+    order :meth:`PrintedNeuralNetwork.forward` samples internally — so
+    pre-drawing (for the kernel engine, or to freeze the validation set)
+    consumes the RNG identically to the taped path.
+    """
+    return [
+        (
+            variation.sample(n_mc, (layer.in_features + 2, layer.out_features)),
+            variation.sample(n_mc, (layer.activation.n_circuits, 7)),
+            variation.sample(n_mc, (layer.negation.n_circuits, 7)),
+        )
+        for layer in pnn.layers
+    ]
+
+
+def _validation_epsilons(pnn: PrintedNeuralNetwork, config: TrainConfig, val_variation):
+    """The *fixed* validation ε samples, drawn once before the epoch loop.
+
+    Historically a fresh ``VariationModel(seed + VALIDATION_SEED_OFFSET)``
+    was reconstructed every epoch, which re-drew the identical samples each
+    time; hoisting the draw preserves those exact arrays (regression-pinned
+    in ``tests/core/test_training_evaluation.py``) while doing the work
+    once.  An explicit ``val_variation`` override (e.g. an aging model) is
+    sampled once up front for the same reason: the early-stopping signal
+    must compare parameter progress, not fresh sampling noise.
+    """
+    variation = val_variation
+    if variation is None and config.variation_aware:
+        variation = VariationModel(
+            config.epsilon, seed=config.seed + VALIDATION_SEED_OFFSET
+        )
+    if variation is None or variation.is_nominal:
+        return None
+    return draw_epoch_epsilons(variation, config.n_mc_train, pnn)
+
+
 def train_pnn(
     pnn: PrintedNeuralNetwork,
     x_train: np.ndarray,
@@ -68,6 +129,7 @@ def train_pnn(
     config: TrainConfig,
     variation=None,
     val_variation=None,
+    engine: str = "kernel",
 ) -> TrainResult:
     """Train a pNN in place and restore its best-validation parameters.
 
@@ -75,13 +137,14 @@ def train_pnn(
     printing-variation model built from ``config.epsilon`` with any object
     exposing the same ``sample``/``is_nominal`` interface (e.g. an
     :class:`~repro.core.aging.AgingModel` for aging-aware training).
+
+    ``engine`` selects the execution path: ``"kernel"`` (default) runs the
+    hand-derived backward kernels of :mod:`repro.core.grad_kernels` on raw
+    arrays; ``"autograd"`` runs the original taped loop.  Both consume the
+    same variation stream and agree to float64 rounding.
     """
-    loss_fn = make_loss(config.loss)
-    groups = [{"params": pnn.theta_parameters(), "lr": config.lr_theta}]
-    if config.learnable_nonlinear and config.lr_omega > 0:
-        groups.append({"params": pnn.nonlinear_parameters(), "lr": config.lr_omega})
-    optimizer = Adam(groups)
-    stopper = EarlyStopping(patience=config.patience)
+    if engine not in ("kernel", "autograd"):
+        raise ValueError(f"unknown engine {engine!r}; expected 'kernel' or 'autograd'")
 
     train_variation = variation
     if train_variation is None and config.variation_aware:
@@ -89,6 +152,136 @@ def train_pnn(
     n_mc = 1
     if train_variation is not None and not train_variation.is_nominal:
         n_mc = config.n_mc_train
+
+    val_epsilons = _validation_epsilons(pnn, config, val_variation)
+
+    if engine == "autograd":
+        return _train_autograd(
+            pnn, x_train, y_train, x_val, y_val, config, train_variation, n_mc,
+            val_epsilons,
+        )
+    return _train_kernel(
+        pnn, x_train, y_train, x_val, y_val, config, train_variation, n_mc,
+        val_epsilons,
+    )
+
+
+# --------------------------------------------------------------------- #
+# kernel engine (default)                                               #
+# --------------------------------------------------------------------- #
+
+
+def _train_kernel(
+    pnn: PrintedNeuralNetwork,
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    x_val: np.ndarray,
+    y_val: np.ndarray,
+    config: TrainConfig,
+    train_variation,
+    n_mc: int,
+    val_epsilons,
+) -> TrainResult:
+    """The autograd-free epoch loop over raw parameter arrays.
+
+    The module is read once up front (structure + parameter values) and
+    written once at the end (the best epoch's state) — the steady-state
+    epoch touches only ndarrays.
+    """
+    net = KernelNetwork.from_pnn(pnn)
+    theta_params: List[RawParameter] = []
+    omega_params: List[RawParameter] = []
+    for index, (theta, w_act, w_neg) in enumerate(KernelNetwork.extract_arrays(pnn)):
+        theta_name, act_name, neg_name = KernelNetwork.state_names(index)
+        theta_params.append(RawParameter(theta, theta_name))
+        omega_params.append(RawParameter(w_act, act_name))
+        omega_params.append(RawParameter(w_neg, neg_name))
+
+    learn_omega = config.learnable_nonlinear and config.lr_omega > 0
+    groups = [{"params": theta_params, "lr": config.lr_theta}]
+    if learn_omega:
+        groups.append({"params": omega_params, "lr": config.lr_omega})
+    optimizer = Adam(groups)
+    stopper = EarlyStopping(patience=config.patience)
+
+    def layer_arrays():
+        # Adam rebinds ``param.data`` on every step, so the flat array view
+        # is re-derived from the parameters each time it is needed.
+        return [
+            [theta_params[i].data, omega_params[2 * i].data, omega_params[2 * i + 1].data]
+            for i in range(len(net.layers))
+        ]
+
+    def capture_state():
+        params = theta_params + omega_params
+        return {p.name: p.data.copy() for p in params}
+
+    sample_variation = train_variation is not None and not train_variation.is_nominal
+    history: List[Tuple[int, float, float]] = []
+    epochs_run = 0
+    for epoch in range(config.max_epochs):
+        epochs_run = epoch + 1
+        optimizer.zero_grad()
+        epsilons = None
+        if sample_variation:
+            epsilons = draw_epoch_epsilons(train_variation, n_mc, pnn)
+        arrays = layer_arrays()
+        train_loss, grads = net.loss_and_grads(
+            arrays, x_train, y_train, loss=config.loss, epsilons=epsilons,
+            need_omega_grads=learn_omega,
+        )
+        for i, layer_grads in enumerate(grads):
+            theta_params[i].grad = layer_grads.theta
+            omega_params[2 * i].grad = layer_grads.w_act
+            omega_params[2 * i + 1].grad = layer_grads.w_neg
+        optimizer.step()
+
+        val_loss = net.loss_value(
+            layer_arrays(), x_val, y_val, loss=config.loss, epsilons=val_epsilons,
+            tag="val",
+        )
+        history.append((epoch, train_loss, val_loss))
+        stopper.update(val_loss, epoch, state_fn=capture_state)
+        if config.verbose and epoch % 100 == 0:
+            print(f"[train] epoch {epoch}: train {train_loss:.4f} val {val_loss:.4f}")
+        if stopper.should_stop:
+            break
+
+    # Write the winning design back into the live module (falling back to
+    # the final arrays when no epoch ever improved, e.g. NaN losses).
+    state = stopper.best_state if stopper.best_state is not None else capture_state()
+    pnn.load_state_dict(state)
+    return TrainResult(
+        best_epoch=stopper.best_epoch,
+        best_val_loss=stopper.best_value,
+        epochs_run=epochs_run,
+        history=history,
+    )
+
+
+# --------------------------------------------------------------------- #
+# autograd engine (slow cross-check)                                    #
+# --------------------------------------------------------------------- #
+
+
+def _train_autograd(
+    pnn: PrintedNeuralNetwork,
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    x_val: np.ndarray,
+    y_val: np.ndarray,
+    config: TrainConfig,
+    train_variation,
+    n_mc: int,
+    val_epsilons,
+) -> TrainResult:
+    """The original taped epoch loop over the live module."""
+    loss_fn = make_loss(config.loss)
+    groups = [{"params": pnn.theta_parameters(), "lr": config.lr_theta}]
+    if config.learnable_nonlinear and config.lr_omega > 0:
+        groups.append({"params": pnn.nonlinear_parameters(), "lr": config.lr_omega})
+    optimizer = Adam(groups)
+    stopper = EarlyStopping(patience=config.patience)
 
     history: List[Tuple[int, float, float]] = []
     epochs_run = 0
@@ -100,9 +293,11 @@ def train_pnn(
         loss.backward()
         optimizer.step()
 
-        val_loss = _validation_loss(pnn, x_val, y_val, loss_fn, config, val_variation)
+        val_loss = _validation_loss(
+            pnn, x_val, y_val, loss_fn, config, epsilons=val_epsilons
+        )
         history.append((epoch, loss.item(), val_loss))
-        stopper.update(val_loss, epoch, state=pnn.state_dict())
+        stopper.update(val_loss, epoch, state_fn=pnn.state_dict)
         if config.verbose and epoch % 100 == 0:
             print(f"[train] epoch {epoch}: train {loss.item():.4f} val {val_loss:.4f}")
         if stopper.should_stop:
@@ -119,20 +314,44 @@ def train_pnn(
 
 
 def _validation_loss(
-    pnn, x_val, y_val, loss_fn, config: TrainConfig, val_variation=None
+    pnn,
+    x_val,
+    y_val,
+    loss_fn,
+    config: TrainConfig,
+    val_variation=None,
+    epsilons=None,
 ) -> float:
     """Validation loss; under variation, uses a *fixed* set of ε samples.
 
-    Re-seeding the validation sampler each epoch keeps the early-stopping
-    signal comparable across epochs instead of mixing parameter progress
-    with fresh sampling noise.
+    Keeping the validation samples identical across epochs makes the
+    early-stopping signal compare parameter progress instead of mixing it
+    with fresh sampling noise.  Callers inside the epoch loop pass the
+    hoisted ``epsilons``; when omitted, the historical per-call behaviour
+    (a fresh ``VariationModel(seed + VALIDATION_SEED_OFFSET)``, which draws
+    those same samples) is reproduced.
+
+    The forward pass runs through the autograd-free snapshot path
+    (:func:`repro.core.kernels.network_forward`) with the numpy loss
+    kernels; unrecognized loss callables fall back to the Tensor path.
     """
-    variation = val_variation
-    if variation is None and config.variation_aware:
-        variation = VariationModel(config.epsilon, seed=config.seed + 104729)
-    n_mc = 1
-    if variation is not None and not variation.is_nominal:
-        n_mc = config.n_mc_train
+    if epsilons is None:
+        variation = val_variation
+        if variation is None and config.variation_aware:
+            variation = VariationModel(
+                config.epsilon, seed=config.seed + VALIDATION_SEED_OFFSET
+            )
+        if variation is not None and not variation.is_nominal:
+            epsilons = draw_epoch_epsilons(variation, config.n_mc_train, pnn)
+
     with no_grad():
-        outputs = pnn.forward(x_val, variation=variation, n_mc=n_mc)
-        return loss_fn(outputs, y_val).item()
+        params = snapshot_params(pnn)
+    voltages = kernels.network_forward(params, x_val, epsilons=epsilons)
+    if isinstance(loss_fn, MarginLoss):
+        value, _ = margin_loss_fwd(voltages, y_val, margin=loss_fn.margin)
+        return value
+    if isinstance(loss_fn, VoltageCrossEntropy):
+        value, _ = ce_loss_fwd(voltages, y_val, temperature=loss_fn.temperature)
+        return value
+    with no_grad():
+        return loss_fn(Tensor(voltages), y_val).item()

@@ -196,6 +196,7 @@ def execute_job(
     config: ExperimentConfig,
     surrogates,
     splits: Optional[DatasetSplits] = None,
+    engine: str = "kernel",
 ) -> JobOutcome:
     """Train one pNN for ``key`` — bit-identical to the serial runner.
 
@@ -217,6 +218,14 @@ def execute_job(
     splits:
         Optional pre-loaded dataset splits; when ``None`` they are loaded
         with the protocol's fixed :data:`SPLIT_SEED`.
+    engine:
+        Training execution engine, forwarded to
+        :func:`~repro.core.training.train_pnn` (``"kernel"`` fast path by
+        default, ``"autograd"`` as the cross-check).  Both engines consume
+        the same RNG streams and agree to float64 rounding, so the engine
+        choice is deliberately *not* part of the cache fingerprint
+        (:meth:`ExperimentConfig.training_fingerprint`) — switching it must
+        not invalidate recorded results.
 
     Returns
     -------
@@ -245,7 +254,8 @@ def execute_job(
         seed=key.seed,
     )
     result = train_pnn(
-        pnn, splits.x_train, splits.y_train, splits.x_val, splits.y_val, train_config
+        pnn, splits.x_train, splits.y_train, splits.x_val, splits.y_val, train_config,
+        engine=engine,
     )
     return JobOutcome(
         key=key,

@@ -7,7 +7,7 @@ the parameters of the best epoch.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
@@ -34,12 +34,26 @@ class EarlyStopping:
         self.best_state: Optional[Dict[str, np.ndarray]] = None
         self.epochs_since_best: int = 0
 
-    def update(self, value: float, epoch: int, state: Optional[Dict[str, np.ndarray]] = None) -> bool:
-        """Record an epoch result; return ``True`` if it is a new best."""
+    def update(
+        self,
+        value: float,
+        epoch: int,
+        state: Optional[Dict[str, np.ndarray]] = None,
+        state_fn: Optional[Callable[[], Dict[str, np.ndarray]]] = None,
+    ) -> bool:
+        """Record an epoch result; return ``True`` if it is a new best.
+
+        Pass ``state`` to snapshot an already-materialized state dict, or
+        the lazy ``state_fn`` to have it called *only* on new-best epochs —
+        the vast majority of epochs during a long patience plateau then pay
+        nothing for best-state tracking.
+        """
+        if state is not None and state_fn is not None:
+            raise ValueError("pass either state or state_fn, not both")
         if value < self.best_value - self.min_delta:
             self.best_value = float(value)
             self.best_epoch = epoch
-            self.best_state = state
+            self.best_state = state_fn() if state_fn is not None else state
             self.epochs_since_best = 0
             return True
         self.epochs_since_best += 1

@@ -8,6 +8,35 @@ import numpy as np
 
 from repro.nn.module import Parameter
 
+
+class RawParameter:
+    """A bare ndarray parameter: ``data``/``grad`` without a graph node.
+
+    Duck-type compatible with :class:`repro.nn.module.Parameter` as far as
+    optimizers are concerned, but never participates in autograd — the
+    kernel training engine (:mod:`repro.core.grad_kernels`) writes hand-
+    derived gradients into ``grad`` directly, so ``Adam``/``SGD`` update the
+    arrays with zero Tensor/graph overhead in the steady-state epoch.
+    """
+
+    __slots__ = ("data", "grad", "name")
+
+    def __init__(self, data: np.ndarray, name: str = ""):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = None
+        self.name = name
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    @property
+    def shape(self):
+        return self.data.shape
+
+    def __repr__(self) -> str:
+        return f"RawParameter(name={self.name!r}, shape={self.data.shape})"
+
+
 ParamGroups = Union[Iterable[Parameter], Sequence[dict]]
 
 
@@ -37,8 +66,8 @@ class Optimizer:
             merged["params"] = params
             self.param_groups.append(merged)
         for group in self.param_groups:
-            if not all(isinstance(p, Parameter) for p in group["params"]):
-                raise TypeError("optimizer expects Parameter instances")
+            if not all(isinstance(p, (Parameter, RawParameter)) for p in group["params"]):
+                raise TypeError("optimizer expects Parameter or RawParameter instances")
 
     def zero_grad(self) -> None:
         for group in self.param_groups:

@@ -5,7 +5,7 @@ import pytest
 
 from repro.autograd import Tensor
 from repro.nn.module import Parameter
-from repro.optim import SGD, Adam
+from repro.optim import SGD, Adam, RawParameter
 
 
 def quadratic_loss(param: Parameter, target: np.ndarray) -> Tensor:
@@ -117,3 +117,43 @@ class TestParameterGroups:
         b.grad = np.ones(1)
         optimizer.zero_grad()
         assert a.grad is None and b.grad is None
+
+
+class TestRawParameter:
+    """Graph-free parameters: the kernel training engine's update targets."""
+
+    def test_accepted_by_optimizers(self):
+        raw = RawParameter(np.zeros(3), name="theta")
+        Adam([raw], lr=0.1)
+        SGD([{"params": [raw], "lr": 0.1}])
+
+    def test_adam_updates_match_parameter_updates(self):
+        # Identical hand-set gradients must produce identical trajectories
+        # through the Tensor-wrapped and the raw array paths.
+        taped = Parameter(np.array([0.3, -0.2]))
+        raw = RawParameter(np.array([0.3, -0.2]))
+        opt_taped = Adam([taped], lr=0.05)
+        opt_raw = Adam([raw], lr=0.05)
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            grad = rng.normal(size=2)
+            opt_taped.zero_grad()
+            opt_raw.zero_grad()
+            taped.grad = grad.copy()
+            raw.grad = grad.copy()
+            opt_taped.step()
+            opt_raw.step()
+        np.testing.assert_array_equal(raw.data, taped.data)
+
+    def test_none_grad_skipped(self):
+        raw = RawParameter(np.ones(2))
+        Adam([raw], lr=0.5).step()
+        np.testing.assert_array_equal(raw.data, np.ones(2))
+
+    def test_zero_grad_resets(self):
+        raw = RawParameter(np.ones(2))
+        raw.grad = np.ones(2)
+        optimizer = SGD([raw], lr=0.1)
+        optimizer.zero_grad()
+        assert raw.grad is None
+        assert raw.shape == (2,)

@@ -50,6 +50,26 @@ class TestEarlyStopping:
         with pytest.raises(ValueError):
             EarlyStopping(patience=0)
 
+    def test_lazy_state_fn_called_only_on_improvement(self):
+        calls = []
+
+        def snapshot():
+            calls.append(len(calls))
+            return {"w": np.array([float(len(calls))])}
+
+        stopper = EarlyStopping(patience=10)
+        assert stopper.update(1.0, 0, state_fn=snapshot)      # best → snapshot
+        assert not stopper.update(2.0, 1, state_fn=snapshot)  # worse → skipped
+        assert not stopper.update(1.5, 2, state_fn=snapshot)  # worse → skipped
+        assert stopper.update(0.5, 3, state_fn=snapshot)      # best → snapshot
+        assert calls == [0, 1]
+        assert stopper.best_state["w"][0] == 2.0
+
+    def test_state_and_state_fn_are_exclusive(self):
+        stopper = EarlyStopping(patience=2)
+        with pytest.raises(ValueError):
+            stopper.update(1.0, 0, state={"w": np.zeros(1)}, state_fn=dict)
+
 
 class TestSchedulers:
     def _optimizer(self, lr=1.0):
