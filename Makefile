@@ -1,7 +1,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: test verify bench
+.PHONY: test verify bench bench-surrogate
 
 test:              ## tier-1 unit/property/integration tests
 	python -m pytest -x -q
@@ -11,3 +11,6 @@ verify: 	   ## tier-1 tests + 2-worker smoke table2 (the CI gate)
 
 bench:             ## regenerate every table & figure at $(REPRO_BENCH_PROFILE)
 	python -m pytest benchmarks/ --benchmark-only
+
+bench-surrogate:   ## scalar-vs-batched surrogate build benchmark + artifact
+	python -m pytest benchmarks/bench_surrogate_build.py -q -s

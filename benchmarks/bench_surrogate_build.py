@@ -1,0 +1,101 @@
+"""Batched vs. scalar surrogate-dataset construction (Fig. 3 hot path).
+
+Times ``build_surrogate_dataset`` through both engines on the same QMC
+sample:
+
+- ``engine="scalar"`` — one DC sweep and one η fit per design point;
+- ``engine="batched"`` — stacked MNA solves plus lockstep LM fits.
+
+The engines produce *element-wise identical* datasets (asserted here), so
+the headline number is the wall-clock speedup, which the PR's acceptance
+criteria require to be ≥ 5×.  At the ``fast``/``paper`` profiles the run
+also demonstrates a paper-scale 10 000-point build through the batched
+engine alone (the scalar engine would need tens of minutes there; its cost
+is extrapolated from the measured per-point rate instead).
+"""
+
+import os
+import time
+
+import numpy as np
+
+from benchmarks.conftest import save_and_print
+from repro.surrogate.dataset_builder import build_surrogate_dataset
+
+PROFILE_NAME = os.environ.get("REPRO_BENCH_PROFILE", "smoke").lower()
+
+#: QMC design points for the timed scalar-vs-batched comparison.
+N_POINTS = {"smoke": 256, "fast": 2048, "paper": 2048}.get(PROFILE_NAME, 256)
+
+#: Paper-scale batched-only demonstration (Sec. III-A uses 10 000 points).
+PAPER_POINTS = 10_000
+RUN_PAPER_SCALE = PROFILE_NAME in ("fast", "paper")
+
+SWEEP_POINTS = 41
+SEED = 0
+KIND = "ptanh"
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_surrogate_build_speedup(output_dir):
+    batched, t_batched = _timed(
+        lambda: build_surrogate_dataset(
+            KIND, n_points=N_POINTS, sweep_points=SWEEP_POINTS,
+            seed=SEED, engine="batched",
+        )
+    )
+    scalar, t_scalar = _timed(
+        lambda: build_surrogate_dataset(
+            KIND, n_points=N_POINTS, sweep_points=SWEEP_POINTS,
+            seed=SEED, engine="scalar",
+        )
+    )
+
+    np.testing.assert_array_equal(batched.omega, scalar.omega)
+    np.testing.assert_array_equal(batched.eta, scalar.eta)
+    np.testing.assert_array_equal(batched.rmse, scalar.rmse)
+    assert batched.stats == scalar.stats
+    speedup = t_scalar / t_batched
+
+    stats = batched.stats
+    lines = [
+        f"Surrogate dataset build ({KIND}), {N_POINTS} QMC points, "
+        f"{SWEEP_POINTS}-step sweeps, profile={PROFILE_NAME}:",
+        f"  scalar engine : {t_scalar:8.2f} s "
+        f"({t_scalar / N_POINTS * 1e3:6.2f} ms/point)",
+        f"  batched engine: {t_batched:8.2f} s "
+        f"({t_batched / N_POINTS * 1e3:6.2f} ms/point)",
+        f"  speedup       : {speedup:8.2f}x",
+        f"  datasets element-wise identical: True "
+        f"(kept {stats.n_kept}/{stats.n_sampled}; dropped "
+        f"{stats.n_convergence_error} no-convergence, {stats.n_low_swing} "
+        f"low-swing, {stats.n_high_rmse} high-RMSE, "
+        f"{stats.n_out_of_bounds} out-of-bounds)",
+    ]
+
+    if RUN_PAPER_SCALE:
+        paper, t_paper = _timed(
+            lambda: build_surrogate_dataset(
+                KIND, n_points=PAPER_POINTS, sweep_points=SWEEP_POINTS,
+                seed=SEED, engine="batched",
+            )
+        )
+        scalar_estimate = t_scalar / N_POINTS * PAPER_POINTS
+        pstats = paper.stats
+        lines += [
+            "",
+            f"Paper-scale build ({PAPER_POINTS} QMC points, batched engine):",
+            f"  batched engine : {t_paper:8.2f} s "
+            f"(kept {pstats.n_kept}/{pstats.n_sampled})",
+            f"  scalar estimate: {scalar_estimate:8.2f} s "
+            f"(extrapolated from the measured per-point rate)",
+            f"  est. speedup   : {scalar_estimate / t_paper:8.2f}x",
+        ]
+
+    save_and_print(output_dir, "surrogate_build", "\n".join(lines))
+    assert speedup >= 5.0, f"batched engine only {speedup:.2f}x faster (need ≥ 5x)"

@@ -13,9 +13,15 @@ from repro.circuits.crossbar import CrossbarColumn, crossbar_netlist, crossbar_o
 from repro.circuits.ptanh import (
     PTANH_NODES,
     build_ptanh_netlist,
+    ptanh_param_batch,
+    ptanh_stamp_plan,
     simulate_ptanh_curve,
+    simulate_ptanh_curve_batch,
 )
-from repro.circuits.negweight import simulate_negweight_curve
+from repro.circuits.negweight import (
+    simulate_negweight_curve,
+    simulate_negweight_curve_batch,
+)
 
 __all__ = [
     "CrossbarColumn",
@@ -23,6 +29,10 @@ __all__ = [
     "crossbar_output",
     "PTANH_NODES",
     "build_ptanh_netlist",
+    "ptanh_stamp_plan",
+    "ptanh_param_batch",
     "simulate_ptanh_curve",
+    "simulate_ptanh_curve_batch",
     "simulate_negweight_curve",
+    "simulate_negweight_curve_batch",
 ]

@@ -20,9 +20,15 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.circuits.ptanh import PTANH_NODES, VDD, build_ptanh_netlist
+from repro.circuits.ptanh import (
+    PTANH_NODES,
+    VDD,
+    build_ptanh_netlist,
+    ptanh_param_batch,
+    ptanh_stamp_plan,
+)
 from repro.spice.egt import EGTModel
-from repro.spice.sweep import dc_sweep
+from repro.spice.sweep import dc_sweep, dc_sweep_batch
 
 
 def simulate_negweight_curve(
@@ -43,3 +49,23 @@ def simulate_negweight_curve(
     # Reference to the rail: the divider-tapped inverter output, shifted so
     # the curve expresses subtraction in the crossbar reformulation.
     return xs, stage1 - VDD
+
+
+def simulate_negweight_curve_batch(
+    omega_batch: np.ndarray,
+    n_points: int = 41,
+    model: Optional[EGTModel] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sweep many negative-weight designs per DC solve.
+
+    Returns ``(V_in, inv(V_in), ok)`` with ``(B, n_points)`` curves and a
+    ``(B,)`` success mask; converged lanes match
+    :func:`simulate_negweight_curve` bit for bit.
+    """
+    plan = ptanh_stamp_plan(model)
+    params = ptanh_param_batch(omega_batch, plan)
+    values = np.linspace(0.0, VDD, n_points)
+    xs, stage1, ok = dc_sweep_batch(
+        plan, params, "Vin", values, output_node=PTANH_NODES["gate2"]
+    )
+    return xs, stage1 - VDD, ok

@@ -22,13 +22,14 @@ of Fig. 2 (left).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.spice.egt import EGTModel
 from repro.spice.netlist import GROUND, Netlist
-from repro.spice.sweep import dc_sweep
+from repro.spice.plan import ParamBatch, StampPlan, compile_netlist
+from repro.spice.sweep import dc_sweep, dc_sweep_batch
 
 #: Supply voltage of the printed circuits (the paper works on a 1 V rail).
 VDD = 1.0
@@ -110,3 +111,69 @@ def simulate_ptanh_curve(
     netlist = build_ptanh_netlist(omega, model=model)
     values = np.linspace(0.0, VDD, n_points)
     return dc_sweep(netlist, "Vin", values, output_node=PTANH_NODES["output"])
+
+
+# --------------------------------------------------------------------- #
+# batched simulation (Fig. 3 hot path)                                  #
+# --------------------------------------------------------------------- #
+
+#: A representative mid-space design used only to compile the topology.
+_TEMPLATE_OMEGA = np.array([200.0, 80.0, 100e3, 40e3, 100e3, 500.0, 30.0])
+
+_PLAN_CACHE: Dict[EGTModel, StampPlan] = {}
+
+
+def ptanh_stamp_plan(model: Optional[EGTModel] = None) -> StampPlan:
+    """The compiled stamp plan shared by every ptanh design point.
+
+    All Table-I designs share one topology, so the netlist is lowered once
+    per EGT model and reused by every batched sweep.
+    """
+    model = model or EGTModel()
+    plan = _PLAN_CACHE.get(model)
+    if plan is None:
+        plan = compile_netlist(build_ptanh_netlist(_TEMPLATE_OMEGA, model=model))
+        _PLAN_CACHE[model] = plan
+    return plan
+
+
+def ptanh_param_batch(omega_batch: np.ndarray, plan: StampPlan) -> ParamBatch:
+    """Per-lane element values for a ``(B, 7)`` stack of design points."""
+    omega_batch = np.asarray(omega_batch, dtype=np.float64)
+    if omega_batch.ndim != 2 or omega_batch.shape[1] != 7:
+        raise ValueError("omega_batch must be a (B, 7) array of design points")
+    if np.any(omega_batch[:, :5] <= 0):
+        raise ValueError("resistances must be positive")
+    batch = len(omega_batch)
+    by_name = {
+        "R1": omega_batch[:, 0],
+        "R2": omega_batch[:, 1],
+        "R3": omega_batch[:, 2],
+        "R4": omega_batch[:, 3],
+        "R5": omega_batch[:, 4],
+        "RL2": np.full(batch, SECOND_STAGE_LOAD),
+    }
+    resistances = np.stack([by_name[name] for name in plan.resistor_names], axis=1)
+    widths = np.repeat(omega_batch[:, 5:6], plan.n_egts, axis=1)
+    lengths = np.repeat(omega_batch[:, 6:7], plan.n_egts, axis=1)
+    return ParamBatch(resistances=resistances, widths=widths, lengths=lengths)
+
+
+def simulate_ptanh_curve_batch(
+    omega_batch: np.ndarray,
+    n_points: int = 41,
+    model: Optional[EGTModel] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sweep many ptanh designs per DC solve (Fig. 3 hot path).
+
+    Returns ``(V_in, V_out, ok)``: the shared ``(n_points,)`` input axis,
+    the ``(B, n_points)`` output curves, and the ``(B,)`` success mask
+    (``False`` where the scalar path would raise ``ConvergenceError``).
+    Converged lanes match :func:`simulate_ptanh_curve` bit for bit.
+    """
+    plan = ptanh_stamp_plan(model)
+    params = ptanh_param_batch(omega_batch, plan)
+    values = np.linspace(0.0, VDD, n_points)
+    return dc_sweep_batch(
+        plan, params, "Vin", values, output_node=PTANH_NODES["output"]
+    )

@@ -12,15 +12,22 @@ required subset from scratch:
   two-inverter circuit of the paper produces tanh-like transfer curves).
 - :mod:`~repro.spice.mna` — modified nodal analysis with Newton-Raphson
   iteration for the nonlinear devices.
-- :mod:`~repro.spice.sweep` — DC sweeps with warm starting.
+- :mod:`~repro.spice.plan` — compiled stamp plans: a netlist lowered once
+  into index arrays so hot loops never touch strings or dicts.
+- :mod:`~repro.spice.batch` — vectorized Newton-Raphson over ``(B, n, n)``
+  stacked MNA systems (bit-identical to the scalar solver per lane).
+- :mod:`~repro.spice.sweep` — DC sweeps with warm starting (scalar and
+  batched).
 - :mod:`~repro.spice.validate` — connectivity checks (networkx based).
 """
 
 from repro.spice.netlist import Netlist
 from repro.spice.components import Resistor, VoltageSource, EGT
-from repro.spice.egt import EGTModel
-from repro.spice.mna import OperatingPoint, solve_dc
-from repro.spice.sweep import dc_sweep
+from repro.spice.egt import EGTModel, id_gm_gds
+from repro.spice.mna import ConvergenceError, OperatingPoint, solve_dc
+from repro.spice.plan import ParamBatch, StampPlan, compile_netlist
+from repro.spice.batch import BatchOperatingPoint, solve_dc_batch
+from repro.spice.sweep import dc_sweep, dc_sweep_batch
 from repro.spice.validate import validate_netlist, NetlistError
 
 __all__ = [
@@ -29,9 +36,17 @@ __all__ = [
     "VoltageSource",
     "EGT",
     "EGTModel",
+    "id_gm_gds",
+    "ConvergenceError",
     "OperatingPoint",
     "solve_dc",
+    "StampPlan",
+    "ParamBatch",
+    "compile_netlist",
+    "BatchOperatingPoint",
+    "solve_dc_batch",
     "dc_sweep",
+    "dc_sweep_batch",
     "validate_netlist",
     "NetlistError",
 ]

@@ -21,13 +21,79 @@ and the model is made symmetric for ``Vds < 0`` by exchanging the roles of
 drain and source.  All constants are chosen so that the inverter stages of
 the ptanh circuit switch within the 0–1 V input range across the whole
 Table-I design space.
+
+The evaluation is array-in/array-out (:func:`id_gm_gds`): the batched DC
+engine stamps whole ``(lanes, devices)`` blocks per Newton iteration, and
+the scalar solver routes through the same numpy kernels so both paths
+produce bit-identical companion models.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Tuple
+
+import numpy as np
+
+
+def id_gm_gds(
+    vgs: np.ndarray,
+    vds: np.ndarray,
+    beta: np.ndarray,
+    v_threshold: float,
+    phi: float,
+    channel_lambda: float,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized drain current and small-signal derivatives.
+
+    All voltage/β inputs broadcast together; the returned ``(id, gm, gds)``
+    arrays share the broadcast shape.  ``vds < 0`` elements are treated
+    symmetrically (drain and source exchanged), exactly like the scalar
+    :meth:`EGTModel.ids` — which delegates here, so scalar and batched
+    solves agree to the last bit.
+    """
+    vgs = np.asarray(vgs, dtype=np.float64)
+    vds = np.asarray(vds, dtype=np.float64)
+    beta = np.asarray(beta, dtype=np.float64)
+
+    reverse = vds < 0.0
+    # Swap drain and source: Id(vgs, vds) = -Id'(vgd, -vds).
+    vgs_fwd = np.where(reverse, vgs - vds, vgs)
+    vds_fwd = np.where(reverse, -vds, vds)
+
+    # --- smooth overdrive (three numerically-safe regimes) ------------- #
+    z = (vgs_fwd - v_threshold) / phi
+    high = z > 30.0
+    low = z < -30.0
+    # Clipping keeps exp() in range; mid-regime values are unchanged by it.
+    z_mid = np.clip(z, -30.0, 30.0)
+    exp_low = np.exp(np.minimum(z, -30.0))
+    veff = np.where(
+        high,
+        vgs_fwd - v_threshold,
+        np.where(low, phi * exp_low, phi * np.log1p(np.exp(z_mid))),
+    )
+    dveff = np.where(high, 1.0, np.where(low, exp_low, 1.0 / (1.0 + np.exp(-z_mid))))
+
+    # --- forward drain current and derivatives ------------------------- #
+    veff_safe = veff + 1e-12
+    shape = np.tanh(vds_fwd / veff_safe)
+    sech2 = 1.0 - shape * shape
+    clm = 1.0 + channel_lambda * vds_fwd
+    id0 = 0.5 * beta * veff * veff
+
+    current_fwd = id0 * shape * clm
+    gm_fwd = (
+        beta * veff * dveff * shape * clm
+        + id0 * sech2 * (-vds_fwd / (veff_safe * veff_safe)) * dveff * clm
+    )
+    gds_fwd = id0 * sech2 / veff_safe * clm + id0 * shape * channel_lambda
+
+    # --- undo the drain/source exchange -------------------------------- #
+    current = np.where(reverse, -current_fwd, current_fwd)
+    gm = np.where(reverse, -gm_fwd, gm_fwd)
+    gds = np.where(reverse, gm_fwd + gds_fwd, gds_fwd)
+    return current, gm, gds
 
 
 @dataclass(frozen=True)
@@ -57,17 +123,13 @@ class EGTModel:
             raise ValueError("transistor dimensions must be positive")
         return self.k_prime * width / length
 
-    def _overdrive(self, vgs: float) -> Tuple[float, float]:
-        """Smooth overdrive voltage and its derivative w.r.t. ``vgs``."""
-        z = (vgs - self.v_threshold) / self.phi
-        if z > 30.0:
-            return vgs - self.v_threshold, 1.0
-        if z < -30.0:
-            expz = math.exp(z)
-            return self.phi * expz, expz
-        veff = self.phi * math.log1p(math.exp(z))
-        dveff = 1.0 / (1.0 + math.exp(-z))
-        return veff, dveff
+    def id_gm_gds(
+        self, vgs: np.ndarray, vds: np.ndarray, beta: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Array-in/array-out evaluation at this model's parameters."""
+        return id_gm_gds(
+            vgs, vds, beta, self.v_threshold, self.phi, self.channel_lambda
+        )
 
     def ids(
         self, vgs: float, vds: float, width: float, length: float
@@ -82,31 +144,5 @@ class EGTModel:
             device is treated symmetrically (drain and source exchanged).
         """
         beta = self.beta(width, length)
-        if vds < 0.0:
-            # Swap drain and source: Id(vgs, vds) = -Id'(vgd, -vds).
-            vgd = vgs - vds
-            current_s, gm_s, gds_s = self._ids_forward(vgd, -vds, beta)
-            # d/dVgs: vgd depends on vgs with slope 1, vds' does not.
-            gm = -gm_s
-            # d/dVds: vgd slope -1, vds' slope -1.
-            gds = gm_s + gds_s
-            return -current_s, gm, gds
-        return self._ids_forward(vgs, vds, beta)
-
-    def _ids_forward(
-        self, vgs: float, vds: float, beta: float
-    ) -> Tuple[float, float, float]:
-        veff, dveff = self._overdrive(vgs)
-        veff_safe = veff + 1e-12
-        shape = math.tanh(vds / veff_safe)
-        sech2 = 1.0 - shape * shape
-        clm = 1.0 + self.channel_lambda * vds
-        id0 = 0.5 * beta * veff * veff
-
-        current = id0 * shape * clm
-        gm = (
-            beta * veff * dveff * shape * clm
-            + id0 * sech2 * (-vds / (veff_safe * veff_safe)) * dveff * clm
-        )
-        gds = id0 * sech2 / veff_safe * clm + id0 * shape * self.channel_lambda
-        return current, gm, gds
+        current, gm, gds = self.id_gm_gds(vgs, vds, beta)
+        return float(current), float(gm), float(gds)

@@ -14,7 +14,7 @@ voltage damping keeps the iteration inside the model's smooth region.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -42,7 +42,7 @@ class OperatingPoint:
 
 def solve_dc(
     netlist: Netlist,
-    initial: Dict[str, float] = None,
+    initial: Optional[Dict[str, float]] = None,
     gmin: float = 1e-12,
     tol: float = 1e-10,
     max_iter: int = 200,

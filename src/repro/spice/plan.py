@@ -1,0 +1,262 @@
+"""Compiled stamp plans: a ``Netlist`` lowered to index arrays.
+
+The scalar solver re-derives node indices, string-keyed dictionaries and a
+fresh device walk on every DC solve.  For the surrogate pipeline — hundreds
+of thousands of solves over the *same topology* with different element
+values — that bookkeeping dominates.  :func:`compile_netlist` performs it
+once: the netlist is lowered into flat integer index arrays (resistor node
+pairs, voltage-source rows, EGT terminal triples) plus template element
+values, so the batched Newton-Raphson loop (:mod:`repro.spice.batch`)
+never touches a string or a dict.
+
+A :class:`ParamBatch` carries per-lane element overrides (resistances and
+EGT geometries) for ``B`` independent operating points sharing the plan's
+topology; :meth:`StampPlan.realize` reconstructs an ordinary ``Netlist``
+for any single lane, which is how the batched solver falls back to the
+scalar path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.spice.egt import EGTModel
+from repro.spice.netlist import GROUND, Netlist
+from repro.spice.validate import validate_netlist
+
+#: Index used for the ground node in compiled index arrays.
+GROUND_INDEX = -1
+
+
+@dataclass(frozen=True, eq=False)
+class StampPlan:
+    """A ``Netlist`` lowered to index arrays for the batched solver.
+
+    Node indices follow ``Netlist.nodes()`` order; ``-1`` marks ground.
+    Device columns follow netlist insertion order, so the batched stamps
+    accumulate matrix entries in exactly the scalar solver's order (which
+    keeps the two paths bit-identical).
+    """
+
+    title: str
+    nodes: Tuple[str, ...]
+    gmin: float
+
+    # resistors: node pair + template conductance-defining resistance
+    resistor_names: Tuple[str, ...]
+    res_a: np.ndarray          # (n_res,) int64, -1 = ground
+    res_b: np.ndarray          # (n_res,) int64
+    res_resistance: np.ndarray  # (n_res,) template values in ohms
+
+    # ideal voltage sources: node pair + template voltage
+    source_names: Tuple[str, ...]
+    src_p: np.ndarray          # (n_src,) int64
+    src_m: np.ndarray          # (n_src,) int64
+    src_voltage: np.ndarray    # (n_src,)
+
+    # EGTs: terminal triples + template geometry + per-device model params
+    egt_names: Tuple[str, ...]
+    egt_d: np.ndarray          # (n_egt,) int64
+    egt_g: np.ndarray          # (n_egt,) int64
+    egt_s: np.ndarray          # (n_egt,) int64
+    egt_width: np.ndarray      # (n_egt,)
+    egt_length: np.ndarray     # (n_egt,)
+    egt_k_prime: np.ndarray    # (n_egt,)
+    egt_v_threshold: np.ndarray  # (n_egt,)
+    egt_phi: np.ndarray        # (n_egt,)
+    egt_channel_lambda: np.ndarray  # (n_egt,)
+    egt_models: Tuple[EGTModel, ...]
+
+    # original node names per device, kept for realize()
+    res_nodes: Tuple[Tuple[str, str], ...]
+    src_nodes: Tuple[Tuple[str, str], ...]
+    egt_nodes: Tuple[Tuple[str, str, str], ...]
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def n_sources(self) -> int:
+        return len(self.source_names)
+
+    @property
+    def n_resistors(self) -> int:
+        return len(self.resistor_names)
+
+    @property
+    def n_egts(self) -> int:
+        return len(self.egt_names)
+
+    @property
+    def size(self) -> int:
+        """MNA system size: node voltages plus source branch currents."""
+        return self.n_nodes + self.n_sources
+
+    def node_index(self, name: str) -> int:
+        if name == GROUND:
+            return GROUND_INDEX
+        return self.nodes.index(name)
+
+    def source_index(self, name: str) -> int:
+        try:
+            return self.source_names.index(name)
+        except ValueError:
+            raise KeyError(f"no voltage source named {name!r}") from None
+
+    def resistor_index(self, name: str) -> int:
+        try:
+            return self.resistor_names.index(name)
+        except ValueError:
+            raise KeyError(f"no resistor named {name!r}") from None
+
+    # ------------------------------------------------------------------ #
+    # lane realization (scalar fallback)                                 #
+    # ------------------------------------------------------------------ #
+
+    def realize(
+        self,
+        params: Optional["ParamBatch"] = None,
+        lane: int = 0,
+        source_voltages: Optional[Mapping[str, float]] = None,
+    ) -> Netlist:
+        """Reconstruct a scalar ``Netlist`` for one lane of a batch."""
+        netlist = Netlist(self.title)
+        for k, name in enumerate(self.source_names):
+            voltage = float(self.src_voltage[k])
+            if source_voltages is not None and name in source_voltages:
+                voltage = float(source_voltages[name])
+            plus, minus = self.src_nodes[k]
+            netlist.add_voltage_source(name, plus, minus, voltage)
+        for j, name in enumerate(self.resistor_names):
+            value = float(self.res_resistance[j])
+            if params is not None and params.resistances is not None:
+                value = float(params.resistances[lane, j])
+            a, b = self.res_nodes[j]
+            netlist.add_resistor(name, a, b, value)
+        for k, name in enumerate(self.egt_names):
+            width = float(self.egt_width[k])
+            length = float(self.egt_length[k])
+            if params is not None and params.widths is not None:
+                width = float(params.widths[lane, k])
+            if params is not None and params.lengths is not None:
+                length = float(params.lengths[lane, k])
+            d, g, s = self.egt_nodes[k]
+            netlist.add_egt(name, d, g, s, width, length, self.egt_models[k])
+        return netlist
+
+    def __repr__(self) -> str:
+        return (
+            f"StampPlan({self.title!r}, nodes={self.n_nodes}, "
+            f"R={self.n_resistors}, V={self.n_sources}, T={self.n_egts})"
+        )
+
+
+@dataclass
+class ParamBatch:
+    """Per-lane element values for ``B`` operating points on one plan.
+
+    Any field left as ``None`` falls back to the plan's template values.
+    Column order follows the plan's device order (``resistor_names`` /
+    ``egt_names``).
+    """
+
+    resistances: Optional[np.ndarray] = None  # (B, n_res) ohms
+    widths: Optional[np.ndarray] = None       # (B, n_egt) µm
+    lengths: Optional[np.ndarray] = None      # (B, n_egt) µm
+
+    def __post_init__(self):
+        for field_name in ("resistances", "widths", "lengths"):
+            value = getattr(self, field_name)
+            if value is not None:
+                array = np.asarray(value, dtype=np.float64)
+                if array.ndim != 2:
+                    raise ValueError(f"{field_name} must be a (B, n_devices) array")
+                setattr(self, field_name, array)
+        sizes = {a.shape[0] for a in self._arrays()}
+        if len(sizes) > 1:
+            raise ValueError(f"inconsistent batch sizes in ParamBatch: {sorted(sizes)}")
+
+    def _arrays(self):
+        return [
+            a for a in (self.resistances, self.widths, self.lengths) if a is not None
+        ]
+
+    @property
+    def batch_size(self) -> Optional[int]:
+        arrays = self._arrays()
+        return int(arrays[0].shape[0]) if arrays else None
+
+    def take(self, lanes: np.ndarray) -> "ParamBatch":
+        """Sub-batch restricted to ``lanes`` (used by sweeps to drop lanes)."""
+        pick = lambda a: None if a is None else a[lanes]
+        return ParamBatch(
+            resistances=pick(self.resistances),
+            widths=pick(self.widths),
+            lengths=pick(self.lengths),
+        )
+
+
+def compile_netlist(
+    netlist: Netlist, gmin: float = 1e-12, validate: bool = True
+) -> StampPlan:
+    """Lower ``netlist`` into a :class:`StampPlan` (strings → index arrays).
+
+    ``gmin`` is baked into the plan because it is part of the constant
+    linear stamps; use the same value as the scalar solves being replaced.
+    """
+    if validate:
+        validate_netlist(netlist)
+
+    nodes = tuple(netlist.nodes())
+    index: Dict[str, int] = {name: i for i, name in enumerate(nodes)}
+
+    def node_idx(name: str) -> int:
+        return GROUND_INDEX if name == GROUND else index[name]
+
+    res_a = np.array([node_idx(r.node_a) for r in netlist.resistors], dtype=np.int64)
+    res_b = np.array([node_idx(r.node_b) for r in netlist.resistors], dtype=np.int64)
+    src_p = np.array([node_idx(s.node_plus) for s in netlist.sources], dtype=np.int64)
+    src_m = np.array([node_idx(s.node_minus) for s in netlist.sources], dtype=np.int64)
+    egt_d = np.array([node_idx(t.drain) for t in netlist.transistors], dtype=np.int64)
+    egt_g = np.array([node_idx(t.gate) for t in netlist.transistors], dtype=np.int64)
+    egt_s = np.array([node_idx(t.source) for t in netlist.transistors], dtype=np.int64)
+
+    return StampPlan(
+        title=netlist.title,
+        nodes=nodes,
+        gmin=float(gmin),
+        resistor_names=tuple(r.name for r in netlist.resistors),
+        res_a=res_a,
+        res_b=res_b,
+        res_resistance=np.array(
+            [r.resistance for r in netlist.resistors], dtype=np.float64
+        ),
+        source_names=tuple(s.name for s in netlist.sources),
+        src_p=src_p,
+        src_m=src_m,
+        src_voltage=np.array([s.voltage for s in netlist.sources], dtype=np.float64),
+        egt_names=tuple(t.name for t in netlist.transistors),
+        egt_d=egt_d,
+        egt_g=egt_g,
+        egt_s=egt_s,
+        egt_width=np.array([t.width for t in netlist.transistors], dtype=np.float64),
+        egt_length=np.array([t.length for t in netlist.transistors], dtype=np.float64),
+        egt_k_prime=np.array(
+            [t.model.k_prime for t in netlist.transistors], dtype=np.float64
+        ),
+        egt_v_threshold=np.array(
+            [t.model.v_threshold for t in netlist.transistors], dtype=np.float64
+        ),
+        egt_phi=np.array([t.model.phi for t in netlist.transistors], dtype=np.float64),
+        egt_channel_lambda=np.array(
+            [t.model.channel_lambda for t in netlist.transistors], dtype=np.float64
+        ),
+        egt_models=tuple(t.model for t in netlist.transistors),
+        res_nodes=tuple((r.node_a, r.node_b) for r in netlist.resistors),
+        src_nodes=tuple((s.node_plus, s.node_minus) for s in netlist.sources),
+        egt_nodes=tuple((t.drain, t.gate, t.source) for t in netlist.transistors),
+    )

@@ -1,13 +1,15 @@
-"""DC sweeps with warm-started Newton iterations."""
+"""DC sweeps with warm-started Newton iterations (scalar and batched)."""
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.spice.mna import OperatingPoint, solve_dc
-from repro.spice.netlist import Netlist
+from repro.spice.netlist import GROUND, Netlist
+from repro.spice.batch import solve_dc_batch
+from repro.spice.plan import ParamBatch, StampPlan
 
 
 def dc_sweep(
@@ -35,7 +37,7 @@ def dc_sweep(
     validated = False
     try:
         for value in values:
-            source.voltage = float(value)
+            source.voltage = value
             point = solve_dc(netlist, initial=warm, validate=not validated, **solver_kwargs)
             validated = True
             warm = point.voltages
@@ -45,6 +47,78 @@ def dc_sweep(
 
     if output_node is None:
         return points
-    xs = np.asarray(list(values), dtype=np.float64)
+    xs = np.asarray(values, dtype=np.float64)
     ys = np.asarray([p.voltage(output_node) for p in points], dtype=np.float64)
     return xs, ys
+
+
+def dc_sweep_batch(
+    plan: StampPlan,
+    param_batch: Optional[ParamBatch],
+    source_name: str,
+    values: Iterable[float],
+    output_node: Optional[str] = None,
+    batch_size: Optional[int] = None,
+    **solver_kwargs,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sweep one voltage source across ``B`` lanes simultaneously.
+
+    All lanes advance through the sweep in lockstep; each sweep column is
+    warm-started from the previous column's solutions, exactly like the
+    scalar :func:`dc_sweep`.  Lanes whose Newton iteration fails at some
+    column are dropped from the remaining columns (the scalar path would
+    have raised :class:`~repro.spice.mna.ConvergenceError` there) and
+    reported in the returned mask.
+
+    Returns
+    -------
+    ``(values, outputs, ok)`` where ``values`` is the ``(n_steps,)`` sweep
+    axis, ``outputs`` is ``(B, n_steps)`` voltages of ``output_node`` (or
+    ``(B, n_steps, n_nodes)`` node voltages when ``output_node`` is None)
+    with NaN from the first failed column on, and ``ok`` is the ``(B,)``
+    per-lane success mask.
+    """
+    values = np.asarray([float(v) for v in values], dtype=np.float64)
+    if param_batch is not None and param_batch.batch_size is not None:
+        batch = param_batch.batch_size
+    elif batch_size is not None:
+        batch = int(batch_size)
+    else:
+        raise ValueError("pass a ParamBatch or an explicit batch_size")
+
+    n_nodes = plan.n_nodes
+    volts = np.full((batch, len(values), n_nodes), np.nan)
+    ok = np.ones(batch, dtype=bool)
+
+    active = np.arange(batch)
+    params = param_batch
+    warm: Optional[np.ndarray] = None
+    for j, value in enumerate(values):
+        if not len(active):
+            break
+        solution = solve_dc_batch(
+            plan,
+            params,
+            vin_batch={source_name: value},
+            initial=warm,
+            batch_size=len(active),
+            **solver_kwargs,
+        )
+        good = solution.converged
+        if not good.all():
+            ok[active[~good]] = False
+            active = active[good]
+            if params is not None:
+                params = params.take(good)
+            if not len(active):
+                break
+        warm = solution.voltages[good]
+        volts[active, j] = warm
+
+    if output_node is None:
+        return values, volts, ok
+    if output_node == GROUND:
+        outputs = np.zeros((batch, len(values)))
+    else:
+        outputs = volts[:, :, plan.node_index(output_node)]
+    return values, outputs, ok

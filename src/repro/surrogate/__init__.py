@@ -22,10 +22,14 @@ The pipeline mirrors the paper exactly:
 
 from repro.surrogate.design_space import DesignSpace, DESIGN_SPACE
 from repro.surrogate.sampling import sample_design_points
-from repro.surrogate.fitting import fit_ptanh, ptanh_curve, FitResult
+from repro.surrogate.fitting import fit_ptanh, fit_ptanh_batch, ptanh_curve, FitResult
 from repro.surrogate.features import FeatureNormalizer, extend_with_ratios
 from repro.surrogate.model import SurrogateMLP, PAPER_LAYER_WIDTHS
-from repro.surrogate.dataset_builder import SurrogateDataset, build_surrogate_dataset
+from repro.surrogate.dataset_builder import (
+    BuildStats,
+    SurrogateDataset,
+    build_surrogate_dataset,
+)
 from repro.surrogate.training import train_surrogate, SurrogateTrainingResult
 from repro.surrogate.pipeline import SurrogateBundle, build_surrogate_bundle
 from repro.surrogate.analytic import AnalyticSurrogate
@@ -35,8 +39,10 @@ __all__ = [
     "DESIGN_SPACE",
     "sample_design_points",
     "fit_ptanh",
+    "fit_ptanh_batch",
     "ptanh_curve",
     "FitResult",
+    "BuildStats",
     "FeatureNormalizer",
     "extend_with_ratios",
     "SurrogateMLP",

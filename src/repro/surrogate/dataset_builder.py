@@ -6,6 +6,17 @@ transfer curves are fitted with Eq. 2 / Eq. 3.  Degenerate design points
 whose curves carry too little swing to identify η (or whose fit quality is
 poor) are filtered out, mirroring the paper's restriction of the design
 space to "tanh-like characteristic curves".
+
+Two execution engines produce element-wise identical datasets:
+
+- ``engine="batched"`` (default) sweeps design points in chunks through the
+  stacked MNA solver (:func:`repro.spice.solve_dc_batch`) and fits the
+  surviving curves in lockstep (:func:`repro.surrogate.fitting.fit_ptanh_batch`).
+  Curves whose output swing cannot clear ``min_swing`` are dropped before
+  fitting — the swing depends only on the simulated curve, so the filter
+  decision matches the scalar path exactly while skipping useless fits.
+- ``engine="scalar"`` is the original one-design-at-a-time loop, kept as
+  the reference implementation and for the equality tests.
 """
 
 from __future__ import annotations
@@ -15,16 +26,46 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from repro.circuits.negweight import simulate_negweight_curve
-from repro.circuits.ptanh import simulate_ptanh_curve
+from repro.circuits.negweight import simulate_negweight_curve, simulate_negweight_curve_batch
+from repro.circuits.ptanh import simulate_ptanh_curve, simulate_ptanh_curve_batch
 from repro.spice.egt import EGTModel
 from repro.spice.mna import ConvergenceError
 from repro.surrogate.design_space import DESIGN_SPACE, DesignSpace
-from repro.surrogate.fitting import fit_ptanh
+from repro.surrogate.fitting import fit_ptanh, fit_ptanh_batch
 from repro.surrogate.sampling import sample_design_points
 
 #: Circuit kinds understood by the builder.
 CIRCUIT_KINDS = ("ptanh", "negweight")
+
+#: Execution engines understood by the builder.
+ENGINES = ("batched", "scalar")
+
+
+@dataclass
+class BuildStats:
+    """Where the sampled design points went during a dataset build.
+
+    Every sampled ω lands in exactly one bucket, so the four drop counters
+    plus ``n_kept`` always sum to ``n_sampled``.  Drop classification uses
+    the same priority as the scalar filter chain: convergence failure,
+    then insufficient swing, then fit RMSE, then the η bounds box.
+    """
+
+    n_sampled: int = 0
+    n_kept: int = 0
+    n_convergence_error: int = 0
+    n_low_swing: int = 0
+    n_high_rmse: int = 0
+    n_out_of_bounds: int = 0
+
+    @property
+    def n_dropped(self) -> int:
+        return (
+            self.n_convergence_error
+            + self.n_low_swing
+            + self.n_high_rmse
+            + self.n_out_of_bounds
+        )
 
 
 @dataclass
@@ -35,6 +76,7 @@ class SurrogateDataset:
     eta: np.ndarray            # (n, 4)
     rmse: np.ndarray           # (n,) fit quality per point
     kind: str                  # "ptanh" or "negweight"
+    stats: Optional[BuildStats] = None
 
     def __post_init__(self):
         if len(self.omega) != len(self.eta):
@@ -53,6 +95,17 @@ def simulate_curve(omega: np.ndarray, kind: str, n_points: int, model: Optional[
     raise ValueError(f"unknown circuit kind {kind!r}; expected one of {CIRCUIT_KINDS}")
 
 
+def simulate_curve_batch(
+    omega_batch: np.ndarray, kind: str, n_points: int, model: Optional[EGTModel]
+):
+    """Dispatch to the right batched circuit sweep for ``kind``."""
+    if kind == "ptanh":
+        return simulate_ptanh_curve_batch(omega_batch, n_points=n_points, model=model)
+    if kind == "negweight":
+        return simulate_negweight_curve_batch(omega_batch, n_points=n_points, model=model)
+    raise ValueError(f"unknown circuit kind {kind!r}; expected one of {CIRCUIT_KINDS}")
+
+
 def build_surrogate_dataset(
     kind: str,
     n_points: int = 10_000,
@@ -63,6 +116,8 @@ def build_surrogate_dataset(
     min_swing: float = 0.02,
     max_rmse: float = 0.05,
     progress: Optional[Callable[[int, int], None]] = None,
+    engine: str = "batched",
+    chunk_size: int = 512,
 ) -> SurrogateDataset:
     """Sample, simulate and fit; return the filtered regression dataset.
 
@@ -78,23 +133,87 @@ def build_surrogate_dataset(
         Quality gates: curves with less output swing than ``min_swing`` or a
         worse fit RMSE than ``max_rmse`` are dropped (their η are not
         identifiable and would only add label noise).
+    progress:
+        Optional ``progress(done, total)`` callback; called per design in
+        the scalar engine and per chunk in the batched engine, plus one
+        final ``progress(total, total)`` tick in both.
+    engine:
+        ``"batched"`` (stacked solves + lockstep fits, the default) or
+        ``"scalar"`` (the reference loop).  Both produce element-wise
+        identical datasets.
+    chunk_size:
+        Designs per stacked solve in the batched engine; results are
+        chunk-size invariant.
     """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    if kind not in CIRCUIT_KINDS:
+        raise ValueError(f"unknown circuit kind {kind!r}; expected one of {CIRCUIT_KINDS}")
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be at least 1")
+
     omegas = sample_design_points(n_points, space=space, seed=seed)
-    kept_omega, kept_eta, kept_rmse = [], [], []
+    total = len(omegas)
+    stats = BuildStats(n_sampled=total)
     negated = kind == "negweight"
-    for i, omega in enumerate(omegas):
-        if progress is not None:
-            progress(i, len(omegas))
-        try:
-            v_in, v_out = simulate_curve(omega, kind, sweep_points, model)
-        except ConvergenceError:
-            continue
-        fit = fit_ptanh(v_in, v_out, negated=negated)
-        if fit.swing < min_swing or fit.rmse > max_rmse or not fit.in_bounds:
-            continue
-        kept_omega.append(omega)
-        kept_eta.append(fit.eta)
-        kept_rmse.append(fit.rmse)
+    kept_omega, kept_eta, kept_rmse = [], [], []
+
+    if engine == "batched":
+        for start in range(0, total, chunk_size):
+            if progress is not None:
+                progress(start, total)
+            chunk = omegas[start : start + chunk_size]
+            v_in, curves, ok = simulate_curve_batch(chunk, kind, sweep_points, model)
+            stats.n_convergence_error += int(np.sum(~ok))
+
+            # Swing pre-filter: the swing is a function of the curve alone,
+            # so low-swing designs are classified before paying for a fit.
+            targets = -curves if negated else curves
+            swings = targets.max(axis=1) - targets.min(axis=1)
+            low_swing = ok & (swings < min_swing)
+            stats.n_low_swing += int(np.sum(low_swing))
+            fit_lanes = np.nonzero(ok & ~low_swing)[0]
+            if fit_lanes.size == 0:
+                continue
+
+            fits = fit_ptanh_batch(v_in, curves[fit_lanes], negated=negated)
+            for lane, fit in zip(fit_lanes, fits):
+                if fit.rmse > max_rmse:
+                    stats.n_high_rmse += 1
+                    continue
+                if not fit.in_bounds:
+                    stats.n_out_of_bounds += 1
+                    continue
+                stats.n_kept += 1
+                kept_omega.append(chunk[lane])
+                kept_eta.append(fit.eta)
+                kept_rmse.append(fit.rmse)
+    else:
+        for i, omega in enumerate(omegas):
+            if progress is not None:
+                progress(i, total)
+            try:
+                v_in, v_out = simulate_curve(omega, kind, sweep_points, model)
+            except ConvergenceError:
+                stats.n_convergence_error += 1
+                continue
+            fit = fit_ptanh(v_in, v_out, negated=negated)
+            if fit.swing < min_swing:
+                stats.n_low_swing += 1
+                continue
+            if fit.rmse > max_rmse:
+                stats.n_high_rmse += 1
+                continue
+            if not fit.in_bounds:
+                stats.n_out_of_bounds += 1
+                continue
+            stats.n_kept += 1
+            kept_omega.append(omega)
+            kept_eta.append(fit.eta)
+            kept_rmse.append(fit.rmse)
+
+    if progress is not None:
+        progress(total, total)
 
     if not kept_omega:
         raise RuntimeError(
@@ -106,4 +225,5 @@ def build_surrogate_dataset(
         eta=np.asarray(kept_eta),
         rmse=np.asarray(kept_rmse),
         kind=kind,
+        stats=stats,
     )

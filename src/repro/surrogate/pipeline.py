@@ -122,7 +122,16 @@ def build_surrogate_bundle(
             seed=seed,
         )
         if verbose:
-            print(f"[surrogate] {kind}: {len(dataset)} identifiable curves; training MLP")
+            stats = dataset.stats
+            if stats is not None:
+                print(
+                    f"[surrogate] {kind}: kept {stats.n_kept}/{stats.n_sampled} "
+                    f"(dropped: {stats.n_convergence_error} no-convergence, "
+                    f"{stats.n_low_swing} low-swing, {stats.n_high_rmse} high-RMSE, "
+                    f"{stats.n_out_of_bounds} out-of-bounds); training MLP"
+                )
+            else:
+                print(f"[surrogate] {kind}: {len(dataset)} identifiable curves; training MLP")
         result = train_surrogate(
             dataset, widths=widths, max_epochs=max_epochs, patience=patience, seed=seed
         )

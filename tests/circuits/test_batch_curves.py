@@ -1,0 +1,71 @@
+"""Batched transfer-curve sweeps vs. the scalar reference loops."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    ptanh_param_batch,
+    ptanh_stamp_plan,
+    simulate_negweight_curve,
+    simulate_negweight_curve_batch,
+    simulate_ptanh_curve,
+    simulate_ptanh_curve_batch,
+)
+from repro.surrogate.sampling import sample_design_points
+
+
+class TestBatchedCurves:
+    def test_ptanh_batch_is_bitwise_identical_to_scalar(self):
+        omegas = sample_design_points(12, seed=7)
+        xs_b, ys_b, ok = simulate_ptanh_curve_batch(omegas, n_points=17)
+        assert ok.all()
+        for lane, omega in enumerate(omegas):
+            xs, ys = simulate_ptanh_curve(omega, n_points=17)
+            assert np.array_equal(xs, xs_b)
+            assert np.array_equal(ys, ys_b[lane])
+
+    def test_negweight_batch_is_bitwise_identical_to_scalar(self):
+        omegas = sample_design_points(12, seed=9)
+        xs_b, ys_b, ok = simulate_negweight_curve_batch(omegas, n_points=17)
+        assert ok.all()
+        for lane, omega in enumerate(omegas):
+            xs, ys = simulate_negweight_curve(omega, n_points=17)
+            assert np.array_equal(ys, ys_b[lane])
+
+    def test_negweight_curves_are_negative_and_falling(self):
+        omegas = sample_design_points(4, seed=1)
+        _, ys, ok = simulate_negweight_curve_batch(omegas, n_points=11)
+        assert ok.all()
+        assert (ys <= 0).all()
+
+    def test_batch_results_do_not_depend_on_batch_composition(self):
+        """A lane's curve must not change when its batch mates change."""
+        omegas = sample_design_points(8, seed=4)
+        _, full, _ = simulate_ptanh_curve_batch(omegas, n_points=9)
+        _, half, _ = simulate_ptanh_curve_batch(omegas[::2], n_points=9)
+        assert np.array_equal(full[::2], half)
+
+    def test_plan_is_cached_per_model(self):
+        assert ptanh_stamp_plan() is ptanh_stamp_plan()
+
+
+class TestParamBatchValidation:
+    def test_omega_batch_shape_enforced(self):
+        plan = ptanh_stamp_plan()
+        with pytest.raises(ValueError, match=r"\(B, 7\)"):
+            ptanh_param_batch(np.ones(7), plan)
+
+    def test_nonpositive_resistances_rejected(self):
+        plan = ptanh_stamp_plan()
+        bad = np.ones((2, 7))
+        bad[1, 0] = 0.0
+        with pytest.raises(ValueError, match="positive"):
+            ptanh_param_batch(bad, plan)
+
+    def test_geometry_broadcast_to_both_transistors(self):
+        plan = ptanh_stamp_plan()
+        omegas = np.array([[200.0, 80.0, 1e5, 4e4, 1e5, 123.0, 45.0]])
+        params = ptanh_param_batch(omegas, plan)
+        assert params.widths.shape == (1, plan.n_egts)
+        assert (params.widths == 123.0).all()
+        assert (params.lengths == 45.0).all()

@@ -1,9 +1,13 @@
 """Property tests for DC sweeps of the printed circuits."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.circuits import simulate_negweight_curve, simulate_ptanh_curve
+from repro.circuits.ptanh import build_ptanh_netlist, ptanh_param_batch, ptanh_stamp_plan
+from repro.spice import ConvergenceError, dc_sweep, dc_sweep_batch
+from repro.spice import sweep as sweep_module
 from repro.surrogate.design_space import DESIGN_SPACE
 
 
@@ -42,3 +46,89 @@ class TestSweepInvariants:
         x_fine, y_fine = simulate_ptanh_curve(omega, n_points=9)
         shared = np.isin(np.round(x_fine, 9), np.round(x_coarse, 9))
         assert np.allclose(y_fine[shared], y_coarse, atol=1e-7)
+
+
+OMEGA = np.array([200.0, 80.0, 100e3, 40e3, 100e3, 500.0, 30.0])
+
+
+class TestScalarSweepMechanics:
+    def test_each_step_warm_starts_from_the_previous_solution(self, monkeypatch):
+        """The sweep must pass step j's voltages as step j+1's initial."""
+        seen_initials = []
+        real_solve = sweep_module.solve_dc
+
+        def spying_solve(netlist, initial=None, **kwargs):
+            seen_initials.append(None if initial is None else dict(initial))
+            return real_solve(netlist, initial=initial, **kwargs)
+
+        monkeypatch.setattr(sweep_module, "solve_dc", spying_solve)
+        netlist = build_ptanh_netlist(OMEGA)
+        points = dc_sweep(netlist, "Vin", [0.0, 0.5, 1.0])
+
+        assert seen_initials[0] is None
+        assert seen_initials[1] == points[0].voltages
+        assert seen_initials[2] == points[1].voltages
+
+    def test_sweep_restores_the_source_voltage(self):
+        netlist = build_ptanh_netlist(OMEGA, vin=0.25)
+        dc_sweep(netlist, "Vin", [0.0, 1.0], output_node="out")
+        assert netlist.source("Vin").voltage == 0.25
+
+    def test_sweep_restores_voltage_even_when_a_step_diverges(self, monkeypatch):
+        def exploding_solve(netlist, initial=None, **kwargs):
+            raise ConvergenceError("synthetic divergence")
+
+        monkeypatch.setattr(sweep_module, "solve_dc", exploding_solve)
+        netlist = build_ptanh_netlist(OMEGA, vin=0.25)
+        with pytest.raises(ConvergenceError):
+            dc_sweep(netlist, "Vin", [0.0, 1.0])
+        assert netlist.source("Vin").voltage == 0.25
+
+    def test_values_accept_any_iterable_once(self):
+        netlist = build_ptanh_netlist(OMEGA)
+        xs, ys = dc_sweep(netlist, "Vin", iter([0.0, 0.5, 1.0]), output_node="out")
+        assert np.array_equal(xs, [0.0, 0.5, 1.0])
+        assert ys.shape == (3,)
+
+
+class TestBatchedSweepMechanics:
+    def test_failed_lane_is_masked_and_others_continue(self, monkeypatch):
+        """A lane diverging mid-sweep maps to ok=False with NaN from there on,
+        while the surviving lanes still match the scalar sweep."""
+        plan = ptanh_stamp_plan()
+        omegas = np.broadcast_to(OMEGA, (3, 7)).copy()
+        params = ptanh_param_batch(omegas, plan)
+        values = [0.0, 0.5, 1.0]
+
+        real_solve = sweep_module.solve_dc_batch
+        calls = []
+
+        def sabotaging_solve(plan, params, **kwargs):
+            solution = real_solve(plan, params, **kwargs)
+            if len(calls) == 1:  # second sweep column: kill the middle lane
+                solution.converged[1] = False
+                solution.voltages[1] = np.nan
+            calls.append(True)
+            return solution
+
+        monkeypatch.setattr(sweep_module, "solve_dc_batch", sabotaging_solve)
+        xs, outputs, ok = dc_sweep_batch(plan, params, "Vin", values, output_node="out")
+
+        assert list(ok) == [True, False, True]
+        assert not np.isnan(outputs[1, 0])        # column before the failure
+        assert np.isnan(outputs[1, 1:]).all()     # failed column onward
+        reference = dc_sweep(build_ptanh_netlist(OMEGA), "Vin", values, output_node="out")[1]
+        assert np.array_equal(outputs[0], reference)
+        assert np.array_equal(outputs[2], reference)
+
+    def test_batch_size_required_without_params(self):
+        plan = ptanh_stamp_plan()
+        with pytest.raises(ValueError, match="batch_size"):
+            dc_sweep_batch(plan, None, "Vin", [0.0, 1.0])
+
+    def test_full_voltage_trace_when_no_output_node(self):
+        plan = ptanh_stamp_plan()
+        params = ptanh_param_batch(np.broadcast_to(OMEGA, (2, 7)), plan)
+        xs, volts, ok = dc_sweep_batch(plan, params, "Vin", [0.0, 1.0])
+        assert volts.shape == (2, 2, plan.n_nodes)
+        assert ok.all() and not np.isnan(volts).any()

@@ -1,0 +1,247 @@
+"""Lockstep η fitting and the two dataset-builder engines.
+
+The headline property of the batched pipeline is *element-wise identity*:
+``engine="batched"`` must reproduce the scalar reference loop exactly, not
+merely to tolerance, for any chunk size.
+"""
+
+import numpy as np
+import pytest
+
+from repro.spice.mna import ConvergenceError
+from repro.surrogate import dataset_builder
+from repro.surrogate.dataset_builder import BuildStats, build_surrogate_dataset
+from repro.surrogate.fitting import (
+    FitResult,
+    fit_ptanh,
+    fit_ptanh_batch,
+    initial_guess,
+    initial_guess_batch,
+    ptanh_curve,
+    ptanh_curve_batch,
+    ptanh_jacobian,
+    ptanh_jacobian_batch,
+)
+from repro.surrogate.lm import levenberg_marquardt_batch
+
+
+class TestBatchedCurveEvaluation:
+    def test_curve_batch_matches_scalar_rows(self):
+        v_in = np.linspace(0, 1, 21)
+        etas = np.array([[0.5, 0.4, 0.5, 8.0], [0.2, -0.1, 0.7, 30.0]])
+        stacked = ptanh_curve_batch(etas, v_in)
+        for b, eta in enumerate(etas):
+            assert np.array_equal(stacked[b], ptanh_curve(eta, v_in))
+
+    def test_jacobian_batch_matches_scalar_rows(self):
+        v_in = np.linspace(0, 1, 21)
+        etas = np.array([[0.5, 0.4, 0.5, 8.0], [0.2, -0.1, 0.7, 30.0]])
+        stacked = ptanh_jacobian_batch(etas, v_in)
+        for b, eta in enumerate(etas):
+            assert np.array_equal(stacked[b], ptanh_jacobian(eta, v_in))
+
+    def test_initial_guess_batch_matches_scalar_rows(self):
+        v_in = np.linspace(0, 1, 21)
+        targets = np.stack([
+            0.5 + 0.4 * np.tanh((v_in - 0.5) * 9.0),
+            0.9 - 0.6 * np.tanh((v_in - 0.3) * 4.0),
+            np.full(21, 0.73),                      # flat branch
+        ])
+        stacked = initial_guess_batch(v_in, targets)
+        for b in range(len(targets)):
+            assert np.array_equal(stacked[b], initial_guess(v_in, targets[b]))
+
+
+class TestBatchedFit:
+    def test_fit_batch_is_batch_size_invariant(self):
+        """Batch-of-1 fits equal large-batch fits bit for bit."""
+        v_in = np.linspace(0, 1, 33)
+        rng = np.random.default_rng(3)
+        etas = np.column_stack([
+            rng.uniform(0.3, 0.7, 6),
+            rng.uniform(0.1, 0.4, 6),
+            rng.uniform(0.2, 0.8, 6),
+            rng.uniform(2.0, 40.0, 6),
+        ])
+        curves = ptanh_curve_batch(etas, v_in) + 0.01 * rng.standard_normal((6, 33))
+        together = fit_ptanh_batch(v_in, curves)
+        for b in range(6):
+            alone = fit_ptanh(v_in, curves[b])
+            assert np.array_equal(alone.eta, together[b].eta)
+            assert alone.rmse == together[b].rmse
+            assert alone.swing == together[b].swing
+            assert alone.converged == together[b].converged
+
+    def test_negated_fit_batch_matches_scalar(self):
+        v_in = np.linspace(0, 1, 33)
+        curve = -(0.5 + 0.3 * np.tanh((v_in - 0.4) * 12.0))
+        batch = fit_ptanh_batch(v_in, curve[None, :], negated=True)[0]
+        alone = fit_ptanh(v_in, curve, negated=True)
+        assert np.array_equal(alone.eta, batch.eta)
+
+    def test_fit_batch_rejects_bad_shapes(self):
+        with pytest.raises(ValueError, match=r"\(B, n\)"):
+            fit_ptanh_batch(np.linspace(0, 1, 9), np.zeros(9))
+        with pytest.raises(ValueError, match="at least 5"):
+            fit_ptanh_batch(np.linspace(0, 1, 3), np.zeros((2, 3)))
+
+    def test_lm_batch_requires_stacked_inputs(self):
+        with pytest.raises(ValueError, match=r"\(B, k\)"):
+            levenberg_marquardt_batch(
+                lambda x, lanes: x, np.zeros(4), lambda x, lanes: x
+            )
+
+    def test_lm_batch_solves_independent_quadratics(self):
+        targets = np.array([[1.0, 2.0], [3.0, -1.0], [0.0, 5.0]])
+
+        def residual(x, lanes):
+            return x - targets[lanes]
+
+        def jacobian(x, lanes):
+            return np.broadcast_to(np.eye(2), (len(x), 2, 2))
+
+        result = levenberg_marquardt_batch(residual, np.zeros((3, 2)), jacobian)
+        assert result.converged.all()
+        assert np.allclose(result.x, targets, atol=1e-8)
+
+
+class TestQualityGateThresholds:
+    """Exactly-at-threshold curves must be *kept* (gates are strict)."""
+
+    def test_swing_exactly_at_threshold_is_tanh_like(self):
+        fit = FitResult(
+            eta=np.array([0.5, 0.01, 0.5, 5.0]), rmse=0.0, swing=0.02, converged=True
+        )
+        assert fit.is_tanh_like
+
+    def test_rmse_exactly_at_threshold_is_tanh_like(self):
+        fit = FitResult(
+            eta=np.array([0.5, 0.3, 0.5, 5.0]), rmse=0.05, swing=0.6, converged=True
+        )
+        assert fit.is_tanh_like
+
+    def test_just_past_either_threshold_is_rejected(self):
+        low_swing = FitResult(
+            eta=np.array([0.5, 0.3, 0.5, 5.0]),
+            rmse=0.0,
+            swing=np.nextafter(0.02, 0.0),
+            converged=True,
+        )
+        high_rmse = FitResult(
+            eta=np.array([0.5, 0.3, 0.5, 5.0]),
+            rmse=np.nextafter(0.05, 1.0),
+            swing=0.6,
+            converged=True,
+        )
+        assert not low_swing.is_tanh_like
+        assert not high_rmse.is_tanh_like
+
+
+class TestBuilderEngines:
+    @pytest.mark.parametrize("kind", ["ptanh", "negweight"])
+    def test_batched_engine_reproduces_scalar_exactly(self, kind):
+        batched = build_surrogate_dataset(
+            kind, n_points=48, sweep_points=21, seed=3, engine="batched"
+        )
+        scalar = build_surrogate_dataset(
+            kind, n_points=48, sweep_points=21, seed=3, engine="scalar"
+        )
+        assert np.array_equal(batched.omega, scalar.omega)
+        assert np.array_equal(batched.eta, scalar.eta)
+        assert np.array_equal(batched.rmse, scalar.rmse)
+        assert batched.stats == scalar.stats
+
+    def test_results_are_chunk_size_invariant(self):
+        reference = build_surrogate_dataset(
+            "ptanh", n_points=40, sweep_points=21, seed=3, chunk_size=512
+        )
+        small_chunks = build_surrogate_dataset(
+            "ptanh", n_points=40, sweep_points=21, seed=3, chunk_size=7
+        )
+        assert np.array_equal(reference.eta, small_chunks.eta)
+        assert np.array_equal(reference.omega, small_chunks.omega)
+        assert reference.stats == small_chunks.stats
+
+    def test_stats_partition_the_sample(self):
+        dataset = build_surrogate_dataset("ptanh", n_points=48, sweep_points=21, seed=3)
+        stats = dataset.stats
+        assert stats.n_sampled == 48
+        assert stats.n_kept == len(dataset)
+        assert stats.n_kept + stats.n_dropped == stats.n_sampled
+
+    @pytest.mark.parametrize("engine", ["batched", "scalar"])
+    def test_progress_emits_final_tick(self, engine):
+        ticks = []
+        build_surrogate_dataset(
+            "ptanh",
+            n_points=24,
+            sweep_points=21,
+            seed=3,
+            engine=engine,
+            chunk_size=10,
+            progress=lambda done, total: ticks.append((done, total)),
+        )
+        assert ticks[0] == (0, 24)
+        assert ticks[-1] == (24, 24)
+        done_values = [d for d, _ in ticks]
+        assert done_values == sorted(done_values)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            build_surrogate_dataset("ptanh", n_points=8, engine="gpu")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown circuit kind"):
+            build_surrogate_dataset("sigmoid", n_points=8)
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            build_surrogate_dataset("ptanh", n_points=8, chunk_size=0)
+
+    def test_convergence_errors_are_counted_and_skipped(self, monkeypatch):
+        """Scalar engine: a design whose sweep diverges is dropped, not fatal."""
+        real = dataset_builder.simulate_curve
+        doomed = []
+
+        def flaky(omega, kind, n_points, model):
+            if not doomed:
+                doomed.append(True)
+                raise ConvergenceError("synthetic divergence")
+            return real(omega, kind, n_points, model)
+
+        monkeypatch.setattr(dataset_builder, "simulate_curve", flaky)
+        dataset = build_surrogate_dataset(
+            "ptanh", n_points=24, sweep_points=21, seed=3, engine="scalar"
+        )
+        assert dataset.stats.n_convergence_error == 1
+        assert dataset.stats.n_sampled == 24
+
+    def test_failed_lanes_are_counted_in_batched_engine(self, monkeypatch):
+        real = dataset_builder.simulate_curve_batch
+
+        def flaky(omega_batch, kind, n_points, model):
+            v_in, curves, ok = real(omega_batch, kind, n_points, model)
+            ok = ok.copy()
+            ok[0] = False
+            return v_in, curves, ok
+
+        monkeypatch.setattr(dataset_builder, "simulate_curve_batch", flaky)
+        dataset = build_surrogate_dataset(
+            "ptanh", n_points=24, sweep_points=21, seed=3,
+            engine="batched", chunk_size=12,
+        )
+        assert dataset.stats.n_convergence_error == 2  # one per chunk
+        assert dataset.stats.n_kept + dataset.stats.n_dropped == 24
+
+
+class TestBuildStats:
+    def test_dropped_sums_buckets(self):
+        stats = BuildStats(
+            n_sampled=10,
+            n_kept=4,
+            n_convergence_error=1,
+            n_low_swing=2,
+            n_high_rmse=2,
+            n_out_of_bounds=1,
+        )
+        assert stats.n_dropped == 6
