@@ -1,10 +1,16 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: test verify bench bench-surrogate
+.PHONY: test test-all lint verify bench bench-surrogate
 
-test:              ## tier-1 unit/property/integration tests
+test:              ## fast tier: everything not marked @pytest.mark.slow
+	python -m pytest -x -q -m "not slow"
+
+test-all:          ## full tier-1 suite, slow property/integration tests included
 	python -m pytest -x -q
+
+lint:              ## ruff over sources and tests
+	ruff check src tests
 
 verify: 	   ## tier-1 tests + 2-worker smoke table2 (the CI gate)
 	bash scripts/ci.sh

@@ -8,7 +8,7 @@ checks whether the training result is sensitive to that modelling choice.
 import numpy as np
 
 from benchmarks.conftest import save_and_print
-from repro.core import PrintedNeuralNetwork, TrainConfig, evaluate_mc, train_pnn
+from repro.core import PrintedNeuralNetwork, TrainConfig, train_pnn
 from repro.core.variation import GaussianVariationModel, VariationModel
 from repro.datasets import load_splits
 

@@ -5,7 +5,6 @@ respects it; the timed section measures design-point sampling + feasibility
 checking throughput.
 """
 
-import numpy as np
 
 from benchmarks.conftest import save_and_print
 from repro.surrogate import DESIGN_SPACE, sample_design_points

@@ -7,6 +7,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+echo "== lint (ruff) =="
+if command -v ruff >/dev/null 2>&1; then
+    ruff check src tests
+else
+    echo "ruff not installed; skipping lint (CI installs it)"
+fi
+
 echo "== tier-1 tests =="
 python -m pytest -x -q
 
@@ -90,41 +97,91 @@ np.testing.assert_allclose(histories["kernel"], histories["autograd"],
 print("gradient smoke OK: VJPs <= 1e-8, 5-epoch trajectories <= 1e-9 rel")
 EOF
 
-echo "== surrogate-builder smoke (batched vs scalar engine) =="
-python - <<'EOF'
+echo "== surrogate-builder smoke (batched vs scalar, telemetry-audited) =="
+SMOKE_ROOT="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_ROOT"' EXIT
+CACHE_DIR="$SMOKE_ROOT/table2_cache"
+TEL_BUILD="$SMOKE_ROOT/telemetry_build"
+TEL_RUN="$SMOKE_ROOT/telemetry_run"
+TEL_RESUME="$SMOKE_ROOT/telemetry_resume"
+TEL_BUILD="$TEL_BUILD" python - <<'EOF'
+import os
 import numpy as np
+from repro import telemetry
 from repro.surrogate.dataset_builder import build_surrogate_dataset
 
+# The scalar reference runs without telemetry; the batched engine runs
+# with it — proving instrumentation never touches the numbers.
+scalars = {}
+for kind in ("ptanh", "negweight"):
+    scalars[kind] = build_surrogate_dataset(kind, n_points=32, sweep_points=21,
+                                            seed=3, engine="scalar")
+tel = telemetry.enable(os.environ["TEL_BUILD"], manifest={"command": "ci-smoke"})
 for kind in ("ptanh", "negweight"):
     batched = build_surrogate_dataset(kind, n_points=32, sweep_points=21,
                                       seed=3, engine="batched", chunk_size=16)
-    scalar = build_surrogate_dataset(kind, n_points=32, sweep_points=21,
-                                     seed=3, engine="scalar")
+    scalar = scalars[kind]
     np.testing.assert_array_equal(batched.omega, scalar.omega)
     np.testing.assert_array_equal(batched.eta, scalar.eta)
     np.testing.assert_array_equal(batched.rmse, scalar.rmse)
     assert batched.stats == scalar.stats, (batched.stats, scalar.stats)
     s = batched.stats
     print(f"{kind}: engines identical ({s.n_kept}/{s.n_sampled} kept)")
-print("surrogate smoke OK: batched and scalar engines element-wise identical")
+telemetry.disable()
+
+# Telemetry gate: the smoke build must never hit the scalar-fallback
+# path — a regression in batched Newton convergence fails CI here.
+events = telemetry.read_events(os.environ["TEL_BUILD"])
+counters = telemetry.summarize_events(events)["counters"]
+solves = [e for e in events if e["kind"] == "event"
+          and e["name"] == "spice.solve_dc_batch"]
+assert solves, "no spice.solve_dc_batch events recorded"
+fallbacks = int(counters.get("spice.scalar_fallbacks", 0))
+assert fallbacks == 0, f"{fallbacks} lanes fell back to the scalar solver!"
+lanes = int(counters.get("spice.lanes_solved", 0))
+print(f"surrogate smoke OK: engines identical; telemetry audited "
+      f"{len(solves)} solves / {lanes} lanes, 0 scalar fallbacks")
 EOF
 
-echo "== parallel smoke table2 (2 workers, fresh cache) =="
-CACHE_DIR="$(mktemp -d)/table2_cache"
-trap 'rm -rf "$(dirname "$CACHE_DIR")"' EXIT
+echo "== parallel smoke table2 (2 workers, fresh cache, telemetry on) =="
 python -m repro.experiments.cli table2 --profile smoke --datasets iris \
-    --workers 2 --cache-dir "$CACHE_DIR"
+    --workers 2 --cache-dir "$CACHE_DIR" --telemetry "$TEL_RUN"
 
 echo "== resume (must be 100% cache hits) =="
 python -m repro.experiments.cli table2 --profile smoke --datasets iris \
-    --workers 2 --cache-dir "$CACHE_DIR" --resume
-python - "$CACHE_DIR/journal.jsonl" <<'EOF'
-import sys
+    --workers 2 --cache-dir "$CACHE_DIR" --resume --telemetry "$TEL_RESUME"
+TEL_RUN="$TEL_RUN" TEL_RESUME="$TEL_RESUME" \
+    python - "$CACHE_DIR/journal.jsonl" <<'EOF'
+import os, sys
+from repro import telemetry
 from repro.experiments import RunJournal
+
 records = RunJournal.read(sys.argv[1])
 second = records[len(records) // 2:]
 assert second and all(r["cache_hit"] for r in second), "resume re-trained jobs!"
-print(f"journal OK: {len(second)} jobs, all cache hits on resume")
+
+# Telemetry gate: the resume run's own event stream must show a 100%
+# cache-hit ratio and zero trainings — independent of the journal.
+resume = telemetry.summarize_events(telemetry.read_events(os.environ["TEL_RESUME"]))
+hits = int(resume["counters"].get("cache.hit", 0))
+misses = int(resume["counters"].get("cache.miss", 0))
+trained = resume["events"].get("job.done", 0)
+assert hits and misses == 0, f"resume hit ratio {hits}/{hits + misses} != 100%"
+assert trained == 0, f"resume trained {trained} jobs!"
+
+# The fresh run must have fanned its jobs over >= 2 worker processes and
+# merged their logs back into one deterministic stream.
+run_events = telemetry.read_events(os.environ["TEL_RUN"])
+job_pids = {e["pid"] for e in run_events
+            if e["kind"] == "event" and e["name"] == "job.done"}
+assert len(job_pids) >= 2, f"expected >=2 workers, saw pids {job_pids}"
+assert os.path.exists(os.path.join(os.environ["TEL_RUN"], "events.jsonl")), \
+    "missing merged events.jsonl"
+print(f"telemetry OK: resume {hits}/{hits + misses} cache hits, 0 trainings; "
+      f"fresh run merged logs from {len(job_pids)} workers")
 EOF
+
+echo "== telemetry report smoke =="
+python -m repro.experiments.cli report --telemetry "$TEL_RUN" --top 5
 
 echo "CI OK"

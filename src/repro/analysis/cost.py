@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.circuits.ptanh import build_ptanh_netlist
 from repro.core.pnn import PrintedNeuralNetwork
-from repro.exporting.report import PHYSICAL_SCALE, design_report
+from repro.exporting.report import design_report
 from repro.spice.mna import ConvergenceError, solve_dc
 
 #: Printed footprint of one passive component (mm²), order-of-magnitude per

@@ -17,7 +17,7 @@ Two questions a circuit designer asks of the learned nonlinear circuits:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

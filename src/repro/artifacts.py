@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import Optional
 
 #: Default configuration of the shared bundle: enough QMC points and
 #: training budget for surrogate R² ≈ 0.95 at ~1 minute build time.

@@ -8,7 +8,7 @@ adjoint on the tape; the test suite verifies each against finite differences.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import Sequence, Union
 
 import numpy as np
 

@@ -20,7 +20,6 @@ from repro.core.params import PNNParams, snapshot_params
 from repro.core.player import PrintedLayer
 from repro.core.variation import VariationModel
 from repro.nn.module import Module, Parameter
-from repro.surrogate.analytic import AnalyticSurrogate
 from repro.surrogate.design_space import DESIGN_SPACE, DesignSpace
 from repro.surrogate.pipeline import SurrogateBundle
 

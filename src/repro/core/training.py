@@ -34,10 +34,12 @@ histories that agree to float64 rounding (pinned by
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from time import perf_counter
+from typing import List, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.autograd.tensor import Tensor, no_grad
 from repro.core import kernels
 from repro.core.grad_kernels import KernelNetwork, ce_loss_fwd, margin_loss_fwd
@@ -219,6 +221,15 @@ def _train_kernel(
     sample_variation = train_variation is not None and not train_variation.is_nominal
     history: List[Tuple[int, float, float]] = []
     epochs_run = 0
+
+    # Per-epoch phase timings (pure observation; gated so the disabled
+    # cost is one bool check per epoch).
+    tel = telemetry.get()
+    trace = tel.enabled
+    t_fwd_bwd = t_opt = t_val = 0.0
+    m_fwd_bwd = m_opt = m_val = 0.0
+    train_start = perf_counter()
+
     for epoch in range(config.max_epochs):
         epochs_run = epoch + 1
         optimizer.zero_grad()
@@ -226,6 +237,8 @@ def _train_kernel(
         if sample_variation:
             epsilons = draw_epoch_epsilons(train_variation, n_mc, pnn)
         arrays = layer_arrays()
+        if trace:
+            t0 = perf_counter()
         train_loss, grads = net.loss_and_grads(
             arrays, x_train, y_train, loss=config.loss, epsilons=epsilons,
             need_omega_grads=learn_omega,
@@ -234,18 +247,57 @@ def _train_kernel(
             theta_params[i].grad = layer_grads.theta
             omega_params[2 * i].grad = layer_grads.w_act
             omega_params[2 * i + 1].grad = layer_grads.w_neg
+        if trace:
+            t1 = perf_counter()
         optimizer.step()
+        if trace:
+            t2 = perf_counter()
 
         val_loss = net.loss_value(
             layer_arrays(), x_val, y_val, loss=config.loss, epsilons=val_epsilons,
             tag="val",
         )
+        if trace:
+            t3 = perf_counter()
+            dt = t1 - t0
+            t_fwd_bwd += dt
+            m_fwd_bwd = max(m_fwd_bwd, dt)
+            dt = t2 - t1
+            t_opt += dt
+            m_opt = max(m_opt, dt)
+            dt = t3 - t2
+            t_val += dt
+            m_val = max(m_val, dt)
         history.append((epoch, train_loss, val_loss))
         stopper.update(val_loss, epoch, state_fn=capture_state)
         if config.verbose and epoch % 100 == 0:
             print(f"[train] epoch {epoch}: train {train_loss:.4f} val {val_loss:.4f}")
         if stopper.should_stop:
+            if trace:
+                tel.event(
+                    "train.early_stop",
+                    epoch=epoch,
+                    best_epoch=stopper.best_epoch,
+                    patience=config.patience,
+                )
             break
+
+    if trace:
+        tel.event(
+            "train.run",
+            engine="kernel",
+            epochs_run=epochs_run,
+            best_epoch=stopper.best_epoch,
+            best_val_loss=stopper.best_value,
+            dur_s=perf_counter() - train_start,
+            fwd_bwd_s=t_fwd_bwd,
+            optimizer_s=t_opt,
+            validation_s=t_val,
+            fwd_bwd_max_s=m_fwd_bwd,
+            optimizer_max_s=m_opt,
+            validation_max_s=m_val,
+        )
+        tel.count("train.epochs", epochs_run)
 
     # Write the winning design back into the live module (falling back to
     # the final arrays when no epoch ever improved, e.g. NaN losses).

@@ -12,6 +12,9 @@
 - :mod:`~repro.experiments.parallel` — process-pool scheduler; bit-for-bit
   identical to the serial runner at any worker count.
 - :mod:`~repro.experiments.tables` — renders Table II and Table III.
+- :mod:`~repro.experiments.report` — aggregate summary of a recorded
+  :mod:`repro.telemetry` run (slowest jobs, cache hit ratio, SPICE
+  fallback rates).
 - :mod:`~repro.experiments.figures` — data series for Fig. 2 and Fig. 4.
 - :mod:`~repro.experiments.ablation` — the §IV-D improvement summary.
 """
@@ -33,6 +36,7 @@ from repro.experiments.runner import (
 from repro.experiments.jobs import JobKey, JobOutcome, enumerate_jobs, execute_job
 from repro.experiments.cache import ResultCache, RunJournal, job_digest
 from repro.experiments.parallel import run_table2_parallel
+from repro.experiments.report import render_telemetry_report
 from repro.experiments.tables import render_table2, render_table3, summarize_table3
 from repro.experiments.ablation import improvement_summary
 
@@ -57,6 +61,7 @@ __all__ = [
     "run_table2",
     "render_table2",
     "render_table3",
+    "render_telemetry_report",
     "summarize_table3",
     "improvement_summary",
 ]

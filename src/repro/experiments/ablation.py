@@ -13,7 +13,7 @@ The paper reports, for each test variation level:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.experiments.config import TEST_EPSILONS
 from repro.experiments.runner import CellResult

@@ -41,11 +41,13 @@ import hashlib
 import json
 import os
 import time
+import warnings
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from repro import telemetry
 from repro.core import load_params, load_pnn, save_params, snapshot_params
 from repro.core.params import PNNParams
 from repro.experiments.config import ExperimentConfig
@@ -151,8 +153,11 @@ class ResultCache:
         it is actually needed (i.e. for the best seed of a group).
         """
         meta = self.load_meta(digest)
+        tel = telemetry.get()
         if meta is None:
+            tel.count("cache.miss")
             return None
+        tel.count("cache.hit")
         return JobOutcome(
             key=JobKey(*meta["key"]),
             topology=tuple(meta["topology"]),
@@ -216,6 +221,7 @@ class ResultCache:
         meta_tmp = self.meta_path(digest).with_suffix(".json.tmp")
         meta_tmp.write_text(json.dumps(meta, sort_keys=True))
         os.replace(meta_tmp, self.meta_path(digest))
+        telemetry.get().count("cache.store")
 
     def __len__(self) -> int:
         """Number of complete entries in the cache."""
@@ -263,14 +269,29 @@ class RunJournal:
 
     @staticmethod
     def read(path: Union[str, Path]) -> List[Dict]:
-        """All journal records at ``path`` (empty list if absent)."""
+        """All journal records at ``path`` (empty list if absent).
+
+        A worker killed mid-:meth:`record` can leave a truncated final
+        line; such lines are skipped with a :class:`RuntimeWarning`
+        instead of crashing the reader, so ``--resume`` survives
+        interrupted runs without manual journal surgery.
+        """
         path = Path(path)
         if not path.exists():
             return []
         records = []
         with open(path) as handle:
-            for line in handle:
+            for lineno, line in enumerate(handle, start=1):
                 line = line.strip()
-                if line:
+                if not line:
+                    continue
+                try:
                     records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    warnings.warn(
+                        f"{path}:{lineno}: skipping truncated/corrupt journal "
+                        "record (worker killed mid-write?)",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
         return records

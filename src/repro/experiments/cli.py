@@ -20,6 +20,12 @@ re-run — or a run interrupted and restarted — re-trains nothing)::
 
     python -m repro.experiments.cli table2 --profile smoke --datasets iris \
         --workers 4 --cache-dir artifacts/table2_cache
+
+Record structured telemetry while running, then inspect it::
+
+    python -m repro.experiments.cli table2 --profile smoke --datasets iris \
+        --workers 2 --telemetry artifacts/telemetry/run1
+    python -m repro.experiments.cli report --telemetry artifacts/telemetry/run1
 """
 
 from __future__ import annotations
@@ -29,12 +35,13 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro import default_artifacts_dir, get_default_bundle
+from repro import default_artifacts_dir, get_default_bundle, telemetry
 from repro.datasets import DATASET_NAMES
 from repro.experiments.ablation import improvement_summary
 from repro.experiments.cache import ResultCache
 from repro.experiments.config import PROFILES, Setup
 from repro.experiments.parallel import run_table2_parallel
+from repro.experiments.report import render_telemetry_report
 from repro.experiments.runner import run_cell
 from repro.experiments.tables import render_table2, render_table3
 
@@ -79,12 +86,28 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="require an existing cache directory and resume "
                              "it (resuming is otherwise automatic whenever "
                              "the cache is enabled)")
+    table2.add_argument("--telemetry", metavar="DIR", default=None,
+                        help="record structured telemetry (JSONL events + run "
+                             "manifest) into DIR; results are bit-identical "
+                             "with or without it")
+
+    report = commands.add_parser(
+        "report", help="aggregate summary of a recorded telemetry run"
+    )
+    report.add_argument("--telemetry", metavar="DIR", required=True,
+                        help="telemetry directory of a previous run")
+    report.add_argument("--top", type=int, default=10, metavar="N",
+                        help="slowest jobs to list (default: 10)")
 
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+
+    if args.command == "report":
+        print(render_telemetry_report(args.telemetry, top=args.top), end="")
+        return 0
 
     if args.command == "surrogate":
         bundle = get_default_bundle(n_points=args.points, seed=args.seed, verbose=True)
@@ -115,6 +138,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"error: --resume given but no cache at {cache_dir}", file=sys.stderr)
                 return 2
             cache = ResultCache(cache_dir)
+        if args.telemetry:
+            telemetry.enable(args.telemetry, manifest={
+                "command": "table2",
+                "profile": args.profile,
+                "datasets": list(args.datasets),
+                "workers": args.workers,
+                "seeds": list(profile.seeds),
+            })
         results = run_table2_parallel(
             args.datasets, profile, surrogates=bundle,
             workers=args.workers, cache=cache,

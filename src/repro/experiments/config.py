@@ -11,7 +11,7 @@ variable (``smoke`` | ``fast`` | ``paper``).
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 

@@ -7,8 +7,8 @@ environment is headless.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict
 
 import numpy as np
 

@@ -32,6 +32,7 @@ from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.core import PrintedNeuralNetwork, TrainConfig, train_pnn
 from repro.core.params import PNNParams, snapshot_params
 from repro.datasets import load_splits
@@ -235,28 +236,54 @@ def execute_job(
     if splits is None:
         splits = load_splits(key.dataset, seed=SPLIT_SEED, max_train=config.max_train)
     topology = (splits.n_features, config.hidden, splits.n_classes)
+    tel = telemetry.get()
     start = time.perf_counter()
-    pnn = PrintedNeuralNetwork(
-        list(topology),
-        surrogates,
-        per_neuron_activation=config.per_neuron_activation,
-        rng=np.random.default_rng(key.seed),
-    )
-    train_config = TrainConfig(
-        lr_theta=config.lr_theta,
-        lr_omega=config.lr_omega,
-        learnable_nonlinear=key.learnable,
-        epsilon=key.train_eps,
-        n_mc_train=config.n_mc_train,
-        max_epochs=config.max_epochs,
-        patience=config.patience,
-        loss=config.loss,
+    cpu_start = time.process_time()
+    with tel.span(
+        "job.execute",
+        dataset=key.dataset,
+        learnable=key.learnable,
+        variation_aware=key.variation_aware,
+        train_eps=key.train_eps,
         seed=key.seed,
-    )
-    result = train_pnn(
-        pnn, splits.x_train, splits.y_train, splits.x_val, splits.y_val, train_config,
         engine=engine,
-    )
+    ):
+        pnn = PrintedNeuralNetwork(
+            list(topology),
+            surrogates,
+            per_neuron_activation=config.per_neuron_activation,
+            rng=np.random.default_rng(key.seed),
+        )
+        train_config = TrainConfig(
+            lr_theta=config.lr_theta,
+            lr_omega=config.lr_omega,
+            learnable_nonlinear=key.learnable,
+            epsilon=key.train_eps,
+            n_mc_train=config.n_mc_train,
+            max_epochs=config.max_epochs,
+            patience=config.patience,
+            loss=config.loss,
+            seed=key.seed,
+        )
+        result = train_pnn(
+            pnn, splits.x_train, splits.y_train, splits.x_val, splits.y_val,
+            train_config, engine=engine,
+        )
+    wall_time = time.perf_counter() - start
+    if tel.enabled:
+        tel.event(
+            "job.done",
+            dataset=key.dataset,
+            learnable=key.learnable,
+            variation_aware=key.variation_aware,
+            train_eps=key.train_eps,
+            seed=key.seed,
+            wall_s=wall_time,
+            cpu_s=time.process_time() - cpu_start,
+            epochs_run=result.epochs_run,
+            best_epoch=result.best_epoch,
+            val_loss=result.best_val_loss,
+        )
     return JobOutcome(
         key=key,
         topology=topology,
@@ -264,6 +291,6 @@ def execute_job(
         val_loss=result.best_val_loss,
         best_epoch=result.best_epoch,
         epochs_run=result.epochs_run,
-        wall_time=time.perf_counter() - start,
+        wall_time=wall_time,
         params=snapshot_params(pnn),
     )

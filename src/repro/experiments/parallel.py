@@ -31,6 +31,7 @@ import multiprocessing
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import telemetry
 from repro.core import evaluate_mc, surrogate_fingerprint
 from repro.datasets import load_splits
 from repro.experiments.cache import ResultCache, RunJournal, job_digest
@@ -120,7 +121,16 @@ def run_table2_parallel(
     if journal is None and cache is not None:
         journal = RunJournal(cache.journal_path)
 
+    tel = telemetry.get()
     jobs = enumerate_jobs(datasets, config)
+    if tel.enabled:
+        tel.event(
+            "table2.start",
+            datasets=list(datasets),
+            workers=int(workers),
+            n_jobs=len(jobs),
+            cached=cache is not None,
+        )
     outcomes: Dict[JobKey, JobOutcome] = {}
     pending: List[JobKey] = []
 
@@ -158,16 +168,25 @@ def run_table2_parallel(
         _FORK_STATE["surrogates"] = surrogates
         try:
             ctx = _pool_context()
+            tel.event("pool.start", workers=int(workers), n_pending=len(pending))
             with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
                 not_done = {pool.submit(_forked_execute, key) for key in pending}
                 while not_done:
                     done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
                     for future in done:
                         _finish(future.result())
+            tel.event("pool.stop", workers=int(workers))
         finally:
             _FORK_STATE.clear()
 
-    return _assemble(datasets, config, surrogates, outcomes, cache)
+    with tel.span("table2.assemble"):
+        results = _assemble(datasets, config, surrogates, outcomes, cache)
+    if tel.enabled:
+        tel.event("table2.done", n_jobs=len(jobs), n_trained=len(pending))
+        # Collate the per-process worker logs into the parent run's
+        # merged stream; deterministic for a fixed set of events.
+        tel.merge()
+    return results
 
 
 def _assemble(

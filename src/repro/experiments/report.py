@@ -1,0 +1,227 @@
+"""Aggregate, human-readable view of a telemetry run.
+
+:func:`render_telemetry_report` turns the JSONL event stream of one run
+(``repro.telemetry``) into the operational summary the engine work has
+been missing: which jobs were slowest, how the wall time split between
+workers, the cache hit ratio, the Newton/fallback health of the SPICE
+engine and where the training epochs spent their time.
+
+Exposed on the command line as::
+
+    python -m repro.experiments.cli report --telemetry <dir>
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Union
+
+from repro.telemetry import read_manifest, read_events, summarize_events
+
+
+def _setup_label(learnable: bool, variation_aware: bool) -> str:
+    """The 2×2-grid shorthand used across the tables (L/VA flags)."""
+    bits = []
+    if learnable:
+        bits.append("L")
+    if variation_aware:
+        bits.append("VA")
+    return "+".join(bits) if bits else "base"
+
+
+def _fmt_seconds(value: float) -> str:
+    return f"{value:8.2f}s"
+
+
+def _rows_to_table(header: List[str], rows: List[List[str]]) -> List[str]:
+    widths = [len(h) for h in header]
+    for row in rows:
+        widths = [max(w, len(cell)) for w, cell in zip(widths, row)]
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines = [fmt.format(*header), fmt.format(*["-" * w for w in widths])]
+    lines.extend(fmt.format(*row) for row in rows)
+    return lines
+
+
+def _job_section(events: List[Dict], top: int) -> List[str]:
+    jobs = [e for e in events if e.get("kind") == "event" and e.get("name") == "job.done"]
+    if not jobs:
+        return ["jobs: no job.done events recorded"]
+    jobs_sorted = sorted(jobs, key=lambda e: -float(e["attrs"].get("wall_s", 0.0)))
+    total_wall = sum(float(e["attrs"].get("wall_s", 0.0)) for e in jobs)
+    total_cpu = sum(float(e["attrs"].get("cpu_s", 0.0)) for e in jobs)
+    lines = [
+        f"jobs: {len(jobs)} trained, wall {total_wall:.2f}s, cpu {total_cpu:.2f}s",
+        "",
+        f"slowest {min(top, len(jobs))} jobs:",
+    ]
+    rows = []
+    for event in jobs_sorted[:top]:
+        a = event["attrs"]
+        rows.append([
+            str(a.get("dataset")),
+            _setup_label(bool(a.get("learnable")), bool(a.get("variation_aware"))),
+            f"{float(a.get('train_eps', 0.0)):.0%}",
+            str(a.get("seed")),
+            f"{float(a.get('wall_s', 0.0)):.2f}s",
+            f"{float(a.get('cpu_s', 0.0)):.2f}s",
+            str(a.get("epochs_run")),
+            f"{float(a.get('val_loss', float('nan'))):.4f}",
+            str(event.get("pid")),
+        ])
+    lines.extend(_rows_to_table(
+        ["dataset", "setup", "eps", "seed", "wall", "cpu", "epochs", "val_loss", "pid"],
+        rows,
+    ))
+    return lines
+
+
+def _worker_section(events: List[Dict]) -> List[str]:
+    per_pid: Dict[int, Dict[str, float]] = {}
+    for event in events:
+        if event.get("kind") == "event" and event.get("name") == "job.done":
+            stat = per_pid.setdefault(event.get("pid"), {"jobs": 0, "wall_s": 0.0})
+            stat["jobs"] += 1
+            stat["wall_s"] += float(event["attrs"].get("wall_s", 0.0))
+    starts = [e for e in events
+              if e.get("kind") == "event" and e.get("name") == "process.start"]
+    lines = [f"workers: {len(starts)} processes wrote events"]
+    if per_pid:
+        rows = [
+            [str(pid), str(int(stat["jobs"])), f"{stat['wall_s']:.2f}s"]
+            for pid, stat in sorted(per_pid.items())
+        ]
+        lines.extend(_rows_to_table(["pid", "jobs", "wall"], rows))
+    return lines
+
+
+def _cache_section(counters: Dict[str, float]) -> List[str]:
+    hits = int(counters.get("cache.hit", 0))
+    misses = int(counters.get("cache.miss", 0))
+    stores = int(counters.get("cache.store", 0))
+    lookups = hits + misses
+    if lookups == 0:
+        return ["cache: no lookups recorded"]
+    ratio = hits / lookups
+    return [
+        f"cache: {hits}/{lookups} hits ({ratio:.1%}), "
+        f"{misses} misses, {stores} stores",
+    ]
+
+
+def _spice_section(events: List[Dict], counters: Dict[str, float]) -> List[str]:
+    solves = [e for e in events
+              if e.get("kind") == "event" and e.get("name") == "spice.solve_dc_batch"]
+    lanes = int(counters.get("spice.lanes_solved", 0))
+    if not solves and not lanes:
+        return ["spice: no batched solves recorded"]
+    iters = int(counters.get("spice.newton_lane_iters", 0))
+    fallbacks = int(counters.get("spice.scalar_fallbacks", 0))
+    damped = sum(int(e["attrs"].get("n_damped_steps", 0)) for e in solves)
+    singular = sum(int(e["attrs"].get("n_singular", 0)) for e in solves)
+    recovered = sum(int(e["attrs"].get("n_fallback_recovered", 0)) for e in solves)
+    rate = fallbacks / lanes if lanes else 0.0
+    mean_iters = iters / lanes if lanes else 0.0
+    return [
+        f"spice: {len(solves)} batched solves, {lanes} lanes, "
+        f"{mean_iters:.1f} mean Newton iters/lane",
+        f"       scalar fallbacks {fallbacks} ({rate:.2%} of lanes, "
+        f"{recovered} recovered), damped steps {damped}, singular lanes {singular}",
+    ]
+
+
+def _surrogate_section(events: List[Dict]) -> List[str]:
+    builds = [e for e in events
+              if e.get("kind") == "event" and e.get("name") == "surrogate.build"]
+    if not builds:
+        return []
+    lines = ["surrogate builds:"]
+    rows = []
+    for event in builds:
+        a = event["attrs"]
+        rows.append([
+            str(a.get("kind")),
+            str(a.get("engine")),
+            f"{float(a.get('dur_s', 0.0)):.2f}s",
+            f"{a.get('n_kept')}/{a.get('n_sampled')}",
+            str(a.get("n_convergence_error")),
+            str(a.get("n_low_swing")),
+            str(a.get("n_high_rmse")),
+            str(a.get("n_out_of_bounds")),
+        ])
+    lines.extend(_rows_to_table(
+        ["kind", "engine", "dur", "kept", "conv", "swing", "rmse", "bounds"],
+        rows,
+    ))
+    return lines
+
+
+def _training_section(events: List[Dict], counters: Dict[str, float]) -> List[str]:
+    runs = [e for e in events
+            if e.get("kind") == "event" and e.get("name") == "train.run"]
+    if not runs:
+        return []
+    epochs = int(counters.get("train.epochs", 0))
+    fwd = sum(float(e["attrs"].get("fwd_bwd_s", 0.0)) for e in runs)
+    opt = sum(float(e["attrs"].get("optimizer_s", 0.0)) for e in runs)
+    val = sum(float(e["attrs"].get("validation_s", 0.0)) for e in runs)
+    total = fwd + opt + val
+    early = sum(1 for e in events
+                if e.get("kind") == "event" and e.get("name") == "train.early_stop")
+    lines = [
+        f"training: {len(runs)} runs, {epochs} epochs total, "
+        f"{early} early-stopped",
+    ]
+    if total > 0:
+        lines.append(
+            f"          fwd+bwd {fwd:.2f}s ({fwd / total:.0%}), "
+            f"optimizer {opt:.2f}s ({opt / total:.0%}), "
+            f"validation {val:.2f}s ({val / total:.0%})"
+        )
+    return lines
+
+
+def render_telemetry_report(
+    directory: Union[str, os.PathLike], top: int = 10
+) -> str:
+    """Render the aggregate telemetry summary of the run at ``directory``.
+
+    Parameters
+    ----------
+    directory:
+        A telemetry directory (per-process ``events-*.jsonl`` and/or a
+        merged ``events.jsonl``, plus an optional ``manifest.json``).
+    top:
+        How many of the slowest jobs to list.
+    """
+    events = read_events(directory)
+    if not events:
+        return f"no telemetry events found under {directory}"
+    summary = summarize_events(events)
+    counters = summary["counters"]
+
+    lines: List[str] = [f"telemetry report: {directory}"]
+    manifest = read_manifest(directory)
+    if manifest:
+        sha = manifest.get("git_sha") or "unknown"
+        profile = manifest.get("profile", "?")
+        lines.append(
+            f"run: profile={profile} git={str(sha)[:12]} "
+            f"python={manifest.get('python', '?')}"
+        )
+    lines.append(f"events: {len(events)} records from "
+                 f"{len({e.get('pid') for e in events})} process(es)")
+    lines.append("")
+
+    for section in (
+        _job_section(events, top),
+        _worker_section(events),
+        _cache_section(counters),
+        _spice_section(events, counters),
+        _surrogate_section(events),
+        _training_section(events, counters),
+    ):
+        if section:
+            lines.extend(section)
+            lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

@@ -18,6 +18,7 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro import telemetry
 from repro.core import (
     PrintedNeuralNetwork,
     TrainConfig,
@@ -144,16 +145,20 @@ def run_cell(
     train_eps = eps_test if setup.variation_aware else 0.0
     key = (bool(setup.learnable), bool(setup.variation_aware), float(train_eps))
     assert isinstance(hash(key), int), "trained-memo keys must be hashable tuples"
-    if trained is not None and key in trained:
-        pnn, seed, val_loss = trained[key]
-    else:
-        pnn, seed, val_loss = _train_best(splits, setup, train_eps, config, surrogates)
-        if trained is not None:
-            trained[key] = (pnn, seed, val_loss)
-    accuracy = evaluate_mc(
-        pnn, splits.x_test, splits.y_test,
-        epsilon=eps_test, n_test=config.n_test, seed=mc_evaluation_seed(seed),
-    )
+    tel = telemetry.get()
+    with tel.span("cell.run", dataset=dataset, setup=setup.label,
+                  eps_test=eps_test):
+        if trained is not None and key in trained:
+            pnn, seed, val_loss = trained[key]
+        else:
+            pnn, seed, val_loss = _train_best(splits, setup, train_eps, config, surrogates)
+            if trained is not None:
+                trained[key] = (pnn, seed, val_loss)
+        with tel.span("cell.evaluate_mc", dataset=dataset, eps_test=eps_test):
+            accuracy = evaluate_mc(
+                pnn, splits.x_test, splits.y_test,
+                epsilon=eps_test, n_test=config.n_test, seed=mc_evaluation_seed(seed),
+            )
     return CellResult(
         dataset=dataset,
         setup=setup,

@@ -7,7 +7,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.datasets.registry import DISPLAY_NAMES
-from repro.experiments.config import SETUPS, TEST_EPSILONS, Setup
+from repro.experiments.config import TEST_EPSILONS
 from repro.experiments.runner import CellResult
 
 #: Column order of Table II: (learnable, variation-aware, eps).

@@ -22,6 +22,7 @@ from typing import Mapping, Optional, Union
 
 import numpy as np
 
+from repro import telemetry
 from repro.spice.egt import id_gm_gds
 from repro.spice.mna import ConvergenceError, OperatingPoint, solve_dc
 from repro.spice.netlist import GROUND
@@ -191,6 +192,16 @@ def solve_dc_batch(
     n_nodes, n_sources = plan.n_nodes, plan.n_sources
     n_egt = plan.n_egts
 
+    # Telemetry accumulators (pure observers: never touch the numerics).
+    tel = telemetry.get()
+    trace = tel.enabled
+    active_trajectory: list = []
+    total_lane_iters = 0
+    n_damped_steps = 0
+    n_singular = 0
+    n_fallback = 0
+    n_fallback_recovered = 0
+
     # --- per-lane element values --------------------------------------- #
     if param_batch is not None and param_batch.resistances is not None:
         resistances = param_batch.resistances
@@ -267,6 +278,9 @@ def solve_dc_batch(
     for iteration in range(1, max_iter + 1):
         if not len(active):
             break
+        if trace:
+            active_trajectory.append(int(len(active)))
+            total_lane_iters += int(len(active))
         matrix = act_base.copy()
         rhs = act_rhs.copy()
 
@@ -305,6 +319,8 @@ def solve_dc_batch(
         solution, solvable = _solve_lanes(matrix, rhs)
         if not solvable.all():
             # Singular lanes mirror the scalar ConvergenceError; drop them.
+            if trace:
+                n_singular += int(np.sum(~solvable))
             failed = active[~solvable]
             out_iterations[failed] = iteration
             keep = solvable
@@ -318,6 +334,11 @@ def solve_dc_batch(
         new_voltages = solution[:, :n_nodes]
         delta = new_voltages - act_v
         step = np.clip(delta, -act_damping, act_damping)
+        if trace:
+            # Lanes whose Newton step got clipped by the damping limit.
+            n_damped_steps += int(
+                np.sum(np.any(np.abs(delta) > act_damping, axis=1))
+            )
         act_v = act_v + step
         done = np.max(np.abs(delta), axis=1) < tol
 
@@ -335,7 +356,8 @@ def solve_dc_batch(
     if len(active) and fallback:
         # Scalar retry for lanes that exhausted max_iter, under identical
         # conditions (same warm start, tolerances and damping).
-        for position, lane in enumerate(active):
+        n_fallback = int(len(active))
+        for lane in active:
             netlist = plan.realize(
                 param_batch,
                 lane=int(lane),
@@ -368,6 +390,25 @@ def solve_dc_batch(
             ]
             out_iterations[lane] = point.iterations
             out_converged[lane] = True
+            n_fallback_recovered += 1
+
+    if trace:
+        tel.event(
+            "spice.solve_dc_batch",
+            batch=int(batch),
+            n_converged=int(np.sum(out_converged)),
+            n_iterations=len(active_trajectory),
+            total_lane_iters=total_lane_iters,
+            active_trajectory=active_trajectory,
+            n_damped_steps=n_damped_steps,
+            n_singular=n_singular,
+            n_fallback=n_fallback,
+            n_fallback_recovered=n_fallback_recovered,
+        )
+        tel.count("spice.lanes_solved", int(batch))
+        tel.count("spice.newton_lane_iters", total_lane_iters)
+        if n_fallback:
+            tel.count("spice.scalar_fallbacks", n_fallback)
 
     return BatchOperatingPoint(
         plan=plan,

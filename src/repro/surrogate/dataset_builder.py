@@ -22,10 +22,12 @@ Two execution engines produce element-wise identical datasets:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.circuits.negweight import simulate_negweight_curve, simulate_negweight_curve_batch
 from repro.circuits.ptanh import simulate_ptanh_curve, simulate_ptanh_curve_batch
 from repro.spice.egt import EGTModel
@@ -158,36 +160,44 @@ def build_surrogate_dataset(
     negated = kind == "negweight"
     kept_omega, kept_eta, kept_rmse = [], [], []
 
+    tel = telemetry.get()
+    build_start = perf_counter()
+
     if engine == "batched":
         for start in range(0, total, chunk_size):
             if progress is not None:
                 progress(start, total)
             chunk = omegas[start : start + chunk_size]
-            v_in, curves, ok = simulate_curve_batch(chunk, kind, sweep_points, model)
-            stats.n_convergence_error += int(np.sum(~ok))
+            with tel.span("surrogate.chunk", kind=kind, start=start,
+                          size=int(len(chunk))):
+                v_in, curves, ok = simulate_curve_batch(
+                    chunk, kind, sweep_points, model
+                )
+                stats.n_convergence_error += int(np.sum(~ok))
 
-            # Swing pre-filter: the swing is a function of the curve alone,
-            # so low-swing designs are classified before paying for a fit.
-            targets = -curves if negated else curves
-            swings = targets.max(axis=1) - targets.min(axis=1)
-            low_swing = ok & (swings < min_swing)
-            stats.n_low_swing += int(np.sum(low_swing))
-            fit_lanes = np.nonzero(ok & ~low_swing)[0]
-            if fit_lanes.size == 0:
-                continue
+                # Swing pre-filter: the swing is a function of the curve
+                # alone, so low-swing designs are classified before paying
+                # for a fit.
+                targets = -curves if negated else curves
+                swings = targets.max(axis=1) - targets.min(axis=1)
+                low_swing = ok & (swings < min_swing)
+                stats.n_low_swing += int(np.sum(low_swing))
+                fit_lanes = np.nonzero(ok & ~low_swing)[0]
+                if fit_lanes.size == 0:
+                    continue
 
-            fits = fit_ptanh_batch(v_in, curves[fit_lanes], negated=negated)
-            for lane, fit in zip(fit_lanes, fits):
-                if fit.rmse > max_rmse:
-                    stats.n_high_rmse += 1
-                    continue
-                if not fit.in_bounds:
-                    stats.n_out_of_bounds += 1
-                    continue
-                stats.n_kept += 1
-                kept_omega.append(chunk[lane])
-                kept_eta.append(fit.eta)
-                kept_rmse.append(fit.rmse)
+                fits = fit_ptanh_batch(v_in, curves[fit_lanes], negated=negated)
+                for lane, fit in zip(fit_lanes, fits):
+                    if fit.rmse > max_rmse:
+                        stats.n_high_rmse += 1
+                        continue
+                    if not fit.in_bounds:
+                        stats.n_out_of_bounds += 1
+                        continue
+                    stats.n_kept += 1
+                    kept_omega.append(chunk[lane])
+                    kept_eta.append(fit.eta)
+                    kept_rmse.append(fit.rmse)
     else:
         for i, omega in enumerate(omegas):
             if progress is not None:
@@ -214,6 +224,32 @@ def build_surrogate_dataset(
 
     if progress is not None:
         progress(total, total)
+
+    if tel.enabled:
+        # BuildStats as counters + one summary event for the whole build.
+        tel.count("surrogate.sampled", stats.n_sampled, kind=kind)
+        tel.count("surrogate.kept", stats.n_kept, kind=kind)
+        for bucket, n in (
+            ("convergence_error", stats.n_convergence_error),
+            ("low_swing", stats.n_low_swing),
+            ("high_rmse", stats.n_high_rmse),
+            ("out_of_bounds", stats.n_out_of_bounds),
+        ):
+            if n:
+                tel.count(f"surrogate.drop.{bucket}", n, kind=kind)
+        tel.event(
+            "surrogate.build",
+            kind=kind,
+            engine=engine,
+            chunk_size=chunk_size if engine == "batched" else 1,
+            dur_s=perf_counter() - build_start,
+            n_sampled=stats.n_sampled,
+            n_kept=stats.n_kept,
+            n_convergence_error=stats.n_convergence_error,
+            n_low_swing=stats.n_low_swing,
+            n_high_rmse=stats.n_high_rmse,
+            n_out_of_bounds=stats.n_out_of_bounds,
+        )
 
     if not kept_omega:
         raise RuntimeError(

@@ -18,7 +18,7 @@ from typing import List
 
 import numpy as np
 
-from repro.surrogate.lm import levenberg_marquardt, levenberg_marquardt_batch
+from repro.surrogate.lm import levenberg_marquardt_batch
 
 
 def ptanh_curve(eta: np.ndarray, v_in: np.ndarray) -> np.ndarray:

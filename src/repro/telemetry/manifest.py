@@ -1,0 +1,96 @@
+"""The run manifest: who/what/where of one telemetry run.
+
+``manifest.json`` pins the context the event stream was recorded under —
+git SHA, command line, interpreter and numpy versions, plus whatever
+run-specific fields the caller supplies (profile, datasets, seeds…) —
+so a telemetry directory is self-describing long after the run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+MANIFEST_NAME = "manifest.json"
+
+
+def _git_sha(start: Optional[Path] = None) -> Optional[str]:
+    """Best-effort HEAD SHA by reading ``.git`` directly (no subprocess).
+
+    Walks up from ``start`` (default: this file) to the repository root,
+    then resolves ``HEAD`` → ref file → SHA.  Returns ``None`` outside a
+    git checkout or on any parse failure — the manifest is advisory.
+    """
+    here = (start or Path(__file__)).resolve()
+    for parent in [here] + list(here.parents):
+        git_dir = parent / ".git"
+        if not git_dir.is_dir():
+            continue
+        try:
+            head = (git_dir / "HEAD").read_text().strip()
+            if head.startswith("ref:"):
+                ref = head.split(None, 1)[1]
+                ref_path = git_dir / ref
+                if ref_path.exists():
+                    return ref_path.read_text().strip()
+                packed = git_dir / "packed-refs"
+                if packed.exists():
+                    for line in packed.read_text().splitlines():
+                        if line.endswith(ref) and not line.startswith("#"):
+                            return line.split()[0]
+                return None
+            return head
+        except OSError:
+            return None
+    return None
+
+
+def write_manifest(directory: Union[str, os.PathLike], **fields) -> Path:
+    """Write (or update) ``manifest.json`` under ``directory``.
+
+    Caller-supplied ``fields`` are merged over any existing manifest, so
+    successive :func:`repro.telemetry.enable` calls refine rather than
+    clobber the run description.  Environment facts are filled in once.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / MANIFEST_NAME
+    manifest: Dict = {}
+    if path.exists():
+        try:
+            manifest = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            manifest = {}
+    manifest.setdefault("created_at", time.time())
+    manifest.setdefault("git_sha", _git_sha())
+    manifest.setdefault("argv", list(sys.argv))
+    manifest.setdefault("python", platform.python_version())
+    manifest.setdefault("platform", platform.platform())
+    try:
+        import numpy
+
+        manifest.setdefault("numpy", numpy.__version__)
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        pass
+    manifest.setdefault("pid", os.getpid())
+    manifest.update(fields)
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True, default=str))
+    os.replace(tmp, path)
+    return path
+
+
+def read_manifest(directory: Union[str, os.PathLike]) -> Optional[Dict]:
+    """The run manifest at ``directory``, or ``None`` if absent/corrupt."""
+    path = Path(directory) / MANIFEST_NAME
+    if not path.exists():
+        return None
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError:
+        return None

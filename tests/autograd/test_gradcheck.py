@@ -6,7 +6,6 @@ import pytest
 from repro.autograd import Tensor, gradcheck
 from repro.autograd import functional as F
 from repro.autograd.gradcheck import numerical_gradient
-from repro.autograd.tensor import Tensor as T
 
 
 def test_passes_for_correct_gradient():

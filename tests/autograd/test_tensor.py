@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.autograd import Tensor, no_grad, is_grad_enabled
-from repro.autograd import functional as F
 
 
 class TestConstruction:

@@ -1,7 +1,6 @@
 """Edge cases of the tensor engine surfaced by the pNN workloads."""
 
 import numpy as np
-import pytest
 
 from repro.autograd import Tensor, gradcheck
 from repro.autograd import functional as F

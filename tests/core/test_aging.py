@@ -86,6 +86,7 @@ class TestCompositeVariation:
             CompositeVariation()
 
 
+@pytest.mark.slow
 class TestLifetime:
     def test_accuracy_degrades_with_age(self, blob_data):
         x_train, y_train, x_val, y_val = blob_data

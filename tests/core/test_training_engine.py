@@ -53,6 +53,7 @@ def assert_histories_match(results):
     )
 
 
+@pytest.mark.slow
 class TestTrajectoryEquivalence:
     @pytest.mark.parametrize(
         "epsilon,learnable,loss",

@@ -25,6 +25,7 @@ class TestTrainConfig:
 
 
 class TestNominalTraining:
+    @pytest.mark.slow
     def test_learns_separable_blobs(self, blob_data):
         x_train, y_train, x_val, y_val = blob_data
         pnn = make_pnn((2, 3, 2), seed=1)
@@ -77,6 +78,7 @@ class TestNominalTraining:
 
 
 class TestVariationAwareTraining:
+    @pytest.mark.slow
     def test_runs_and_learns(self, blob_data):
         x_train, y_train, x_val, y_val = blob_data
         pnn = make_pnn((2, 3, 2), seed=6)

@@ -121,6 +121,7 @@ class TestExactDatasets:
         assert 0.3 < positive_rate < 0.7
 
 
+@pytest.mark.slow
 class TestStatisticalGenerators:
     def test_iris_class_means_match_published(self):
         dataset = load_dataset("iris", seed=0)

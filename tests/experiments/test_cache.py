@@ -142,6 +142,20 @@ class TestJournal:
     def test_read_missing_is_empty(self, tmp_path):
         assert RunJournal.read(tmp_path / "nope.jsonl") == []
 
+    def test_read_skips_truncated_final_line(self, tmp_path, analytic_surrogates):
+        outcome = execute_job(KEY, MICRO, analytic_surrogates)
+        journal = RunJournal(tmp_path / "journal.jsonl")
+        journal.record(outcome)
+        journal.record(outcome)
+        # A worker killed mid-record leaves a torn final line; the reader
+        # must warn and keep the complete records instead of crashing.
+        with open(journal.path, "a") as handle:
+            handle.write('{"ts": 1.0, "dataset": "ir')
+        with pytest.warns(RuntimeWarning, match="truncated"):
+            records = RunJournal.read(journal.path)
+        assert len(records) == 2
+        assert all(r["dataset"] == "iris" for r in records)
+
     def test_lines_are_plain_json(self, tmp_path, analytic_surrogates):
         outcome = execute_job(KEY, MICRO, analytic_surrogates)
         journal = RunJournal(tmp_path / "journal.jsonl")

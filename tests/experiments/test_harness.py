@@ -1,6 +1,5 @@
 """Experiment harness: setups, runner protocol, tables, ablation math."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import (
@@ -17,7 +16,6 @@ from repro.experiments import (
     run_dataset,
     summarize_table3,
 )
-from repro.experiments.config import TEST_EPSILONS
 
 
 def make_cell(dataset, learnable, va, eps, mean, std):

@@ -1,7 +1,6 @@
 """Job decomposition: keys, enumeration, dedup, deterministic execution."""
 
 import numpy as np
-import pytest
 
 from repro.core.params import PNNParams
 from repro.experiments import ExperimentConfig, enumerate_jobs, execute_job

@@ -24,6 +24,7 @@ def cells_signature(results):
     ]
 
 
+@pytest.mark.slow
 class TestEquivalence:
     @pytest.fixture(scope="class")
     def serial(self, analytic_surrogates):

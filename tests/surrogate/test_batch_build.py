@@ -137,6 +137,7 @@ class TestQualityGateThresholds:
         assert not high_rmse.is_tanh_like
 
 
+@pytest.mark.slow
 class TestBuilderEngines:
     @pytest.mark.parametrize("kind", ["ptanh", "negweight"])
     def test_batched_engine_reproduces_scalar_exactly(self, kind):

@@ -7,7 +7,6 @@ from repro.autograd import Tensor, gradcheck
 from repro.surrogate import (
     PAPER_LAYER_WIDTHS,
     SurrogateMLP,
-    build_surrogate_dataset,
     train_surrogate,
 )
 from repro.surrogate.dataset_builder import SurrogateDataset, simulate_curve

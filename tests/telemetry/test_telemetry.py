@@ -1,0 +1,259 @@
+"""Telemetry layer: schema, spans, merge determinism, run identity."""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro import telemetry
+from repro.experiments import ExperimentConfig, enumerate_jobs, run_table2_parallel
+from repro.telemetry import (
+    EVENT_KINDS,
+    NullTelemetry,
+    merge_events,
+    read_events,
+    read_manifest,
+    summarize_events,
+)
+from repro.telemetry.core import TELEMETRY_ENV
+
+MICRO = ExperimentConfig(
+    seeds=(1,), max_epochs=12, patience=12, n_mc_train=2, n_test=4, max_train=50,
+)
+
+
+@pytest.fixture()
+def tel(tmp_path):
+    """An enabled sink in a tmp dir, guaranteed torn down afterwards."""
+    sink = telemetry.enable(tmp_path / "tel", manifest={"profile": "test"})
+    try:
+        yield sink
+    finally:
+        telemetry.disable()
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_sink():
+    """No test may leak an active sink (or the env var) into the suite."""
+    yield
+    telemetry.disable()
+
+
+class TestSchema:
+    def test_record_round_trip(self, tel):
+        tel.count("cache.hit", 3)
+        tel.gauge("pool.workers", 2.0)
+        tel.event("job.done", dataset="iris", seed=1)
+        with tel.span("outer", phase="x"):
+            pass
+        events = read_events(tel.directory)
+
+        by_kind = {e["kind"] for e in events}
+        assert by_kind == {"span", "event", "count", "gauge"}
+        assert set(EVENT_KINDS) == {"span", "event", "count", "gauge"}
+        for record in events:
+            assert set(record) >= {"kind", "name", "pid", "seq", "ts"}
+            assert record["pid"] == os.getpid()
+        # JSONL on disk: one standalone JSON object per line.
+        (path,) = tel.directory.glob("events-*.jsonl")
+        for line in path.read_text().splitlines():
+            assert json.loads(line)["kind"] in EVENT_KINDS
+
+    def test_summarize_aggregates(self, tel):
+        tel.count("hits", 2)
+        tel.count("hits", 5)
+        tel.gauge("g", 1.0)
+        tel.gauge("g", 7.5)
+        tel.event("done")
+        tel.event("done")
+        with tel.span("work"):
+            pass
+        summary = summarize_events(read_events(tel.directory))
+        assert summary["counters"]["hits"] == 7
+        assert summary["gauges"]["g"] == 7.5
+        assert summary["events"]["done"] == 2
+        stat = summary["spans"]["work"]
+        assert stat["count"] == 1
+        assert stat["total_s"] == stat["max_s"] == stat["mean_s"]
+
+    def test_manifest_written_and_merged(self, tel):
+        manifest = read_manifest(tel.directory)
+        assert manifest["profile"] == "test"
+        assert {"created_at", "git_sha", "python", "argv"} <= set(manifest)
+        created = manifest["created_at"]
+        # A second enable over the same dir refines, never clobbers.
+        telemetry.enable(tel.directory, manifest={"datasets": ["iris"]})
+        refined = read_manifest(tel.directory)
+        assert refined["profile"] == "test"
+        assert refined["datasets"] == ["iris"]
+        assert refined["created_at"] == created
+
+    def test_truncated_line_skipped_with_warning(self, tel):
+        tel.count("ok", 1)
+        (path,) = tel.directory.glob("events-*.jsonl")
+        with open(path, "a") as handle:
+            handle.write('{"kind": "count", "name": "torn", "n"')  # no newline
+        with pytest.warns(RuntimeWarning, match="truncated"):
+            events = read_events(tel.directory)
+        names = [e["name"] for e in events]
+        assert "ok" in names and "torn" not in names
+
+
+class TestSpans:
+    def test_nesting_path_depth_and_monotonic_timing(self, tel):
+        with tel.span("outer"):
+            with tel.span("inner"):
+                sum(range(1000))
+        spans = {e["name"]: e for e in read_events(tel.directory)
+                 if e["kind"] == "span"}
+        outer, inner = spans["outer"], spans["inner"]
+        assert outer["depth"] == 0 and outer["path"] == "outer"
+        assert inner["depth"] == 1 and inner["path"] == "outer/inner"
+        assert 0.0 <= inner["dur_s"] <= outer["dur_s"]
+        # The inner span starts after — and is recorded before — the outer.
+        assert inner["ts"] >= outer["ts"]
+        assert inner["seq"] < outer["seq"]
+
+    def test_seq_strictly_increasing_per_process(self, tel):
+        for i in range(5):
+            tel.count("c", i)
+        seqs = [e["seq"] for e in read_events(tel.directory)]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+
+    def test_exception_still_records_span(self, tel):
+        with pytest.raises(ValueError):
+            with tel.span("doomed"):
+                raise ValueError("boom")
+        spans = [e for e in read_events(tel.directory) if e["kind"] == "span"]
+        assert [s["name"] for s in spans] == ["doomed"]
+
+
+class TestNullSink:
+    def test_get_returns_null_when_disabled(self):
+        telemetry.disable()
+        tel = telemetry.get()
+        assert isinstance(tel, NullTelemetry)
+        assert tel.enabled is False
+
+    def test_null_span_is_one_shared_noop(self):
+        telemetry.disable()
+        tel = telemetry.get()
+        a, b = tel.span("x", k=1), tel.span("y")
+        assert a is b
+        with a:
+            pass
+        assert tel.count("c") is None
+        assert tel.event("e") is None
+        assert tel.gauge("g", 1.0) is None
+
+    def test_env_var_resolution(self, tmp_path):
+        telemetry.disable()
+        os.environ[TELEMETRY_ENV] = str(tmp_path / "from_env")
+        try:
+            tel = telemetry.get()
+            assert tel.enabled
+            tel.count("joined")
+        finally:
+            telemetry.disable()
+        events = read_events(tmp_path / "from_env")
+        assert any(e["name"] == "joined" for e in events)
+
+
+def _fake_log(directory, pid, records):
+    with open(directory / f"events-{pid}.jsonl", "w") as handle:
+        for seq, (ts, name) in enumerate(records):
+            handle.write(json.dumps(
+                {"kind": "event", "name": name, "pid": pid, "seq": seq,
+                 "ts": ts, "attrs": {}},
+                sort_keys=True) + "\n")
+
+
+def _worker_count(n):
+    telemetry.get().count("child.work", n)
+
+
+class TestMerge:
+    RECORDS_A = [(10.0, "a0"), (10.5, "a1"), (11.0, "tie")]
+    RECORDS_B = [(10.2, "b0"), (11.0, "tie"), (12.0, "b1")]
+
+    def test_merge_is_deterministic_regardless_of_write_order(self, tmp_path):
+        first, second = tmp_path / "one", tmp_path / "two"
+        for directory, order in ((first, (111, 222)), (second, (222, 111))):
+            directory.mkdir()
+            by_pid = {111: self.RECORDS_A, 222: self.RECORDS_B}
+            for pid in order:
+                _fake_log(directory, pid, by_pid[pid])
+            merge_events(directory)
+        assert (first / "events.jsonl").read_bytes() == \
+            (second / "events.jsonl").read_bytes()
+
+    def test_merge_total_order(self, tmp_path):
+        _fake_log(tmp_path, 111, self.RECORDS_A)
+        _fake_log(tmp_path, 222, self.RECORDS_B)
+        merge_events(tmp_path)
+        merged = read_events(tmp_path)
+        keys = [(e["ts"], e["pid"], e["seq"]) for e in merged]
+        assert keys == sorted(keys)
+        # Same-ts tie between processes breaks on pid — deterministically.
+        ties = [e["pid"] for e in merged if e["name"] == "tie"]
+        assert ties == [111, 222]
+
+    def test_remerge_is_idempotent_and_extends(self, tmp_path):
+        _fake_log(tmp_path, 111, self.RECORDS_A)
+        merge_events(tmp_path)
+        once = (tmp_path / "events.jsonl").read_bytes()
+        merge_events(tmp_path)
+        assert (tmp_path / "events.jsonl").read_bytes() == once
+        _fake_log(tmp_path, 222, self.RECORDS_B)
+        merge_events(tmp_path)
+        assert len(read_events(tmp_path)) == 6
+
+    def test_forked_children_write_per_pid_files(self, tel):
+        tel.count("parent.work")
+        ctx = multiprocessing.get_context("fork")
+        procs = [ctx.Process(target=_worker_count, args=(i,)) for i in (1, 2)]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join()
+            assert p.exitcode == 0
+        files = sorted(tel.directory.glob("events-*.jsonl"))
+        assert len(files) == 3  # parent + two forked children
+        tel.merge()
+        events = read_events(tel.directory)
+        starts = [e for e in events if e["name"] == "process.start"]
+        assert len(starts) == 3
+        # Each forked child reopened its own file and reset its sequence.
+        child = [e for e in events if e["name"] == "child.work"]
+        assert {e["pid"] for e in child} & {p.pid for p in procs}
+        summary = summarize_events(events)
+        assert summary["counters"]["child.work"] == 3  # 1 + 2
+
+
+class TestRunIdentity:
+    def _signature(self, results):
+        return [
+            (c.dataset, c.setup.learnable, c.setup.variation_aware, c.eps_test,
+             c.mean, c.std, c.best_seed, c.best_val_loss)
+            for c in results
+        ]
+
+    def test_table2_bitwise_identical_with_telemetry_on_and_off(
+            self, analytic_surrogates, tmp_path):
+        telemetry.disable()
+        plain = run_table2_parallel(["iris"], MICRO,
+                                    surrogates=analytic_surrogates, workers=1)
+        telemetry.enable(tmp_path / "tel")
+        try:
+            traced = run_table2_parallel(["iris"], MICRO,
+                                         surrogates=analytic_surrogates,
+                                         workers=1)
+        finally:
+            telemetry.disable()
+        assert self._signature(traced) == self._signature(plain)
+        # ... and the traced run actually produced an audited event stream.
+        summary = summarize_events(read_events(tmp_path / "tel"))
+        assert summary["events"]["job.done"] == len(enumerate_jobs(["iris"], MICRO))
+        assert summary["events"]["table2.done"] == 1
+        assert (tmp_path / "tel" / "events.jsonl").exists()

@@ -1,6 +1,5 @@
 """Artifacts directory resolution."""
 
-from pathlib import Path
 
 from repro import default_artifacts_dir
 

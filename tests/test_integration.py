@@ -18,6 +18,9 @@ from repro.datasets import load_splits
 from repro.exporting import design_report, export_netlist_text
 from repro.surrogate.design_space import DESIGN_SPACE
 
+# Full-pipeline runs at reduced scale; excluded from the fast tier.
+pytestmark = pytest.mark.slow
+
 
 class TestFullPipelineWithTrainedSurrogate:
     """Uses the session-scoped tiny NN bundle (real sim → fit → train)."""
