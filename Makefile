@@ -1,7 +1,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: test test-all lint verify bench bench-surrogate
+.PHONY: test test-all lint verify bench bench-surrogate bench-lanes
 
 test:              ## fast tier: everything not marked @pytest.mark.slow
 	python -m pytest -x -q -m "not slow"
@@ -20,3 +20,6 @@ bench:             ## regenerate every table & figure at $(REPRO_BENCH_PROFILE)
 
 bench-surrogate:   ## scalar-vs-batched surrogate build benchmark + artifact
 	python -m pytest benchmarks/bench_surrogate_build.py -q -s
+
+bench-lanes:       ## serial-vs-lockstep lane training benchmark + artifact
+	python -m pytest benchmarks/bench_training_lanes.py -q -s

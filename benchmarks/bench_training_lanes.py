@@ -1,0 +1,94 @@
+"""Lane-batched lockstep training vs. the per-job serial loop.
+
+Times a multi-seed Table-II slice (one learnable + variation-aware iris
+group, 8 seeds, the smoke profile's MC budget) through both first-tier
+schedulers at equal worker count (both in-process, one worker — which is
+exactly the pre-lane scheduler's behaviour at ``workers=1``):
+
+- **serial** — eight :func:`~repro.experiments.jobs.execute_job` calls,
+  one Python epoch loop per seed (the pre-lane behaviour, and what the
+  process pool used to distribute job by job);
+- **lanes** — one :func:`~repro.experiments.jobs.execute_job_lanes` call
+  stacking all eight seeds on a leading lane axis, one epoch loop total
+  (:mod:`repro.core.lanes`).
+
+The outcomes are asserted **bitwise identical** per seed before any
+timing, so the headline speedup — required ≥ 3× by the PR's acceptance
+criteria — compares two paths that produce byte-equal designs.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import save_and_print
+from repro.experiments import (
+    ExperimentConfig,
+    enumerate_jobs,
+    execute_job,
+    execute_job_lanes,
+    group_jobs_into_lanes,
+)
+from repro.experiments.runner import default_surrogates
+
+LANE_WIDTH = 8
+EPOCHS = 40
+REPEATS = 3
+
+CONFIG = ExperimentConfig(
+    seeds=tuple(range(1, LANE_WIDTH + 1)),
+    max_epochs=EPOCHS, patience=EPOCHS, n_mc_train=5, n_test=6, max_train=60,
+)
+
+
+def _best_time(fn, repeats=REPEATS):
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def _assert_bitwise_equal(serial, laned):
+    for s, l in zip(serial, laned):
+        assert l.key == s.key
+        assert l.val_loss == s.val_loss
+        assert l.best_epoch == s.best_epoch and l.epochs_run == s.epochs_run
+        for sl, ll in zip(s.params.layers, l.params.layers):
+            np.testing.assert_array_equal(ll.theta, sl.theta)
+            np.testing.assert_array_equal(ll.act_omega, sl.act_omega)
+            np.testing.assert_array_equal(ll.neg_omega, sl.neg_omega)
+
+
+def test_training_lanes_speedup(output_dir):
+    surrogates = default_surrogates()
+    jobs = enumerate_jobs(["iris"], CONFIG)
+    batch = next(
+        b for b in group_jobs_into_lanes(jobs, LANE_WIDTH)
+        if b[0].learnable and b[0].variation_aware
+    )
+    assert len(batch) == LANE_WIDTH
+
+    # Correctness first: the two paths must agree byte for byte.
+    serial = [execute_job(key, CONFIG, surrogates) for key in batch]
+    laned = execute_job_lanes(batch, CONFIG, surrogates)
+    _assert_bitwise_equal(serial, laned)
+
+    t_serial = _best_time(
+        lambda: [execute_job(key, CONFIG, surrogates) for key in batch]
+    )
+    t_lanes = _best_time(lambda: execute_job_lanes(batch, CONFIG, surrogates))
+    speedup = t_serial / t_lanes
+
+    lines = [
+        f"multi-seed Table-II slice: iris, learnable + variation-aware, "
+        f"{LANE_WIDTH} seeds x {EPOCHS} epochs, n_mc={CONFIG.n_mc_train}, "
+        f"batch={CONFIG.max_train}",
+        f"  serial per-job loop : {t_serial:8.3f} s   (8 epoch loops; the "
+        f"pool's workers=1 path)",
+        f"  lockstep lanes (L=8): {t_lanes:8.3f} s   (1 epoch loop)",
+        f"  speedup             : {speedup:8.2f} x   (outcomes bitwise equal)",
+    ]
+    save_and_print(output_dir, "training_lanes", "\n".join(lines))
+    assert speedup >= 3.0, f"lane speedup regressed: {speedup:.2f}x < 3x"

@@ -22,7 +22,12 @@ This package is the paper's primary contribution (Sec. III):
   :class:`KernelNetwork` training engine;
 - :mod:`~repro.core.training` — nominal and variation-aware training
   (Monte-Carlo expected loss, N_train = 20) with selectable execution
-  engine (``"kernel"`` fast path / ``"autograd"`` cross-check);
+  engine (``"kernel"`` fast path / ``"autograd"`` cross-check /
+  ``"lanes"`` single-lane stack);
+- :mod:`~repro.core.lanes` — lane-batched lockstep training: ``L``
+  compatible jobs stacked on a leading axis, one epoch loop, per-lane
+  early stopping with a shrinking active set — bitwise equal per lane to
+  serial kernel runs;
 - :mod:`~repro.core.evaluation` — Monte-Carlo test evaluation
   (N_test = 100) reporting mean ± std accuracy as in Table II, running
   through the autograd-free kernel path.
@@ -43,6 +48,7 @@ from repro.core.variation import VariationModel
 from repro.core.losses import MarginLoss, make_loss
 from repro.core.grad_kernels import KernelNetwork, Workspace
 from repro.core.training import TrainConfig, TrainResult, train_pnn
+from repro.core.lanes import LaneNetwork, train_pnn_lanes
 from repro.core.evaluation import (
     SAMPLE_BLOCK,
     MonteCarloAccuracy,
@@ -79,6 +85,8 @@ __all__ = [
     "TrainConfig",
     "TrainResult",
     "train_pnn",
+    "LaneNetwork",
+    "train_pnn_lanes",
     "MonteCarloAccuracy",
     "SAMPLE_BLOCK",
     "evaluate_mc",

@@ -41,6 +41,26 @@ raw parameter arrays that :class:`repro.optim.RawParameter` /
 node, or state-dict copy is materialized per epoch.
 :func:`repro.core.training.train_pnn` dispatches here by default
 (``engine="kernel"``), keeping the autograd loop as the slow cross-check.
+
+Shape convention — the leading lane axis
+----------------------------------------
+Every kernel in this module is written against *trailing* axes (ellipsis
+indexing, negative reduction axes, batched ``matmul``), so the canonical
+serial shapes
+
+- parameters θ ``(in+2, out)``, 𝔴/ω ``(C, 7)``, η ``(C, 4)``,
+- activations ``(n_mc, batch, features)``,
+
+generalize to an optional **leading lane axis** ``L`` — ``(L, in+2, out)``,
+``(L, n_mc, batch, features)``, … — carrying ``L`` independent training
+jobs in lockstep (:mod:`repro.core.lanes`).  The generalization is not a
+convenience: it is a *bit-identity contract*.  For 3-D inputs the exact
+historical call sequence executes (negative axes coincide with the old
+positive ones), and for stacked inputs every lane's slice sees the same
+elementwise operations, the same per-slice 2-D GEMMs, and reductions whose
+memory-layout relationship to the reduced axis is unchanged — so lane ``l``
+of a stacked call is bitwise equal to a serial call on lane ``l``'s data
+alone (pinned by ``tests/core/test_lane_engine.py``).
 """
 
 from __future__ import annotations
@@ -106,7 +126,8 @@ def project_printable(theta: np.ndarray, g_min: float, g_max: float) -> np.ndarr
     Identical to :func:`repro.autograd.functional.project_printable_ste`'s
     forward; the backward pass is the identity, so no companion ``_bwd``
     function exists — callers pass the printable-θ gradient straight
-    through to the raw θ.
+    through to the raw θ.  Elementwise, so ``theta`` may carry any
+    leading axes: ``(I, O)`` serial or ``(L, I, O)`` lane-stacked.
     """
     magnitude = np.abs(theta)
     snapped = np.where(magnitude < g_min / 2.0, 0.0, np.clip(magnitude, g_min, g_max))
@@ -114,9 +135,12 @@ def project_printable(theta: np.ndarray, g_min: float, g_max: float) -> np.ndarr
 
 
 def reassemble_omega_fwd(w_raw: np.ndarray, space) -> Tuple[np.ndarray, tuple]:
-    """Fig. 5 steps 1–3 forward: raw 𝔴 ``(C, 7)`` → printable ω ``(C, 7)``.
+    """Fig. 5 steps 1–3 forward: raw 𝔴 ``(..., C, 7)`` → printable ω.
 
-    Returns the printable component matrix and the context needed by
+    Accepts the serial ``(C, 7)`` component matrix or any leading stack of
+    them (e.g. ``(L, C, 7)`` lane-stacked parameters); all arithmetic is
+    elementwise over the trailing component axis.  Returns the printable
+    component matrix (same shape) and the context needed by the VJP
     :func:`reassemble_omega_bwd`.
     """
     squashed = stable_sigmoid(w_raw)
@@ -124,38 +148,39 @@ def reassemble_omega_fwd(w_raw: np.ndarray, space) -> Tuple[np.ndarray, tuple]:
     span = space.reduced_upper - space.reduced_lower
     reduced = squashed * span + lower
 
-    r1 = reduced[:, 0:1]
-    r3 = reduced[:, 1:2]
-    r5 = reduced[:, 2:3]
-    width = reduced[:, 3:4]
-    length = reduced[:, 4:5]
-    k1 = reduced[:, 5:6]
-    k2 = reduced[:, 6:7]
+    r1 = reduced[..., 0:1]
+    r3 = reduced[..., 1:2]
+    r5 = reduced[..., 2:3]
+    width = reduced[..., 3:4]
+    length = reduced[..., 4:5]
+    k1 = reduced[..., 5:6]
+    k2 = reduced[..., 6:7]
     r2 = np.clip(k1 * r1, space.lower[1], space.upper[1])
     r4 = np.clip(k2 * r3, space.lower[3], space.upper[3])
-    omega = np.concatenate([r1, r2, r3, r4, r5, width, length], axis=1)
+    omega = np.concatenate([r1, r2, r3, r4, r5, width, length], axis=-1)
     return omega, (squashed, span, r1, r3, k1, k2)
 
 
 def reassemble_omega_bwd(d_omega: np.ndarray, ctx: tuple) -> np.ndarray:
-    """VJP of :func:`reassemble_omega_fwd`: dω ``(C, 7)`` → d𝔴 ``(C, 7)``.
+    """VJP of :func:`reassemble_omega_fwd`: dω ``(..., C, 7)`` → d𝔴.
 
-    The feasibility clips on R2/R4 use the straight-through estimator
+    Shapes mirror the forward (optional leading lane/stack axes).  The
+    feasibility clips on R2/R4 use the straight-through estimator
     (matching ``clip_ste``), so their gradient reaches ``k1·R1`` / ``k2·R3``
     unchanged even when the product is clipped.
     """
     squashed, span, r1, r3, k1, k2 = ctx
-    d_r1 = d_omega[:, 0:1].copy()
-    d_r2 = d_omega[:, 1:2]                     # straight-through clip
-    d_r3 = d_omega[:, 2:3].copy()
-    d_r4 = d_omega[:, 3:4]                     # straight-through clip
+    d_r1 = d_omega[..., 0:1].copy()
+    d_r2 = d_omega[..., 1:2]                   # straight-through clip
+    d_r3 = d_omega[..., 2:3].copy()
+    d_r4 = d_omega[..., 3:4]                   # straight-through clip
     d_k1 = d_r2 * r1
     d_r1 += d_r2 * k1
     d_k2 = d_r4 * r3
     d_r3 += d_r4 * k2
     d_reduced = np.concatenate(
-        [d_r1, d_r3, d_omega[:, 4:5], d_omega[:, 5:6], d_omega[:, 6:7], d_k1, d_k2],
-        axis=1,
+        [d_r1, d_r3, d_omega[..., 4:5], d_omega[..., 5:6], d_omega[..., 6:7], d_k1, d_k2],
+        axis=-1,
     )
     return d_reduced * span * squashed * (1.0 - squashed)
 
@@ -171,7 +196,10 @@ def mlp_eta_fwd(omega: np.ndarray, sp: SurrogateParams) -> Tuple[np.ndarray, tup
     Runs the ratio-extend → min-max normalize → tanh-MLP → denormalize
     chain and records the per-layer tanh activations the backward pass
     needs.  The MLP weights are part of the frozen surrogate snapshot —
-    only the VJP w.r.t. ω is ever required during pNN training.
+    only the VJP w.r.t. ω is ever required during pNN training.  Leading
+    axes are arbitrary: ``(n_mc, C, 7)`` serially, ``(L, n_mc, C, 7)``
+    lane-stacked — the MLP matmuls batch over them.  VJP:
+    :func:`mlp_eta_bwd`.
     """
     r1 = omega[..., 0:1]
     r2 = omega[..., 1:2]
@@ -220,11 +248,13 @@ def mlp_eta_bwd(d_eta: np.ndarray, ctx: tuple, sp: SurrogateParams) -> np.ndarra
 
 
 def analytic_eta_fwd(omega: np.ndarray, sp: SurrogateParams) -> Tuple[np.ndarray, tuple]:
-    """Analytic-surrogate forward ω → η with calibration, saving context.
+    """Analytic-surrogate forward ω ``(..., 7)`` → η ``(..., 4)`` + context.
 
     Mirrors :func:`repro.core.kernels.analytic_eta` (first-order circuit
     analysis) followed by the per-η affine calibration
-    ``η = raw · scale + shift``.
+    ``η = raw · scale + shift``.  Purely elementwise over the trailing
+    component axis, so leading axes (MC, lane) are arbitrary.  VJP:
+    :func:`analytic_eta_bwd`.
     """
     r1 = omega[..., 0:1]
     r2 = omega[..., 1:2]
@@ -364,7 +394,12 @@ def analytic_eta_bwd(d_eta: np.ndarray, ctx: tuple, sp: SurrogateParams) -> np.n
 
 
 def surrogate_eta_fwd(omega: np.ndarray, sp: SurrogateParams) -> Tuple[np.ndarray, tuple]:
-    """Dispatch ω → η on the surrogate backend, returning (η, context)."""
+    """Dispatch ω ``(..., 7)`` → η ``(..., 4)`` on the surrogate backend.
+
+    Thin router over :func:`mlp_eta_fwd` / :func:`analytic_eta_fwd`
+    (arbitrary leading axes, including a lane axis); the returned context
+    pairs with :func:`surrogate_eta_bwd`.
+    """
     if sp.backend == "mlp":
         return mlp_eta_fwd(omega, sp)
     if sp.backend == "analytic":
@@ -373,7 +408,7 @@ def surrogate_eta_fwd(omega: np.ndarray, sp: SurrogateParams) -> Tuple[np.ndarra
 
 
 def surrogate_eta_bwd(d_eta: np.ndarray, ctx: tuple, sp: SurrogateParams) -> np.ndarray:
-    """Dispatch the η VJP on the surrogate backend."""
+    """VJP of :func:`surrogate_eta_fwd`: dη ``(..., 4)`` → dω ``(..., 7)``."""
     if sp.backend == "mlp":
         return mlp_eta_bwd(d_eta, ctx, sp)
     return analytic_eta_bwd(d_eta, ctx, sp)
@@ -387,46 +422,50 @@ def surrogate_eta_bwd(d_eta: np.ndarray, ctx: tuple, sp: SurrogateParams) -> np.
 def transfer_fwd(
     voltage: np.ndarray, eta: np.ndarray, kind: str
 ) -> Tuple[np.ndarray, tuple]:
-    """Eq. 2/3 forward: voltages ``(N, B, F)``, η ``(N, C, 4)`` → output.
+    """Eq. 2/3 forward: voltages ``(..., B, F)``, η ``(..., C, 4)`` → output.
 
+    Serially the shapes are ``(n_mc, B, F)`` / ``(n_mc, C, 4)``; with a
+    leading lane axis they become ``(L, n_mc, B, F)`` / ``(L, n_mc, C, 4)``.
     With one shared circuit (``C = 1``) the same η applies to every output
-    column; with per-neuron circuits ``F`` must equal ``C``.
+    column; with per-neuron circuits ``F`` must equal ``C``.  VJP:
+    :func:`transfer_bwd`.
     """
-    n_eta, n_circuits = eta.shape[0], eta.shape[1]
-    shape = (n_eta, 1, 1) if n_circuits == 1 else (n_eta, 1, n_circuits)
-    eta1 = eta[:, :, 0].reshape(shape)
-    eta2 = eta[:, :, 1].reshape(shape)
-    eta3 = eta[:, :, 2].reshape(shape)
-    eta4 = eta[:, :, 3].reshape(shape)
+    *lead, n_circuits, _ = eta.shape
+    shape = (*lead, 1, 1) if n_circuits == 1 else (*lead, 1, n_circuits)
+    eta1 = eta[..., 0].reshape(shape)
+    eta2 = eta[..., 1].reshape(shape)
+    eta3 = eta[..., 2].reshape(shape)
+    eta4 = eta[..., 3].reshape(shape)
     shifted = voltage - eta3
     tanh_u = np.tanh(shifted * eta4)
     core = eta1 + eta2 * tanh_u
     out = -core if kind == "negweight" else core
-    return out, (kind, n_eta, n_circuits, eta2, eta4, shifted, tanh_u)
+    return out, (kind, tuple(lead), n_circuits, eta2, eta4, shifted, tanh_u)
 
 
 def transfer_bwd(grad: np.ndarray, ctx: tuple) -> Tuple[np.ndarray, np.ndarray]:
-    """VJP of :func:`transfer_fwd` → (d_voltage ``(N,B,F)``, dη ``(N,C,4)``).
+    """VJP of :func:`transfer_fwd` → (d_voltage ``(..., B, F)``, dη ``(..., C, 4)``).
 
     η gradients reduce over the batch axis, and — for a shared circuit —
-    over the output-column axis as well.
+    over the output-column axis as well.  All reductions address trailing
+    axes, so the serial and lane-stacked layouts run the same code.
     """
-    kind, n_eta, n_circuits, eta2, eta4, shifted, tanh_u = ctx
+    kind, lead, n_circuits, eta2, eta4, shifted, tanh_u = ctx
     d_core = -grad if kind == "negweight" else grad
     d_tanh = d_core * eta2
     d_u = d_tanh * (1.0 - tanh_u * tanh_u)
     d_voltage = d_u * eta4
 
-    axes = (1, 2) if n_circuits == 1 else (1,)
+    axes = (-2, -1) if n_circuits == 1 else (-2,)
 
     def reduce(term):
-        # Unbroadcast back to η's (n_eta, n_circuits): batch axis always,
+        # Unbroadcast back to η's (*lead, n_circuits): batch axis always,
         # the column axis for a shared circuit, and the MC axis when η was
-        # nominal (leading 1) against a broadcasted MC voltage batch.
+        # nominal (size-1 MC axis) against a broadcasted MC voltage batch.
         r = term.sum(axis=axes, keepdims=True)
-        if n_eta == 1 and r.shape[0] > 1:
-            r = r.sum(axis=0, keepdims=True)
-        return r.reshape(n_eta, n_circuits)
+        if lead[-1] == 1 and r.shape[-3] > 1:
+            r = r.sum(axis=-3, keepdims=True)
+        return r.reshape(*lead, n_circuits)
 
     d_eta1 = reduce(d_core)
     d_eta2 = reduce(d_core * tanh_u)
@@ -450,23 +489,27 @@ def crossbar_fwd(
 ) -> Tuple[np.ndarray, tuple]:
     """Eq. 1 forward: normalized weighted sum with negative-weight routing.
 
-    ``theta_eff`` is ``(N | 1, in+2, out)``; the routing mask follows the
-    *sign* of the effective conductances and carries no gradient (exactly
-    like the autograd path, where it is a constant tensor).
+    ``x_aug``/``inverted`` are ``(..., batch, in+2)`` and ``theta_eff`` is
+    ``(..., N | 1, in+2, out)`` — serially ``(N, B, I)`` with θ
+    ``(N | 1, I, O)``, lane-stacked ``(L, N, B, I)`` with θ
+    ``(L, N | 1, I, O)``.  The routing mask follows the *sign* of the
+    effective conductances and carries no gradient (exactly like the
+    autograd path, where it is a constant tensor).  VJP:
+    :func:`crossbar_bwd`.
     """
     ws = ws or Workspace()
-    n_mc, batch, _ = x_aug.shape
+    *lead, batch, _ = x_aug.shape
     n_out = theta_eff.shape[-1]
     magnitude = np.abs(theta_eff)
     route = positive_route_mask(theta_eff)
     pos_w = magnitude * route
     neg_w = magnitude * (1.0 - route)
-    numerator = np.matmul(x_aug, pos_w, out=ws.buf(f"{tag}.num", (n_mc, batch, n_out)))
+    numerator = np.matmul(x_aug, pos_w, out=ws.buf(f"{tag}.num", (*lead, batch, n_out)))
     numerator += np.matmul(
-        inverted, neg_w, out=ws.buf(f"{tag}.num2", (n_mc, batch, n_out))
+        inverted, neg_w, out=ws.buf(f"{tag}.num2", (*lead, batch, n_out))
     )
-    denom = magnitude.sum(axis=1).reshape(theta_eff.shape[0], 1, n_out) + 1e-12
-    out = np.divide(numerator, denom, out=ws.buf(f"{tag}.out", (n_mc, batch, n_out)))
+    denom = magnitude.sum(axis=-2).reshape(*theta_eff.shape[:-2], 1, n_out) + 1e-12
+    out = np.divide(numerator, denom, out=ws.buf(f"{tag}.out", (*lead, batch, n_out)))
     return out, (x_aug, inverted, theta_eff, route, pos_w, neg_w, numerator, denom)
 
 
@@ -478,31 +521,34 @@ def crossbar_bwd(
     The normalization denominator receives the full quotient-rule gradient
     ``−g·num/denom²`` (reduced over the batch), which then broadcasts back
     over every crossbar row — this is the term a naive "matmul-only"
-    backward would miss.
+    backward would miss.  Shapes mirror :func:`crossbar_fwd` (optional
+    leading lane axis); MC-axis unbroadcasting addresses axis ``-3`` so the
+    serial and stacked layouts share one code path.
     """
     ws = ws or Workspace()
     x_aug, inverted, theta_eff, route, pos_w, neg_w, numerator, denom = ctx
-    n_mc, batch, n_in = x_aug.shape
-    n_eff = theta_eff.shape[0]
+    *lead, batch, n_in = x_aug.shape
     n_out = theta_eff.shape[-1]
+    # θ broadcast over the MC axis (nominal / frozen-ε layers): unbroadcast.
+    mc_broadcast = theta_eff.shape[-3] == 1 and x_aug.shape[-3] > 1
 
-    d_num = np.divide(grad, denom, out=ws.buf(f"{tag}.dnum", (n_mc, batch, n_out)))
+    d_num = np.divide(grad, denom, out=ws.buf(f"{tag}.dnum", (*lead, batch, n_out)))
     d_denom_full = -grad * numerator / (denom * denom)
-    d_denom = d_denom_full.sum(axis=1, keepdims=True)         # (N, 1, O)
-    if n_eff == 1 and n_mc > 1:
-        d_denom = d_denom.sum(axis=0, keepdims=True)
+    d_denom = d_denom_full.sum(axis=-2, keepdims=True)        # (..., N, 1, O)
+    if mc_broadcast:
+        d_denom = d_denom.sum(axis=-3, keepdims=True)
 
     d_x_aug = np.matmul(
-        d_num, pos_w.swapaxes(-1, -2), out=ws.buf(f"{tag}.dx", (n_mc, batch, n_in))
+        d_num, pos_w.swapaxes(-1, -2), out=ws.buf(f"{tag}.dx", (*lead, batch, n_in))
     )
     d_inverted = np.matmul(
-        d_num, neg_w.swapaxes(-1, -2), out=ws.buf(f"{tag}.dinv", (n_mc, batch, n_in))
+        d_num, neg_w.swapaxes(-1, -2), out=ws.buf(f"{tag}.dinv", (*lead, batch, n_in))
     )
-    d_pos_w = np.matmul(x_aug.swapaxes(-1, -2), d_num)        # (N, I+2, O)
+    d_pos_w = np.matmul(x_aug.swapaxes(-1, -2), d_num)        # (..., N, I+2, O)
     d_neg_w = np.matmul(inverted.swapaxes(-1, -2), d_num)
-    if n_eff == 1 and n_mc > 1:
-        d_pos_w = d_pos_w.sum(axis=0, keepdims=True)
-        d_neg_w = d_neg_w.sum(axis=0, keepdims=True)
+    if mc_broadcast:
+        d_pos_w = d_pos_w.sum(axis=-3, keepdims=True)
+        d_neg_w = d_neg_w.sum(axis=-3, keepdims=True)
     d_magnitude = d_denom + d_neg_w * (1.0 - route) + d_pos_w * route
     d_theta_eff = d_magnitude * np.sign(theta_eff)
     return d_x_aug, d_inverted, d_theta_eff
@@ -515,30 +561,45 @@ def crossbar_bwd(
 
 def margin_loss_fwd(
     voltages: np.ndarray, targets: np.ndarray, margin: float = 0.3
-) -> Tuple[float, tuple]:
-    """Mean squared hinge on voltage margins (numpy mirror of MarginLoss)."""
-    if voltages.ndim != 3:
-        raise ValueError("expected (n_mc, batch, classes) voltages")
-    n_mc, batch, n_classes = voltages.shape
+):
+    """Mean squared hinge on voltage margins (numpy mirror of MarginLoss).
+
+    ``voltages`` is ``(n_mc, batch, classes)`` serially — returning a
+    ``float`` — or lane-stacked ``(L, n_mc, batch, classes)``, returning a
+    per-lane ``(L,)`` array.  Each lane's loss is the mean over its own
+    (contiguous) ``n_mc·batch`` per-sample hinge sums, so lane ``l``'s
+    value is bitwise equal to the serial call on ``voltages[l]``.  VJP:
+    :func:`margin_loss_bwd`.
+    """
+    if voltages.ndim not in (3, 4):
+        raise ValueError("expected (n_mc, batch, classes) or (L, n_mc, batch, classes) voltages")
+    *lead, batch, _ = voltages.shape
     targets = np.asarray(targets, dtype=np.int64)
     if targets.shape != (batch,):
         raise ValueError("targets must be one class index per batch row")
-    target_grid = np.broadcast_to(targets, (n_mc, batch))
+    target_grid = np.broadcast_to(targets, (*lead, batch))
     expanded = target_grid[..., None]
-    true_voltage = np.take_along_axis(voltages, expanded, axis=-1)     # (N, B, 1)
-    pre = margin - (true_voltage - voltages)                           # (N, B, C)
+    true_voltage = np.take_along_axis(voltages, expanded, axis=-1)     # (..., B, 1)
+    pre = margin - (true_voltage - voltages)                           # (..., B, C)
     shortfall = np.maximum(pre, 0.0)
-    mask = np.ones((n_mc, batch, n_classes))
+    mask = np.ones(voltages.shape)
     np.put_along_axis(mask, expanded, 0.0, axis=-1)
-    loss = float((shortfall * shortfall * mask).sum(axis=-1).mean())
+    per_sample = (shortfall * shortfall * mask).sum(axis=-1)
+    if voltages.ndim == 4:
+        loss = per_sample.reshape(per_sample.shape[0], -1).mean(axis=1)
+    else:
+        loss = float(per_sample.mean())
     return loss, (pre, shortfall, mask, expanded, voltages.shape)
 
 
 def margin_loss_bwd(ctx: tuple) -> np.ndarray:
-    """VJP of :func:`margin_loss_fwd` → d_voltages ``(N, B, C)``."""
+    """VJP of :func:`margin_loss_fwd` → d_voltages (same shape as input).
+
+    The ``1/(n_mc·batch)`` mean scale is per lane (the lane axis, when
+    present, is excluded — each lane carries its own loss).
+    """
     pre, shortfall, mask, expanded, shape = ctx
-    n_mc, batch, _ = shape
-    scale = 1.0 / (n_mc * batch)
+    scale = 1.0 / (shape[-3] * shape[-2])
     d_shortfall = 2.0 * shortfall * mask * scale
     d_pre = d_shortfall * (pre > 0.0)          # strict ReLU mask, as autograd
     d_voltages = d_pre.copy()
@@ -551,30 +612,42 @@ def margin_loss_bwd(ctx: tuple) -> np.ndarray:
 
 def ce_loss_fwd(
     voltages: np.ndarray, targets: np.ndarray, temperature: float = 0.1
-) -> Tuple[float, tuple]:
-    """Softmax cross-entropy on scaled voltages (mirror of VoltageCrossEntropy)."""
-    if voltages.ndim != 3:
-        raise ValueError("expected (n_mc, batch, classes) voltages")
-    n_mc, batch, _ = voltages.shape
-    targets = np.broadcast_to(np.asarray(targets, dtype=np.int64), (n_mc, batch))
+):
+    """Softmax cross-entropy on scaled voltages (mirror of VoltageCrossEntropy).
+
+    Accepts ``(n_mc, batch, classes)`` (returns ``float``) or lane-stacked
+    ``(L, n_mc, batch, classes)`` (returns ``(L,)`` per-lane losses, each
+    bitwise equal to the serial call on that lane's slice).  VJP:
+    :func:`ce_loss_bwd`.
+    """
+    if voltages.ndim not in (3, 4):
+        raise ValueError("expected (n_mc, batch, classes) or (L, n_mc, batch, classes) voltages")
+    *lead, batch, _ = voltages.shape
+    targets = np.broadcast_to(np.asarray(targets, dtype=np.int64), (*lead, batch))
     logits = voltages * (1.0 / temperature)
     shifted = logits - logits.max(axis=-1, keepdims=True)
     log_norm = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
     log_probs = shifted - log_norm
     expanded = targets[..., None]
     gathered = np.take_along_axis(log_probs, expanded, axis=-1)
-    loss = float(-gathered.mean())
+    if voltages.ndim == 4:
+        loss = -gathered.reshape(gathered.shape[0], -1).mean(axis=1)
+    else:
+        loss = float(-gathered.mean())
     return loss, (log_probs, expanded, temperature, voltages.shape)
 
 
 def ce_loss_bwd(ctx: tuple) -> np.ndarray:
-    """VJP of :func:`ce_loss_fwd` → d_voltages ``(N, B, C)``."""
+    """VJP of :func:`ce_loss_fwd` → d_voltages (same shape as input).
+
+    As with the margin loss, the mean scale ``1/(n_mc·batch)`` excludes
+    the lane axis when one is present.
+    """
     log_probs, expanded, temperature, shape = ctx
-    n_mc, batch, _ = shape
     softmax = np.exp(log_probs)
     one_hot = np.zeros(shape)
     np.put_along_axis(one_hot, expanded, 1.0, axis=-1)
-    d_logits = (softmax - one_hot) / (n_mc * batch)
+    d_logits = (softmax - one_hot) / (shape[-3] * shape[-2])
     return d_logits * (1.0 / temperature)
 
 

@@ -126,13 +126,15 @@ def positive_route_mask(theta_eff: np.ndarray) -> np.ndarray:
     """Routing mask of Eq. 1: 1 where the input feeds the crossbar directly.
 
     Negative surrogate conductances route their input through the
-    negative-weight circuit.  The "down" row (last) is a grounding
-    resistor: its 0 V input must never be routed through the
-    negative-weight circuit (its sign only matters for the denominator,
-    where the magnitude is used anyway).
+    negative-weight circuit.  The "down" row (second-to-last axis, last
+    index) is a grounding resistor: its 0 V input must never be routed
+    through the negative-weight circuit (its sign only matters for the
+    denominator, where the magnitude is used anyway).  ``theta_eff`` may
+    carry any leading axes (MC, lane): the row axis is addressed from the
+    trailing end.
     """
     mask = (np.asarray(theta_eff) >= 0.0).astype(np.float64)
-    mask[:, -1, :] = 1.0
+    mask[..., -1, :] = 1.0
     return mask
 
 

@@ -1,0 +1,647 @@
+"""Lane-batched lockstep training: L independent pNN trainings, one epoch loop.
+
+The Table-II protocol trains the *same* network topology on the *same*
+dataset many times — once per random seed, per setup, per training ϵ.  Each
+such job differs only in its RNG streams (network init + variation draws),
+yet the serial path pays full Python/numpy dispatch cost per job.  This
+module stacks ``L`` compatible jobs on a leading **lane** axis and runs one
+epoch loop over all of them — the training-side analogue of
+``solve_dc_batch``'s batched Newton iteration, shrinking active set
+included.
+
+Bit-identity is the spec, not tolerance
+---------------------------------------
+Lane ``l`` of a batched run must reproduce the serial
+``train_pnn(engine="kernel")`` run for the same seed **bitwise**: the same
+per-epoch ``(train_loss, val_loss)`` history, the same early-stop epoch,
+and byte-identical trained parameters.  This holds because
+
+- every kernel in :mod:`repro.core.grad_kernels` addresses trailing axes,
+  so a lane's slice undergoes the same elementwise operations and the same
+  per-slice 2-D GEMMs as a serial call;
+- reductions (batch sums, MC means) keep the reduced axis's memory layout
+  unchanged when a leading lane axis is added, so numpy's pairwise
+  summation produces the same partial-sum tree per lane;
+- each lane owns its private :class:`~repro.core.variation.VariationModel`
+  (seeded per lane), drawn only while the lane is active — exactly the RNG
+  consumption of the serial loop;
+- Adam's update is elementwise and its bias-correction counter is shared
+  validly (lanes step together from epoch 0 until removed, see
+  :class:`repro.optim.LaneAdam`);
+- early-stopped lanes are *removed* from the stack by a gather
+  (fancy-index copy), which cannot perturb surviving lanes' bytes.
+
+Pinned by ``tests/core/test_lane_engine.py`` (per-lane histories, states,
+stop epochs, gather invariance) and the ci.sh lane-equality smoke.
+
+Entry points
+------------
+:func:`train_pnn_lanes` — train a list of networks in lockstep; returns
+one :class:`~repro.core.training.TrainResult` per lane and leaves each
+module holding its best-epoch parameters, like the serial path.
+:class:`LaneNetwork` — the stacked forward/backward executor over
+``(L, ...)`` raw parameter arrays, reusing the frozen structure of a
+:class:`~repro.core.grad_kernels.KernelNetwork`.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import telemetry
+from repro.core.grad_kernels import (
+    LOSS_KERNELS,
+    KernelNetwork,
+    LayerGrads,
+    Workspace,
+    _LayerTape,
+    crossbar_bwd,
+    crossbar_fwd,
+    project_printable,
+    reassemble_omega_bwd,
+    reassemble_omega_fwd,
+    surrogate_eta_bwd,
+    surrogate_eta_fwd,
+    transfer_bwd,
+    transfer_fwd,
+)
+from repro.core.kernels import BIAS_VOLTAGE
+from repro.core.params import PNNParams
+from repro.core.pnn import PrintedNeuralNetwork
+from repro.optim import EarlyStopping, RawParameter
+from repro.optim.lanes import LaneAdam
+
+#: TrainConfig fields every lane of a batch must agree on (seed may differ;
+#: verbose is presentation-only and ignored by the lane engine).
+LANE_SHARED_FIELDS = (
+    "lr_theta",
+    "lr_omega",
+    "learnable_nonlinear",
+    "epsilon",
+    "n_mc_train",
+    "max_epochs",
+    "patience",
+    "loss",
+)
+
+#: One lane's pre-drawn ε triples: list over layers of (ε_θ, ε_act, ε_neg).
+LaneEpsilons = Optional[List[Tuple[np.ndarray, np.ndarray, np.ndarray]]]
+
+
+def stack_epsilons(per_lane: Sequence[List[Tuple[np.ndarray, ...]]]):
+    """Stack per-lane ε draws into lane-stacked triples.
+
+    ``per_lane[l]`` is lane ``l``'s :func:`draw_epoch_epsilons` result
+    (one ``(ε_θ, ε_act, ε_neg)`` triple per layer, leading axis ``n_mc``);
+    the return value carries one triple per layer with leading axes
+    ``(L, n_mc)``.  Stacking copies — lanes stay bitwise independent.
+    """
+    n_layers = len(per_lane[0])
+    return [
+        tuple(
+            np.stack([lane_draws[index][k] for lane_draws in per_lane])
+            for k in range(3)
+        )
+        for index in range(n_layers)
+    ]
+
+
+def compact_epsilons(epsilons, keep: Sequence[int]):
+    """Gather lane-stacked ε triples down to the surviving lanes."""
+    if epsilons is None:
+        return None
+    keep = list(keep)
+    return [tuple(array[keep] for array in triple) for triple in epsilons]
+
+
+class LaneNetwork:
+    """Stacked forward/backward executor over ``(L, ...)`` raw pNN arrays.
+
+    Wraps a frozen :class:`~repro.core.grad_kernels.KernelNetwork` (layer
+    metadata, surrogate snapshots, design space — shared by all lanes) and
+    runs the same kernel sequence over lane-stacked parameters
+    ``[θ (L, in+2, out), 𝔴_act (L, C, 7), 𝔴_neg (L, C, 7)]`` per layer and
+    activations ``(L, n_mc, batch, features)``.  Owns its own
+    :class:`~repro.core.grad_kernels.Workspace`, namespaced separately from
+    any serial engine's.
+    """
+
+    def __init__(self, net: KernelNetwork):
+        self.net = net
+        self.workspace = Workspace()
+
+    # ------------------------------------------------------------------ #
+    # construction                                                       #
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_pnns(cls, pnns: Sequence[PrintedNeuralNetwork]) -> "LaneNetwork":
+        """Freeze a compatible set of networks into one lane engine.
+
+        All networks must share topology, per-neuron-activation mode and
+        the *same* surrogate objects (one snapshot serves every lane —
+        anything else would silently break per-lane bit-identity).
+        """
+        if not pnns:
+            raise ValueError("need at least one network")
+        first = pnns[0]
+        for other in pnns[1:]:
+            if tuple(other.layer_sizes) != tuple(first.layer_sizes):
+                raise ValueError("lane networks must share layer sizes")
+            if other.per_neuron_activation != first.per_neuron_activation:
+                raise ValueError("lane networks must share per-neuron-activation mode")
+            for mine, theirs in zip(first.layers, other.layers):
+                if theirs.apply_activation != mine.apply_activation:
+                    raise ValueError("lane networks must share activation placement")
+                if (
+                    theirs.activation.surrogate is not mine.activation.surrogate
+                    or theirs.negation.surrogate is not mine.negation.surrogate
+                ):
+                    raise ValueError("lane networks must share surrogate objects")
+        return cls(KernelNetwork.from_pnn(first))
+
+    @staticmethod
+    def stack_arrays(pnns: Sequence[PrintedNeuralNetwork]) -> List[List[np.ndarray]]:
+        """Lane-stack every network's raw parameters: ``[[θ, 𝔴_act, 𝔴_neg], ...]``.
+
+        Each entry is ``(L, ...)`` with lane ``l`` holding a copy of
+        ``pnns[l]``'s array.
+        """
+        per_lane = [KernelNetwork.extract_arrays(pnn) for pnn in pnns]
+        n_layers = len(per_lane[0])
+        return [
+            [np.stack([lane[index][k] for lane in per_lane]) for k in range(3)]
+            for index in range(n_layers)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # forward                                                            #
+    # ------------------------------------------------------------------ #
+
+    def _eta_chain(self, w_raw, epsilon, sp, record):
+        """Lane-stacked 𝔴 ``(L, C, 7)`` → η; MC axis inserted after the lane."""
+        omega_printable, ctx_re = reassemble_omega_fwd(w_raw, self.net.space)
+        omega = omega_printable[:, None]                      # (L, 1, C, 7)
+        if epsilon is not None:
+            omega = omega * epsilon                           # (L, N, C, 7)
+        eta, ctx_sp = surrogate_eta_fwd(omega, sp)
+        ctx = (ctx_re, omega, epsilon, ctx_sp) if record else None
+        return eta, ctx
+
+    def _eta_chain_bwd(self, d_eta, ctx, sp):
+        """VJP of :meth:`_eta_chain`; the ε chain rule reduces the MC axis (1)."""
+        ctx_re, _omega, epsilon, ctx_sp = ctx
+        d_omega_scaled = surrogate_eta_bwd(d_eta, ctx_sp, sp)
+        if epsilon is not None:
+            d_printable = (d_omega_scaled * epsilon).sum(axis=1)
+        else:
+            d_printable = d_omega_scaled[:, 0]
+        return reassemble_omega_bwd(d_printable, ctx_re)
+
+    def forward(
+        self,
+        arrays: Sequence[Sequence[np.ndarray]],
+        x: np.ndarray,
+        epsilons=None,
+        record: bool = False,
+        tag: str = "lanes",
+    ) -> Tuple[np.ndarray, Optional[List[_LayerTape]]]:
+        """Stacked forward pass; mirrors :meth:`KernelNetwork.forward`.
+
+        ``x`` is the shared ``(batch, features)`` input (all lanes of a
+        batch train on the same dataset); ``epsilons`` supplies one
+        ``(ε_θ, ε_act, ε_neg)`` triple per layer with leading axes
+        ``(L, n_mc)`` (see :func:`stack_epsilons`) or ``None`` for the
+        nominal pass.
+        """
+        data = np.asarray(x, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError("expected a (batch, features) input")
+        if data.shape[1] != self.net.layer_sizes[0]:
+            raise ValueError(
+                f"input has {data.shape[1]} features, network expects "
+                f"{self.net.layer_sizes[0]}"
+            )
+        n_lanes = int(arrays[0][0].shape[0])
+        n_mc = 1
+        if epsilons is not None and epsilons[0][0] is not None:
+            n_mc = int(epsilons[0][0].shape[1])
+
+        ws = self.workspace
+        batch = data.shape[0]
+        hidden = np.broadcast_to(data, (n_lanes, n_mc, batch, data.shape[1]))
+        tape: Optional[List[_LayerTape]] = [] if record else None
+
+        for index, (meta, params) in enumerate(zip(self.net.layers, arrays)):
+            theta_raw, w_act, w_neg = params
+            eps_theta = eps_act = eps_neg = None
+            if epsilons is not None:
+                eps_theta, eps_act, eps_neg = epsilons[index]
+
+            n_in = hidden.shape[-1]
+            x_aug = ws.buf(f"{tag}.l{index}.x_aug", (n_lanes, n_mc, batch, n_in + 2))
+            x_aug[..., :n_in] = hidden
+            x_aug[..., n_in] = BIAS_VOLTAGE
+            x_aug[..., n_in + 1] = 0.0
+
+            printable = project_printable(theta_raw, meta.g_min, meta.g_max)
+            theta_eff = printable[:, None]                    # (L, 1, I, O)
+            if eps_theta is not None:
+                theta_eff = theta_eff * eps_theta             # (L, N, I, O)
+
+            eta_neg, neg_chain = self._eta_chain(
+                w_neg, eps_neg, self.net.neg_surrogate, record
+            )
+            inverted, ctx_neg_transfer = transfer_fwd(x_aug, eta_neg, "negweight")
+            v_z, ctx_crossbar = crossbar_fwd(
+                x_aug, inverted, theta_eff, ws=ws, tag=f"{tag}.l{index}"
+            )
+            if meta.apply_activation:
+                eta_act, act_chain = self._eta_chain(
+                    w_act, eps_act, self.net.act_surrogate, record
+                )
+                hidden, ctx_act_transfer = transfer_fwd(v_z, eta_act, "ptanh")
+            else:
+                act_chain = ctx_act_transfer = None
+                hidden = v_z
+
+            if record:
+                tape.append(
+                    _LayerTape(
+                        x_aug=x_aug,
+                        eps_theta=eps_theta,
+                        eps_act=eps_act,
+                        eps_neg=eps_neg,
+                        crossbar=ctx_crossbar,
+                        neg_transfer=ctx_neg_transfer,
+                        act_transfer=ctx_act_transfer,
+                        act_chain=act_chain,
+                        neg_chain=neg_chain,
+                    )
+                )
+        return hidden, tape
+
+    # ------------------------------------------------------------------ #
+    # backward                                                           #
+    # ------------------------------------------------------------------ #
+
+    def backward(
+        self,
+        tape: List[_LayerTape],
+        d_out: np.ndarray,
+        need_omega_grads: bool = True,
+    ) -> List[LayerGrads]:
+        """Stacked VJP; mirrors :meth:`KernelNetwork.backward` per lane.
+
+        Gradients come back lane-stacked ``(L, ...)``; the ε chain rule and
+        the nominal-θ unbroadcast reduce the MC axis (now axis 1).
+        """
+        grads = [LayerGrads() for _ in self.net.layers]
+        grad = d_out
+        for index in range(len(self.net.layers) - 1, -1, -1):
+            meta, ctx = self.net.layers[index], tape[index]
+            if meta.apply_activation:
+                grad, d_eta_act = transfer_bwd(grad, ctx.act_transfer)
+                if need_omega_grads:
+                    grads[index].w_act = self._eta_chain_bwd(
+                        d_eta_act, ctx.act_chain, self.net.act_surrogate
+                    )
+            d_x_aug, d_inverted, d_theta_eff = crossbar_bwd(
+                grad, ctx.crossbar, ws=self.workspace, tag=f"lanes.bwd.l{index}"
+            )
+            if ctx.eps_theta is not None:
+                d_printable = (d_theta_eff * ctx.eps_theta).sum(axis=1)
+            else:
+                d_printable = d_theta_eff[:, 0]
+            grads[index].theta = d_printable          # straight-through projection
+
+            d_x_aug2, d_eta_neg = transfer_bwd(d_inverted, ctx.neg_transfer)
+            d_x_aug += d_x_aug2
+            if need_omega_grads:
+                grads[index].w_neg = self._eta_chain_bwd(
+                    d_eta_neg, ctx.neg_chain, self.net.neg_surrogate
+                )
+            grad = d_x_aug[..., : meta.in_features]
+        return grads
+
+    # ------------------------------------------------------------------ #
+    # loss entry points                                                  #
+    # ------------------------------------------------------------------ #
+
+    def loss_and_grads(
+        self,
+        arrays: Sequence[Sequence[np.ndarray]],
+        x: np.ndarray,
+        targets: np.ndarray,
+        loss: str = "margin",
+        epsilons=None,
+        need_omega_grads: bool = True,
+    ) -> Tuple[np.ndarray, List[LayerGrads]]:
+        """Per-lane losses ``(L,)`` and lane-stacked raw-parameter grads."""
+        loss_fwd, loss_bwd = LOSS_KERNELS[loss]
+        voltages, tape = self.forward(
+            arrays, x, epsilons=epsilons, record=True, tag="lanes"
+        )
+        values, ctx = loss_fwd(voltages, targets)
+        d_voltages = loss_bwd(ctx)
+        return values, self.backward(tape, d_voltages, need_omega_grads=need_omega_grads)
+
+    def loss_values(
+        self,
+        arrays: Sequence[Sequence[np.ndarray]],
+        x: np.ndarray,
+        targets: np.ndarray,
+        loss: str = "margin",
+        epsilons=None,
+        tag: str = "lanes.val",
+    ) -> np.ndarray:
+        """Forward-only per-lane losses ``(L,)`` (validation path)."""
+        loss_fwd, _ = LOSS_KERNELS[loss]
+        voltages, _ = self.forward(arrays, x, epsilons=epsilons, record=False, tag=tag)
+        values, _ = loss_fwd(voltages, targets)
+        return values
+
+    # ------------------------------------------------------------------ #
+    # snapshots                                                          #
+    # ------------------------------------------------------------------ #
+
+    def snapshot_lane(
+        self, arrays: Sequence[Sequence[np.ndarray]], lane: int
+    ) -> PNNParams:
+        """Freeze one lane's raw arrays into a :class:`PNNParams` design."""
+        return self.net.snapshot(
+            [[theta[lane], w_act[lane], w_neg[lane]] for theta, w_act, w_neg in arrays]
+        )
+
+
+# --------------------------------------------------------------------- #
+# the lane training loop                                                #
+# --------------------------------------------------------------------- #
+
+
+def _require_compatible(configs) -> None:
+    """Lanes must agree on every hyperparameter except the seed."""
+    base = configs[0]
+    for config in configs[1:]:
+        for name in LANE_SHARED_FIELDS:
+            if getattr(config, name) != getattr(base, name):
+                raise ValueError(
+                    f"lane configs must agree on {name!r}: "
+                    f"{getattr(config, name)!r} != {getattr(base, name)!r}"
+                )
+
+
+def train_pnn_lanes(
+    pnns: Sequence[PrintedNeuralNetwork],
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    x_val: np.ndarray,
+    y_val: np.ndarray,
+    configs,
+) -> List:
+    """Train ``L`` networks in lockstep; bitwise equal to ``L`` serial runs.
+
+    Parameters
+    ----------
+    pnns:
+        The networks, one per lane — same topology and surrogates,
+        independently initialized (each from its own seed).  Trained in
+        place: each module ends up holding its best-epoch parameters,
+        exactly like :func:`~repro.core.training.train_pnn`.
+    x_train, y_train, x_val, y_val:
+        The *shared* dataset splits (lane batching groups jobs by
+        dataset/setup, so all lanes see the same data).
+    configs:
+        One :class:`~repro.core.training.TrainConfig` per lane.  All
+        fields except ``seed`` must agree (:data:`LANE_SHARED_FIELDS`);
+        ``verbose`` is ignored.  Variation/val-variation overrides (aging
+        models) are not supported on the lane path — use the serial
+        engine for those.
+
+    Returns
+    -------
+    list of TrainResult
+        One per lane, in input order — per-epoch history, best epoch and
+        early-stop bookkeeping all bitwise equal to the serial
+        ``engine="kernel"`` run with the same seed.
+
+    Notes
+    -----
+    Per-lane early stopping shrinks the active stack exactly like
+    ``solve_dc_batch``: a stopped lane is gathered out of the parameter
+    stack, the optimizer moments (:meth:`LaneAdam.compact`), the hoisted
+    validation ε and the per-lane variation models — surviving lanes'
+    bytes are untouched, and stopped lanes stop consuming their RNG
+    streams (matching serial, since each lane owns its
+    :class:`~repro.core.variation.VariationModel`).
+    """
+    # Imported here: repro.core.training imports this module for the
+    # engine="lanes" dispatch, so the reverse import must be deferred.
+    from repro.core.training import (
+        TrainResult,
+        _validation_epsilons,
+        draw_epoch_epsilons,
+    )
+    from repro.core.variation import VariationModel
+
+    pnns = list(pnns)
+    configs = list(configs)
+    if len(pnns) != len(configs):
+        raise ValueError("need exactly one config per network")
+    if not pnns:
+        return []
+    _require_compatible(configs)
+    base = configs[0]
+    n_lanes = len(pnns)
+
+    lane_net = LaneNetwork.from_pnns(pnns)
+    n_layers = len(lane_net.net.layers)
+    stacked = LaneNetwork.stack_arrays(pnns)
+    theta_params: List[RawParameter] = []
+    omega_params: List[RawParameter] = []
+    for index, (theta, w_act, w_neg) in enumerate(stacked):
+        theta_name, act_name, neg_name = KernelNetwork.state_names(index)
+        theta_params.append(RawParameter(theta, theta_name))
+        omega_params.append(RawParameter(w_act, act_name))
+        omega_params.append(RawParameter(w_neg, neg_name))
+    all_params = theta_params + omega_params
+
+    learn_omega = base.learnable_nonlinear and base.lr_omega > 0
+    groups = [{"params": theta_params, "lr": base.lr_theta}]
+    if learn_omega:
+        groups.append({"params": omega_params, "lr": base.lr_omega})
+    optimizer = LaneAdam(groups)
+
+    # Per-lane RNG streams: one variation model per lane, consumed only
+    # while the lane is active — the serial loop's exact consumption.
+    sample_variation = base.variation_aware
+    variations = [
+        VariationModel(config.epsilon, seed=config.seed) if sample_variation else None
+        for config in configs
+    ]
+    n_mc = base.n_mc_train if sample_variation else 1
+
+    # Hoisted fixed validation ε per lane (seed + VALIDATION_SEED_OFFSET),
+    # stacked once; compacted alongside the parameter stack.
+    per_lane_val = [_validation_epsilons(pnns[0], config, None) for config in configs]
+    val_epsilons = None
+    if any(draws is not None for draws in per_lane_val):
+        val_epsilons = stack_epsilons(per_lane_val)
+
+    stoppers = [EarlyStopping(patience=base.patience) for _ in range(n_lanes)]
+    histories: List[List[Tuple[int, float, float]]] = [[] for _ in range(n_lanes)]
+    epochs_run = [0] * n_lanes
+    final_states: List[Optional[Dict[str, np.ndarray]]] = [None] * n_lanes
+    active: List[int] = list(range(n_lanes))
+
+    def layer_arrays():
+        # The optimizer rebinds ``param.data`` every step (and compaction
+        # gathers it), so the stacked view is re-derived on demand.
+        return [
+            [theta_params[i].data, omega_params[2 * i].data, omega_params[2 * i + 1].data]
+            for i in range(n_layers)
+        ]
+
+    def capture_state(position: int) -> Dict[str, np.ndarray]:
+        # One lane's slice of every stacked parameter, keyed like a
+        # module state dict (position = index into the *current* stack).
+        return {p.name: p.data[position].copy() for p in all_params}
+
+    tel = telemetry.get()
+    trace = tel.enabled
+    t_fwd_bwd = t_opt = t_val = 0.0
+    lane_epochs = 0
+    shrink_events = 0
+    train_start = perf_counter()
+
+    epoch = -1
+    for epoch in range(base.max_epochs):
+        optimizer.zero_grad()
+        epsilons = None
+        if sample_variation:
+            epsilons = stack_epsilons(
+                [draw_epoch_epsilons(variations[lane], n_mc, pnns[0]) for lane in active]
+            )
+        arrays = layer_arrays()
+        if trace:
+            t0 = perf_counter()
+        train_losses, grads = lane_net.loss_and_grads(
+            arrays, x_train, y_train, loss=base.loss, epsilons=epsilons,
+            need_omega_grads=learn_omega,
+        )
+        for i, layer_grads in enumerate(grads):
+            theta_params[i].grad = layer_grads.theta
+            omega_params[2 * i].grad = layer_grads.w_act
+            omega_params[2 * i + 1].grad = layer_grads.w_neg
+        if trace:
+            t1 = perf_counter()
+        optimizer.step()
+        if trace:
+            t2 = perf_counter()
+        val_losses = lane_net.loss_values(
+            layer_arrays(), x_val, y_val, loss=base.loss, epsilons=val_epsilons,
+            tag="lanes.val",
+        )
+        if trace:
+            t3 = perf_counter()
+            t_fwd_bwd += t1 - t0
+            t_opt += t2 - t1
+            t_val += t3 - t2
+        lane_epochs += len(active)
+
+        stopped_positions: List[int] = []
+        for position, lane in enumerate(active):
+            epochs_run[lane] = epoch + 1
+            train_loss = float(train_losses[position])
+            val_loss = float(val_losses[position])
+            histories[lane].append((epoch, train_loss, val_loss))
+            stoppers[lane].update(
+                val_loss, epoch, state_fn=lambda position=position: capture_state(position)
+            )
+            if stoppers[lane].should_stop:
+                stopped_positions.append(position)
+
+        if stopped_positions:
+            for position in stopped_positions:
+                lane = active[position]
+                # NaN-loss fallback: a lane that never improved keeps its
+                # final arrays (the serial loop's end-of-training capture).
+                if stoppers[lane].best_state is None:
+                    final_states[lane] = capture_state(position)
+                if trace:
+                    tel.event(
+                        "train.early_stop",
+                        epoch=epoch,
+                        best_epoch=stoppers[lane].best_epoch,
+                        patience=base.patience,
+                        lane=lane,
+                        seed=configs[lane].seed,
+                    )
+            stopped = set(stopped_positions)
+            keep = [i for i in range(len(active)) if i not in stopped]
+            active = [active[i] for i in keep]
+            shrink_events += 1
+            if trace:
+                tel.event(
+                    "lanes.shrink",
+                    epoch=epoch,
+                    active=len(active),
+                    stopped=len(stopped),
+                )
+            if not active:
+                break
+            for param in all_params:
+                param.data = param.data[keep]         # gather: a copy per survivor
+            optimizer.compact(keep)
+            val_epsilons = compact_epsilons(val_epsilons, keep)
+
+    # Lanes still active at max_epochs: capture their final arrays for the
+    # never-improved fallback (mirrors the serial loop's final capture).
+    for position, lane in enumerate(active):
+        if stoppers[lane].best_state is None:
+            final_states[lane] = capture_state(position)
+
+    if trace:
+        tel.event(
+            "lanes.run",
+            n_lanes=n_lanes,
+            epochs_run=epoch + 1,
+            lane_epochs=lane_epochs,
+            shrink_events=shrink_events,
+            dur_s=perf_counter() - train_start,
+            fwd_bwd_s=t_fwd_bwd,
+            optimizer_s=t_opt,
+            validation_s=t_val,
+        )
+        tel.event(
+            "train.run",
+            engine="lanes",
+            epochs_run=epoch + 1,
+            best_epoch=max(s.best_epoch for s in stoppers),
+            best_val_loss=min(s.best_value for s in stoppers),
+            dur_s=perf_counter() - train_start,
+            fwd_bwd_s=t_fwd_bwd,
+            optimizer_s=t_opt,
+            validation_s=t_val,
+        )
+        tel.count("train.epochs", lane_epochs)
+        tel.count("lanes.trained", n_lanes)
+
+    results = []
+    for lane in range(n_lanes):
+        stopper = stoppers[lane]
+        state = stopper.best_state if stopper.best_state is not None else final_states[lane]
+        assert state is not None
+        pnns[lane].load_state_dict(state)
+        results.append(
+            TrainResult(
+                best_epoch=stopper.best_epoch,
+                best_val_loss=stopper.best_value,
+                epochs_run=epochs_run[lane],
+                history=histories[lane],
+            )
+        )
+    return results

@@ -14,7 +14,7 @@ Hyperparameters mirror the paper:
   the best epoch's parameters — those are the circuits that "would be
   printed".
 
-Two execution engines implement the identical optimization:
+Three execution engines implement the identical optimization:
 
 - ``engine="kernel"`` (default) — the autograd-free fast path: one
   :class:`repro.core.grad_kernels.KernelNetwork` executes hand-derived
@@ -23,12 +23,19 @@ Two execution engines implement the identical optimization:
   per-epoch graph, Tensor wrapper, or state-dict copy;
 - ``engine="autograd"`` — the original taped loop over the live
   :class:`~repro.core.pnn.PrintedNeuralNetwork` module, kept as the slow
-  cross-check.
+  cross-check;
+- ``engine="lanes"`` — the kernel path run through the lane-batched
+  engine (:mod:`repro.core.lanes`) as a single-lane stack.  Its real use
+  is :func:`repro.core.lanes.train_pnn_lanes`, which trains ``L``
+  compatible jobs in lockstep, *bitwise* equal per lane to ``L`` serial
+  ``engine="kernel"`` runs.
 
-Both engines consume the train-variation RNG stream in the same canonical
+All engines consume the train-variation RNG stream in the same canonical
 per-layer (θ, activation ω, negweight ω) order and produce per-epoch loss
-histories that agree to float64 rounding (pinned by
-``tests/core/test_training_engine.py``).
+histories that agree to float64 rounding — and kernel vs lanes agree
+*bitwise* (pinned by ``tests/core/test_training_engine.py`` and
+``tests/core/test_lane_engine.py``).  See ``docs/TRAINING.md`` for the
+full training-path contract.
 """
 
 from __future__ import annotations
@@ -55,7 +62,14 @@ VALIDATION_SEED_OFFSET = 104729
 
 @dataclass
 class TrainConfig:
-    """Hyperparameters of one pNN training run."""
+    """Hyperparameters of one pNN training run.
+
+    ``seed`` drives both RNG streams of the run — the per-epoch training
+    draws and the frozen validation sample at
+    ``seed + VALIDATION_SEED_OFFSET`` (see ``docs/TRAINING.md`` §2).  In
+    the lane tier every field except ``seed`` must agree across the
+    stacked configs (``repro.core.lanes.LANE_SHARED_FIELDS``).
+    """
 
     lr_theta: float = 0.1
     lr_omega: float = 0.005
@@ -75,7 +89,12 @@ class TrainConfig:
 
 @dataclass
 class TrainResult:
-    """Outcome of :func:`train_pnn`."""
+    """Outcome of :func:`train_pnn` (one per lane from the lane engine).
+
+    ``history`` holds one ``(epoch, train_loss, val_loss)`` tuple per
+    epoch actually run; all fields are bitwise comparable across engines
+    (the lane-vs-kernel tests assert them with ``==``, not ``allclose``).
+    """
 
     best_epoch: int
     best_val_loss: float
@@ -142,11 +161,27 @@ def train_pnn(
 
     ``engine`` selects the execution path: ``"kernel"`` (default) runs the
     hand-derived backward kernels of :mod:`repro.core.grad_kernels` on raw
-    arrays; ``"autograd"`` runs the original taped loop.  Both consume the
-    same variation stream and agree to float64 rounding.
+    arrays; ``"autograd"`` runs the original taped loop; ``"lanes"`` runs
+    the lane-batched engine as a width-1 stack (bitwise equal to
+    ``"kernel"``; variation overrides are not supported there).  All
+    engines consume the same variation stream and agree to float64
+    rounding.
     """
-    if engine not in ("kernel", "autograd"):
-        raise ValueError(f"unknown engine {engine!r}; expected 'kernel' or 'autograd'")
+    if engine not in ("kernel", "autograd", "lanes"):
+        raise ValueError(
+            f"unknown engine {engine!r}; expected 'kernel', 'autograd' or 'lanes'"
+        )
+    if engine == "lanes":
+        if variation is not None or val_variation is not None:
+            raise ValueError(
+                "engine='lanes' does not support variation overrides; "
+                "use engine='kernel' for aging-aware training"
+            )
+        from repro.core.lanes import train_pnn_lanes
+
+        return train_pnn_lanes(
+            [pnn], x_train, y_train, x_val, y_val, [config]
+        )[0]
 
     train_variation = variation
     if train_variation is None and config.variation_aware:

@@ -6,11 +6,13 @@
   selects the best seed by validation loss and evaluates with Monte-Carlo
   sampling, exactly following Sec. IV-C.
 - :mod:`~repro.experiments.jobs` — the protocol decomposed into
-  independent, hashable training jobs (dataset, setup, train ϵ, seed).
+  independent, hashable training jobs (dataset, setup, train ϵ, seed),
+  plus the lane tier stacking same-group seeds for lockstep training.
 - :mod:`~repro.experiments.cache` — SHA-256-keyed on-disk result cache
   plus the JSONL run journal.
-- :mod:`~repro.experiments.parallel` — process-pool scheduler; bit-for-bit
-  identical to the serial runner at any worker count.
+- :mod:`~repro.experiments.parallel` — two-tier scheduler (lane batches
+  first, process pool across batches); bit-for-bit identical to the
+  serial runner at any worker count and lane width.
 - :mod:`~repro.experiments.tables` — renders Table II and Table III.
 - :mod:`~repro.experiments.report` — aggregate summary of a recorded
   :mod:`repro.telemetry` run (slowest jobs, cache hit ratio, SPICE
@@ -33,7 +35,14 @@ from repro.experiments.runner import (
     run_dataset,
     run_table2,
 )
-from repro.experiments.jobs import JobKey, JobOutcome, enumerate_jobs, execute_job
+from repro.experiments.jobs import (
+    JobKey,
+    JobOutcome,
+    enumerate_jobs,
+    execute_job,
+    execute_job_lanes,
+    group_jobs_into_lanes,
+)
 from repro.experiments.cache import ResultCache, RunJournal, job_digest
 from repro.experiments.parallel import run_table2_parallel
 from repro.experiments.report import render_telemetry_report
@@ -45,6 +54,8 @@ __all__ = [
     "JobOutcome",
     "enumerate_jobs",
     "execute_job",
+    "execute_job_lanes",
+    "group_jobs_into_lanes",
     "ResultCache",
     "RunJournal",
     "job_digest",

@@ -90,6 +90,16 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="record structured telemetry (JSONL events + run "
                              "manifest) into DIR; results are bit-identical "
                              "with or without it")
+    table2.add_argument("--lane-width", type=int, default=8, metavar="L",
+                        help="max same-group seeds trained in one lockstep "
+                             "lane batch; results are bit-identical for any "
+                             "width (default: 8)")
+    table2.add_argument("--lane-grouping", choices=("setup", "off"),
+                        default="setup",
+                        help="'setup' stacks all seeds of one (dataset, "
+                             "setup, ϵ_train) group into lanes; 'off' "
+                             "recovers the historical per-job scheduling "
+                             "(default: setup)")
 
     report = commands.add_parser(
         "report", help="aggregate summary of a recorded telemetry run"
@@ -138,6 +148,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"error: --resume given but no cache at {cache_dir}", file=sys.stderr)
                 return 2
             cache = ResultCache(cache_dir)
+        lane_width = 1 if args.lane_grouping == "off" else max(1, args.lane_width)
         if args.telemetry:
             telemetry.enable(args.telemetry, manifest={
                 "command": "table2",
@@ -145,11 +156,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "datasets": list(args.datasets),
                 "workers": args.workers,
                 "seeds": list(profile.seeds),
+                "lane_width": lane_width,
             })
         results = run_table2_parallel(
             args.datasets, profile, surrogates=bundle,
             workers=args.workers, cache=cache,
             progress=lambda msg: print(f"[run] {msg}", file=sys.stderr),
+            lane_width=lane_width,
         )
         print(render_table2(results))
         print()

@@ -13,7 +13,14 @@ the result.  This module defines the unit of work:
 - :func:`execute_job` — train one pNN and return a picklable
   :class:`JobOutcome` carrying the frozen
   :class:`~repro.core.params.PNNParams` inference snapshot (plain arrays
-  and metadata, no live module or surrogate objects).
+  and metadata, no live module or surrogate objects);
+- :func:`group_jobs_into_lanes` / :func:`execute_job_lanes` — the lane
+  tier: all seeds of one training group (same dataset, setup and
+  training ϵ — see :attr:`JobKey.group`) are stacked on a leading lane
+  axis and trained in lockstep by
+  :func:`repro.core.lanes.train_pnn_lanes`, producing outcomes *bitwise*
+  identical to per-job :func:`execute_job` calls at a fraction of the
+  dispatch cost.
 
 The snapshot *is* the design artifact: the parent process evaluates it
 directly through the autograd-free kernel path
@@ -34,6 +41,7 @@ import numpy as np
 
 from repro import telemetry
 from repro.core import PrintedNeuralNetwork, TrainConfig, train_pnn
+from repro.core.lanes import train_pnn_lanes
 from repro.core.params import PNNParams, snapshot_params
 from repro.datasets import load_splits
 from repro.datasets.base import DatasetSplits
@@ -192,6 +200,25 @@ def enumerate_jobs(datasets: List[str], config: ExperimentConfig) -> List[JobKey
     return jobs
 
 
+def _train_config(key: JobKey, config: ExperimentConfig) -> TrainConfig:
+    """The :class:`TrainConfig` a job trains with (single source of truth).
+
+    Shared by :func:`execute_job` and :func:`execute_job_lanes` so the
+    serial and lane tiers can never drift apart on hyperparameters.
+    """
+    return TrainConfig(
+        lr_theta=config.lr_theta,
+        lr_omega=config.lr_omega,
+        learnable_nonlinear=key.learnable,
+        epsilon=key.train_eps,
+        n_mc_train=config.n_mc_train,
+        max_epochs=config.max_epochs,
+        patience=config.patience,
+        loss=config.loss,
+        seed=key.seed,
+    )
+
+
 def execute_job(
     key: JobKey,
     config: ExperimentConfig,
@@ -254,17 +281,7 @@ def execute_job(
             per_neuron_activation=config.per_neuron_activation,
             rng=np.random.default_rng(key.seed),
         )
-        train_config = TrainConfig(
-            lr_theta=config.lr_theta,
-            lr_omega=config.lr_omega,
-            learnable_nonlinear=key.learnable,
-            epsilon=key.train_eps,
-            n_mc_train=config.n_mc_train,
-            max_epochs=config.max_epochs,
-            patience=config.patience,
-            loss=config.loss,
-            seed=key.seed,
-        )
+        train_config = _train_config(key, config)
         result = train_pnn(
             pnn, splits.x_train, splits.y_train, splits.x_val, splits.y_val,
             train_config, engine=engine,
@@ -294,3 +311,134 @@ def execute_job(
         wall_time=wall_time,
         params=snapshot_params(pnn),
     )
+
+
+def group_jobs_into_lanes(
+    jobs: List[JobKey], lane_width: int
+) -> List[List[JobKey]]:
+    """Chunk a job list into lane batches of at most ``lane_width``.
+
+    Jobs sharing a :attr:`JobKey.group` (same dataset, setup and training
+    ϵ — hence the same splits, topology and shared hyperparameters) are
+    lane-compatible; they are batched in input order, and batches are
+    emitted in first-appearance order of their group, so the schedule is
+    deterministic for a deterministic job list.  ``lane_width <= 1``
+    degenerates to one singleton batch per job (the serial tier).
+
+    Because lane execution is bitwise identical to serial execution, the
+    chunking policy affects wall time only — never results.
+    """
+    if lane_width <= 1:
+        return [[key] for key in jobs]
+    buckets: "dict[tuple, List[JobKey]]" = {}
+    order: List[tuple] = []
+    for key in jobs:
+        group = key.group
+        if group not in buckets:
+            buckets[group] = []
+            order.append(group)
+        buckets[group].append(key)
+    batches: List[List[JobKey]] = []
+    for group in order:
+        members = buckets[group]
+        for start in range(0, len(members), lane_width):
+            batches.append(members[start:start + lane_width])
+    return batches
+
+
+def execute_job_lanes(
+    keys: List[JobKey],
+    config: ExperimentConfig,
+    surrogates,
+    splits: Optional[DatasetSplits] = None,
+) -> List[JobOutcome]:
+    """Train one lane batch in lockstep — bitwise equal to serial jobs.
+
+    All ``keys`` must share a :attr:`JobKey.group`; each key becomes one
+    lane of a :func:`repro.core.lanes.train_pnn_lanes` run.  Every lane's
+    network is seeded with ``default_rng(key.seed)`` exactly as
+    :func:`execute_job` does, and the lane engine is bitwise equal to the
+    serial kernel engine per lane, so the returned outcomes carry the
+    same losses, epochs and parameter snapshots as ``L`` separate
+    :func:`execute_job` calls (pinned by
+    ``tests/experiments/test_lane_jobs.py``).
+
+    A width-1 batch falls through to :func:`execute_job` unchanged.  The
+    reported ``wall_time`` is the batch wall time divided evenly across
+    lanes (the scheduler-visible amortized cost); telemetry gets one
+    ``job.lanes`` span for the batch plus the usual per-job ``job.done``
+    events tagged with ``lanes=len(keys)``.
+    """
+    keys = list(keys)
+    if not keys:
+        return []
+    first = keys[0]
+    if any(key.group != first.group for key in keys):
+        raise ValueError("lane batch must share one training group")
+    if splits is None:
+        splits = load_splits(first.dataset, seed=SPLIT_SEED, max_train=config.max_train)
+    if len(keys) == 1:
+        return [execute_job(first, config, surrogates, splits=splits)]
+
+    topology = (splits.n_features, config.hidden, splits.n_classes)
+    tel = telemetry.get()
+    start = time.perf_counter()
+    cpu_start = time.process_time()
+    with tel.span(
+        "job.lanes",
+        dataset=first.dataset,
+        learnable=first.learnable,
+        variation_aware=first.variation_aware,
+        train_eps=first.train_eps,
+        n_lanes=len(keys),
+        seeds=[key.seed for key in keys],
+    ):
+        pnns = [
+            PrintedNeuralNetwork(
+                list(topology),
+                surrogates,
+                per_neuron_activation=config.per_neuron_activation,
+                rng=np.random.default_rng(key.seed),
+            )
+            for key in keys
+        ]
+        results = train_pnn_lanes(
+            pnns,
+            splits.x_train, splits.y_train, splits.x_val, splits.y_val,
+            [_train_config(key, config) for key in keys],
+        )
+    wall_time = time.perf_counter() - start
+    cpu_time = time.process_time() - cpu_start
+    wall_share = wall_time / len(keys)
+    cpu_share = cpu_time / len(keys)
+
+    outcomes: List[JobOutcome] = []
+    for key, pnn, result in zip(keys, pnns, results):
+        if tel.enabled:
+            tel.event(
+                "job.done",
+                dataset=key.dataset,
+                learnable=key.learnable,
+                variation_aware=key.variation_aware,
+                train_eps=key.train_eps,
+                seed=key.seed,
+                wall_s=wall_share,
+                cpu_s=cpu_share,
+                epochs_run=result.epochs_run,
+                best_epoch=result.best_epoch,
+                val_loss=result.best_val_loss,
+                lanes=len(keys),
+            )
+        outcomes.append(
+            JobOutcome(
+                key=key,
+                topology=topology,
+                per_neuron_activation=config.per_neuron_activation,
+                val_loss=result.best_val_loss,
+                best_epoch=result.best_epoch,
+                epochs_run=result.epochs_run,
+                wall_time=wall_share,
+                params=snapshot_params(pnn),
+            )
+        )
+    return outcomes

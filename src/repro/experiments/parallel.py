@@ -4,9 +4,22 @@
 :func:`repro.experiments.runner.run_table2`: it enumerates the protocol's
 independent training jobs (:mod:`repro.experiments.jobs`), serves
 already-solved jobs from the persistent result cache
-(:mod:`repro.experiments.cache`), fans the remainder out over a
-``ProcessPoolExecutor``, and assembles the exact same ordered list of
-:class:`~repro.experiments.runner.CellResult` the serial runner produces.
+(:mod:`repro.experiments.cache`), packs the remainder into lane batches,
+fans the batches out over a ``ProcessPoolExecutor``, and assembles the
+exact same ordered list of :class:`~repro.experiments.runner.CellResult`
+the serial runner produces.
+
+Two tiers of parallelism
+------------------------
+The **first tier is lane batching**: all seeds of one training group
+(same dataset, setup and training ϵ) are stacked on a leading lane axis
+and trained in lockstep by :func:`repro.core.lanes.train_pnn_lanes` —
+one numpy kernel call sequence per epoch instead of one Python epoch
+loop per seed, bitwise identical per lane to the serial run.  The
+**process pool is the second tier**: it spreads whole lane *batches*
+(i.e. different groups/datasets) across cores, instead of individual
+seed jobs as it did before lanes existed.  ``lane_width=1`` disables the
+first tier and recovers the historical per-job pool exactly.
 
 Determinism contract
 --------------------
@@ -42,6 +55,8 @@ from repro.experiments.jobs import (
     JobOutcome,
     enumerate_jobs,
     execute_job,
+    execute_job_lanes,
+    group_jobs_into_lanes,
     iter_cells,
     train_epsilon,
 )
@@ -65,6 +80,16 @@ def _forked_execute(key: JobKey) -> JobOutcome:
     return execute_job(key, _FORK_STATE["config"], _FORK_STATE["surrogates"])
 
 
+def _forked_execute_batch(keys: List[JobKey]) -> List[JobOutcome]:
+    """Worker entry point for one lane batch (second-tier pool task).
+
+    A width-1 batch falls through to :func:`execute_job` inside
+    :func:`execute_job_lanes`, so the pool handles mixed batch widths
+    with one code path.
+    """
+    return execute_job_lanes(keys, _FORK_STATE["config"], _FORK_STATE["surrogates"])
+
+
 def _pool_context():
     """Prefer ``fork`` (zero-copy surrogate inheritance); fall back cleanly."""
     try:
@@ -81,6 +106,7 @@ def run_table2_parallel(
     cache: Optional[ResultCache] = None,
     journal: Optional[RunJournal] = None,
     progress: Optional[Callable[[str], None]] = None,
+    lane_width: int = 8,
 ) -> List[CellResult]:
     """Run the Table-II grid with caching and multi-process training.
 
@@ -109,6 +135,12 @@ def run_table2_parallel(
         second invocation is auditable as "zero re-trainings".
     progress:
         Optional callback receiving one human-readable line per job.
+    lane_width:
+        Maximum number of same-group jobs stacked into one lockstep lane
+        batch (first-tier parallelism; see the module docstring).  ``1``
+        disables lane batching and recovers the historical per-job
+        scheduling exactly.  Any width produces bit-identical results —
+        only the wall time changes.
 
     Returns
     -------
@@ -160,21 +192,38 @@ def run_table2_parallel(
                      f"seed {key.seed} [trained {outcome.epochs_run} epochs "
                      f"in {outcome.wall_time:.1f}s]")
 
-    if workers <= 1 or len(pending) <= 1:
-        for key in pending:
-            _finish(execute_job(key, config, surrogates))
+    batches = group_jobs_into_lanes(pending, lane_width)
+    if tel.enabled and pending:
+        widths = [len(batch) for batch in batches]
+        serial_jobs = sum(w for w in widths if w == 1)
+        tel.event(
+            "lanes.plan",
+            lane_width=int(lane_width),
+            n_jobs=len(pending),
+            n_batches=len(batches),
+            widths=widths,
+            serial_jobs=serial_jobs,
+        )
+        tel.count("lanes.jobs", n=len(pending) - serial_jobs)
+        tel.count("lanes.serial_jobs", n=serial_jobs)
+
+    if workers <= 1 or len(batches) <= 1:
+        for batch in batches:
+            for outcome in execute_job_lanes(batch, config, surrogates):
+                _finish(outcome)
     else:
         _FORK_STATE["config"] = config
         _FORK_STATE["surrogates"] = surrogates
         try:
             ctx = _pool_context()
-            tel.event("pool.start", workers=int(workers), n_pending=len(pending))
+            tel.event("pool.start", workers=int(workers), n_pending=len(batches))
             with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
-                not_done = {pool.submit(_forked_execute, key) for key in pending}
+                not_done = {pool.submit(_forked_execute_batch, batch) for batch in batches}
                 while not_done:
                     done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
                     for future in done:
-                        _finish(future.result())
+                        for outcome in future.result():
+                            _finish(outcome)
             tel.event("pool.stop", workers=int(workers))
         finally:
             _FORK_STATE.clear()

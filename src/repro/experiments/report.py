@@ -181,6 +181,49 @@ def _training_section(events: List[Dict], counters: Dict[str, float]) -> List[st
     return lines
 
 
+def _lanes_section(events: List[Dict], counters: Dict[str, float]) -> List[str]:
+    """Summarize the lockstep lane tier: widths, shrink trajectory, timing.
+
+    Reads the ``lanes.plan`` scheduling event, the per-batch ``lanes.run``
+    events and the ``lanes.shrink`` active-set trajectory emitted by
+    :func:`repro.core.lanes.train_pnn_lanes`.
+    """
+    runs = [e for e in events
+            if e.get("kind") == "event" and e.get("name") == "lanes.run"]
+    plans = [e for e in events
+             if e.get("kind") == "event" and e.get("name") == "lanes.plan"]
+    if not runs and not plans:
+        return []
+    laned = int(counters.get("lanes.jobs", 0))
+    serial = int(counters.get("lanes.serial_jobs", 0))
+    trained = int(counters.get("lanes.trained", 0))
+    lines = [
+        f"lanes: {len(runs)} lane batches, {trained} jobs trained in lanes "
+        f"({laned} planned laned, {serial} planned serial)",
+    ]
+    if runs:
+        epochs = sum(int(e["attrs"].get("epochs_run", 0)) for e in runs)
+        lane_epochs = sum(int(e["attrs"].get("lane_epochs", 0)) for e in runs)
+        shrinks = sum(int(e["attrs"].get("shrink_events", 0)) for e in runs)
+        saved = lane_epochs / epochs if epochs else 0.0
+        lines.append(
+            f"       {epochs} lockstep epochs covering {lane_epochs} "
+            f"lane-epochs ({saved:.1f}x amortization), "
+            f"{shrinks} active-set shrinks"
+        )
+    shrink_events = [e for e in events
+                     if e.get("kind") == "event" and e.get("name") == "lanes.shrink"]
+    if shrink_events:
+        trajectory = ", ".join(
+            f"epoch {e['attrs'].get('epoch')}: "
+            f"{e['attrs'].get('active')} active (-{e['attrs'].get('stopped')})"
+            for e in shrink_events[:8]
+        )
+        suffix = ", ..." if len(shrink_events) > 8 else ""
+        lines.append(f"       shrink trajectory: {trajectory}{suffix}")
+    return lines
+
+
 def render_telemetry_report(
     directory: Union[str, os.PathLike], top: int = 10
 ) -> str:
@@ -220,6 +263,7 @@ def render_telemetry_report(
         _spice_section(events, counters),
         _surrogate_section(events),
         _training_section(events, counters),
+        _lanes_section(events, counters),
     ):
         if section:
             lines.extend(section)

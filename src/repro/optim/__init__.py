@@ -3,6 +3,16 @@
 from repro.optim.sgd import SGD, RawParameter
 from repro.optim.adam import Adam
 from repro.optim.early_stopping import EarlyStopping
+from repro.optim.lanes import LaneAdam, LaneSGD
 from repro.optim.schedulers import StepLR, CosineAnnealingLR
 
-__all__ = ["SGD", "Adam", "EarlyStopping", "RawParameter", "StepLR", "CosineAnnealingLR"]
+__all__ = [
+    "SGD",
+    "Adam",
+    "EarlyStopping",
+    "RawParameter",
+    "LaneAdam",
+    "LaneSGD",
+    "StepLR",
+    "CosineAnnealingLR",
+]

@@ -1,0 +1,131 @@
+"""The lane tier of the experiment harness: grouping, execution, scheduling.
+
+Pins the contracts documented in ``docs/TRAINING.md``:
+
+- :func:`group_jobs_into_lanes` chunks same-group jobs deterministically
+  and never mixes groups in one batch;
+- :func:`execute_job_lanes` returns outcomes **bitwise identical** to
+  per-job :func:`execute_job` calls (losses, epochs, parameter snapshots
+  and cache digests);
+- :func:`run_table2_parallel` produces identical cells at any lane width.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    enumerate_jobs,
+    execute_job,
+    execute_job_lanes,
+    group_jobs_into_lanes,
+    job_digest,
+    run_table2_parallel,
+)
+from repro.core import surrogate_fingerprint
+
+MICRO = ExperimentConfig(
+    seeds=(1, 2, 3), max_epochs=15, patience=15, n_mc_train=2, n_test=6, max_train=50,
+)
+
+
+class TestGrouping:
+    def test_batches_never_mix_groups(self):
+        jobs = enumerate_jobs(["iris", "seeds"], MICRO)
+        for batch in group_jobs_into_lanes(jobs, 8):
+            assert len({key.group for key in batch}) == 1
+
+    def test_batches_cover_all_jobs_exactly_once(self):
+        jobs = enumerate_jobs(["iris"], MICRO)
+        batches = group_jobs_into_lanes(jobs, 2)
+        flattened = [key for batch in batches for key in batch]
+        assert sorted(flattened) == sorted(jobs)
+        assert len(flattened) == len(set(flattened))
+
+    def test_lane_width_caps_batch_size(self):
+        jobs = enumerate_jobs(["iris"], MICRO)
+        assert all(len(b) <= 2 for b in group_jobs_into_lanes(jobs, 2))
+        # 3 seeds at width 2 → one pair + one singleton per group.
+        widths = sorted(len(b) for b in group_jobs_into_lanes(jobs, 2))
+        assert set(widths) == {1, 2}
+
+    def test_width_one_is_per_job_serial(self):
+        jobs = enumerate_jobs(["iris"], MICRO)
+        assert group_jobs_into_lanes(jobs, 1) == [[key] for key in jobs]
+
+    def test_deterministic_first_appearance_order(self):
+        jobs = enumerate_jobs(["iris"], MICRO)
+        batches = group_jobs_into_lanes(jobs, 8)
+        assert [batch[0].group for batch in batches] == [
+            key.group for i, key in enumerate(jobs) if i % len(MICRO.seeds) == 0
+        ]
+
+
+@pytest.mark.slow
+class TestLaneExecutionBitIdentity:
+    @pytest.fixture(scope="class")
+    def batch(self):
+        jobs = enumerate_jobs(["iris"], MICRO)
+        batches = group_jobs_into_lanes(jobs, 8)
+        # A learnable + variation-aware group exercises every moving part.
+        return next(b for b in batches if b[0].learnable and b[0].variation_aware)
+
+    def test_outcomes_bitwise_equal_serial(self, analytic_surrogates, batch):
+        serial = [execute_job(key, MICRO, analytic_surrogates) for key in batch]
+        laned = execute_job_lanes(batch, MICRO, analytic_surrogates)
+        fingerprint = surrogate_fingerprint(analytic_surrogates)
+        assert len(laned) == len(serial)
+        for s, l in zip(serial, laned):
+            assert l.key == s.key
+            assert l.topology == s.topology
+            assert l.val_loss == s.val_loss       # exact — no tolerance
+            assert l.best_epoch == s.best_epoch
+            assert l.epochs_run == s.epochs_run
+            for sl, ll in zip(s.params.layers, l.params.layers):
+                np.testing.assert_array_equal(ll.theta, sl.theta)
+                np.testing.assert_array_equal(ll.act_omega, sl.act_omega)
+                np.testing.assert_array_equal(ll.neg_omega, sl.neg_omega)
+            # The cache digest is engine-independent by design, so lane
+            # outcomes land on the same cache entries as serial ones.
+            assert (
+                job_digest(l.key, MICRO, fingerprint)
+                == job_digest(s.key, MICRO, fingerprint)
+            )
+
+    def test_width_one_batch_falls_through_to_serial(self, analytic_surrogates, batch):
+        single = execute_job_lanes(batch[:1], MICRO, analytic_surrogates)
+        reference = execute_job(batch[0], MICRO, analytic_surrogates)
+        assert len(single) == 1
+        assert single[0].val_loss == reference.val_loss
+        assert single[0].epochs_run == reference.epochs_run
+
+    def test_mixed_group_batch_rejected(self, analytic_surrogates):
+        jobs = enumerate_jobs(["iris"], MICRO)
+        mixed = [jobs[0], next(k for k in jobs if k.group != jobs[0].group)]
+        with pytest.raises(ValueError, match="group"):
+            execute_job_lanes(mixed, MICRO, analytic_surrogates)
+
+    def test_empty_batch_returns_empty(self, analytic_surrogates):
+        assert execute_job_lanes([], MICRO, analytic_surrogates) == []
+
+
+@pytest.mark.slow
+class TestSchedulerLaneWidths:
+    def test_any_lane_width_same_cells(self, analytic_surrogates):
+        def signature(results):
+            return [
+                (c.dataset, c.setup.learnable, c.setup.variation_aware, c.eps_test,
+                 c.mean, c.std, c.best_seed, c.best_val_loss)
+                for c in results
+            ]
+
+        wide = run_table2_parallel(
+            ["iris"], MICRO, surrogates=analytic_surrogates, workers=1, lane_width=8
+        )
+        narrow = run_table2_parallel(
+            ["iris"], MICRO, surrogates=analytic_surrogates, workers=1, lane_width=2
+        )
+        off = run_table2_parallel(
+            ["iris"], MICRO, surrogates=analytic_surrogates, workers=1, lane_width=1
+        )
+        assert signature(wide) == signature(narrow) == signature(off)
