@@ -1,7 +1,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: test test-all lint verify bench bench-surrogate bench-lanes
+.PHONY: test test-all lint verify bench bench-surrogate bench-lanes bench-scenarios
 
 test:              ## fast tier: everything not marked @pytest.mark.slow
 	python -m pytest -x -q -m "not slow"
@@ -23,3 +23,6 @@ bench-surrogate:   ## scalar-vs-batched surrogate build benchmark + artifact
 
 bench-lanes:       ## serial-vs-lockstep lane training benchmark + artifact
 	python -m pytest benchmarks/bench_training_lanes.py -q -s
+
+bench-scenarios:   ## non-ideality scenario grid benchmark + artifact
+	python -m pytest benchmarks/bench_scenario_grid.py -q -s

@@ -1,0 +1,100 @@
+"""The non-ideality scenario grid through the lane tier.
+
+Runs a smoke-scale Table-II slice (iris, 2 seeds) across the full
+scenario registry — ``default`` / ``gaussian`` / ``stuck-1pct`` /
+``correlated`` (:mod:`repro.core.variation`) — through
+:func:`~repro.experiments.parallel.run_table2_parallel`, and reports the
+per-scenario wall time and accuracy spread side by side.
+
+Correctness is asserted before any timing:
+
+- the ``default`` slice of the multi-scenario sweep is **bit-identical**
+  to a scenario-free run (the pipeline's hard gate — the legacy path
+  must be byte-for-byte untouched);
+- every non-default scenario produces cells that differ from the
+  default's (the scenario actually changed the noise, not just the
+  label);
+- the scenario sweep's overhead per scenario stays within a sane bound
+  of the single-scenario runtime (the grid fans out linearly, with no
+  superlinear cliff from cache or lane-tier interactions).
+"""
+
+import time
+
+from benchmarks.conftest import save_and_print
+from repro.core.variation import SCENARIOS, scenario_names
+from repro.experiments import (
+    ExperimentConfig,
+    run_table2_parallel,
+    split_by_scenario,
+)
+from repro.experiments.runner import default_surrogates
+
+EPOCHS = 25
+
+CONFIG = ExperimentConfig(
+    seeds=(1, 2), max_epochs=EPOCHS, patience=EPOCHS,
+    n_mc_train=3, n_test=10, max_train=60,
+)
+
+
+def _signature(cells):
+    return [
+        (c.dataset, c.setup.learnable, c.setup.variation_aware,
+         c.eps_test, c.mean, c.std, c.best_seed, c.best_val_loss)
+        for c in cells
+    ]
+
+
+def test_scenario_grid(output_dir):
+    surrogates = default_surrogates()
+    scenarios = tuple(scenario_names())
+
+    # Correctness gate 1: the default slice is bit-identical to a run
+    # that never heard of scenarios.
+    start = time.perf_counter()
+    reference = run_table2_parallel(["iris"], CONFIG, surrogates=surrogates,
+                                    workers=1)
+    t_single = time.perf_counter() - start
+
+    start = time.perf_counter()
+    cells = run_table2_parallel(["iris"], CONFIG, surrogates=surrogates,
+                                workers=1, scenarios=scenarios)
+    t_grid = time.perf_counter() - start
+
+    buckets = split_by_scenario(cells)
+    assert list(buckets) == list(scenarios)
+    assert _signature(buckets["default"]) == _signature(reference), \
+        "default scenario drifted from the scenario-free run!"
+
+    # Correctness gate 2: each named scenario actually changes the cells.
+    default_means = [c.mean for c in buckets["default"]]
+    for name in scenarios:
+        if name == "default":
+            continue
+        assert [c.mean for c in buckets[name]] != default_means, \
+            f"scenario {name!r} produced cells identical to the default"
+
+    per_scenario = t_grid / len(scenarios)
+    lines = [
+        f"scenario grid: iris, {len(CONFIG.seeds)} seeds x {EPOCHS} epochs, "
+        f"n_mc={CONFIG.n_mc_train}, {len(scenarios)} scenarios",
+        f"  single-scenario run : {t_single:8.3f} s   (default only)",
+        f"  full scenario sweep : {t_grid:8.3f} s   "
+        f"({per_scenario:.3f} s/scenario; default slice bitwise equal)",
+    ]
+    for name in scenarios:
+        bucket = buckets[name]
+        mean = sum(c.mean for c in bucket) / len(bucket)
+        std = sum(c.std for c in bucket) / len(bucket)
+        lines.append(
+            f"    {name:<12s} mean acc {mean:.3f}  avg spread {std:.3f}   "
+            f"({SCENARIOS[name].description})"
+        )
+    save_and_print(output_dir, "scenario_grid", "\n".join(lines))
+
+    # The sweep is linear fan-out; allow generous slack for fixed costs.
+    assert per_scenario <= 3.0 * t_single, (
+        f"scenario sweep superlinear: {per_scenario:.3f}s per scenario vs "
+        f"{t_single:.3f}s single run"
+    )

@@ -213,6 +213,79 @@ print(f"lane smoke OK: {len(serial)} lanes bitwise equal to serial "
       f"{len(shrinks)} shrink events, 0 serial fallbacks")
 EOF
 
+echo "== scenario smoke (stuck-at non-idealities through kernel + lanes, telemetry-gated) =="
+TEL_SCEN="$SMOKE_ROOT/telemetry_scenarios"
+TEL_SCEN="$TEL_SCEN" python - <<'EOF'
+import os
+import numpy as np
+from repro import telemetry
+from repro.experiments import (
+    ExperimentConfig,
+    enumerate_jobs,
+    execute_job,
+    execute_job_lanes,
+    group_jobs_into_lanes,
+    run_table2_parallel,
+    split_by_scenario,
+)
+from repro.experiments.runner import default_surrogates
+
+# Tiny grid, but a *defect-bearing* scenario: stuck-at overrides must run
+# through both engines, not just the multiplicative ε path.
+cfg = ExperimentConfig(seeds=(1, 2), max_epochs=8, patience=8,
+                       n_mc_train=3, n_test=6, max_train=60)
+sur = default_surrogates()
+
+jobs = enumerate_jobs(["iris"], cfg, scenarios=("stuck-1pct",))
+batch = next(b for b in group_jobs_into_lanes(jobs, 8)
+             if b[0].learnable and b[0].variation_aware)
+assert all(key.scenario == "stuck-1pct" for key in batch)
+
+# engine=kernel (serial per-job path), no telemetry — the reference.
+serial = [execute_job(key, cfg, sur) for key in batch]
+
+tel = telemetry.enable(os.environ["TEL_SCEN"],
+                       manifest={"command": "ci-scenario-smoke"})
+laned = execute_job_lanes(batch, cfg, sur)
+cells = run_table2_parallel(["iris"], cfg, surrogates=sur, workers=1,
+                            scenarios=("default", "stuck-1pct"))
+telemetry.disable()
+
+# Gate 1: lanes bitwise equal to the serial kernel path under defects.
+for s, l in zip(serial, laned):
+    assert l.key == s.key
+    assert l.val_loss == s.val_loss, (s.key, s.val_loss, l.val_loss)
+    assert l.best_epoch == s.best_epoch and l.epochs_run == s.epochs_run
+    for sl, ll in zip(s.params.layers, l.params.layers):
+        assert np.array_equal(sl.theta, ll.theta)
+        assert np.array_equal(sl.act_omega, ll.act_omega)
+        assert np.array_equal(sl.neg_omega, ll.neg_omega)
+
+# Gate 2: the sweep produced both scenario buckets, and they differ.
+buckets = split_by_scenario(cells)
+assert list(buckets) == ["default", "stuck-1pct"], list(buckets)
+assert len(buckets["default"]) == len(buckets["stuck-1pct"]) == 8
+means = lambda rs: [c.mean for c in rs]
+assert means(buckets["default"]) != means(buckets["stuck-1pct"]), \
+    "stuck-at scenario produced identical cells to the default!"
+
+# Gate 3 (telemetry): lanes carried every job (no serial fallbacks) and
+# the defect counters prove overrides were actually injected.
+events = telemetry.read_events(os.environ["TEL_SCEN"])
+counters = telemetry.summarize_events(events)["counters"]
+assert int(counters.get("lanes.serial_jobs", 0)) == 0, \
+    f"{counters.get('lanes.serial_jobs')} jobs fell back to serial scheduling!"
+applied = int(counters.get("defects.applied", 0))
+sampled = int(counters.get("defects.sampled", 0))
+assert applied > 0 and sampled > 0, \
+    f"no stuck devices recorded (applied={applied}, sampled={sampled})"
+scen_jobs = {e["attrs"].get("scenario") for e in events
+             if e["kind"] == "event" and e["name"] == "job.done"}
+assert {"default", "stuck-1pct"} <= scen_jobs, scen_jobs
+print(f"scenario smoke OK: {len(serial)} stuck-at lanes bitwise equal to "
+      f"kernel; {applied}/{sampled} devices stuck; scenarios {sorted(scen_jobs)}")
+EOF
+
 echo "== parallel smoke table2 (2 workers, fresh cache, telemetry on) =="
 python -m repro.experiments.cli table2 --profile smoke --datasets iris \
     --workers 2 --cache-dir "$CACHE_DIR" --telemetry "$TEL_RUN"

@@ -11,8 +11,11 @@ This package is the paper's primary contribution (Sec. III):
   (Eq. 1) with negative-weight routing and the ptanh activation;
 - :mod:`~repro.core.pnn` — the full network (topology #input-3-#output in
   the experiments);
-- :mod:`~repro.core.variation` — the multiplicative printing-variation
-  model ε ~ U[1−ϵ, 1+ϵ];
+- :mod:`~repro.core.variation` — the composable non-ideality pipeline:
+  the :class:`NonIdealityModel` protocol, the multiplicative printing
+  variation ε ~ U[1−ϵ, 1+ϵ] and its Gaussian sibling, stuck-at
+  conductance defects, spatially-correlated printing variation, model
+  composition, and the named scenario registry;
 - :mod:`~repro.core.kernels` — the stateless circuit math (Eqs. 1–3,
   Fig. 5) as pure functions over pluggable array backends;
 - :mod:`~repro.core.params` — immutable :class:`PNNParams` inference
@@ -44,7 +47,19 @@ from repro.core.params import (
 )
 from repro.core.player import PrintedLayer
 from repro.core.pnn import PrintedNeuralNetwork
-from repro.core.variation import VariationModel
+from repro.core.variation import (
+    DEFAULT_SCENARIO,
+    SCENARIOS,
+    ComposedModel,
+    CorrelatedVariationModel,
+    GaussianVariationModel,
+    NonIdealityModel,
+    Perturbation,
+    StuckAtModel,
+    VariationModel,
+    build_scenario_model,
+    scenario_names,
+)
 from repro.core.losses import MarginLoss, make_loss
 from repro.core.grad_kernels import KernelNetwork, Workspace
 from repro.core.training import TrainConfig, TrainResult, train_pnn
@@ -77,7 +92,17 @@ __all__ = [
     "SurrogateParams",
     "PNN_PARAMS_VERSION",
     "snapshot_params",
+    "NonIdealityModel",
+    "Perturbation",
     "VariationModel",
+    "GaussianVariationModel",
+    "StuckAtModel",
+    "CorrelatedVariationModel",
+    "ComposedModel",
+    "SCENARIOS",
+    "DEFAULT_SCENARIO",
+    "build_scenario_model",
+    "scenario_names",
     "MarginLoss",
     "make_loss",
     "KernelNetwork",

@@ -4,9 +4,9 @@ The paper's related work ([5], Zhao et al., ICCAD 2022) trains printed
 neuromorphic circuits against *aging*: printed resistors drift over their
 lifetime, degrading a circuit that was only optimized for its fresh state.
 This module extends the reproduction with that capability, reusing the
-Monte-Carlo machinery of variation-aware training: an aging model is a
-drop-in replacement for :class:`~repro.core.variation.VariationModel`
-(same ``sample`` / ``is_nominal`` interface), so
+Monte-Carlo machinery of variation-aware training: an aging model
+*implements* the :class:`~repro.core.variation.NonIdealityModel` protocol
+(isinstance-checkable, not duck-typed), so
 
 - **aging-aware training** is ``train_pnn(..., TrainConfig(...))`` with the
   trainer's variation model swapped for an :class:`AgingModel`, and
@@ -30,10 +30,16 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.core.pnn import PrintedNeuralNetwork
+from repro.core.variation import ComposedModel, NonIdealityModel
 
 
-class AgingModel:
-    """Lifetime drift sampler, interface-compatible with VariationModel."""
+class AgingModel(NonIdealityModel):
+    """Lifetime drift sampler — a :class:`NonIdealityModel` implementation.
+
+    Purely multiplicative (``sample`` is the whole story), so it rides the
+    default ``sample_perturbation`` of the protocol and composes with any
+    other model through :class:`~repro.core.variation.ComposedModel`.
+    """
 
     def __init__(
         self,
@@ -116,28 +122,15 @@ class AgingModel:
         )
 
 
-class CompositeVariation:
-    """Product of independent multiplicative disturbance models.
+class CompositeVariation(ComposedModel):
+    """Product of independent disturbance models (back-compat name).
 
-    Combines e.g. printing variation (fabrication-time) with aging
-    (lifetime): samples are drawn from every component model and
-    multiplied.  Interface-compatible with ``VariationModel``.
+    Historically this class hand-rolled the multiplicative composition;
+    it is now :class:`~repro.core.variation.ComposedModel` under its
+    original name — same constructor, same ``.models`` attribute, same
+    sample product (combining e.g. printing variation with aging), plus
+    the generalized override-aware composition inherited from the base.
     """
-
-    def __init__(self, *models):
-        if not models:
-            raise ValueError("need at least one component model")
-        self.models = models
-
-    @property
-    def is_nominal(self) -> bool:
-        return all(model.is_nominal for model in self.models)
-
-    def sample(self, n_mc: int, shape: Sequence[int]) -> np.ndarray:
-        combined = np.ones((n_mc, *tuple(int(s) for s in shape)))
-        for model in self.models:
-            combined = combined * model.sample(n_mc, shape)
-        return combined
 
 
 @dataclass

@@ -31,7 +31,12 @@ import numpy as np
 from repro.core import kernels
 from repro.core.params import PNNParams, snapshot_params
 from repro.core.pnn import PrintedNeuralNetwork
-from repro.core.variation import VariationModel
+from repro.core.variation import (
+    DEFAULT_SCENARIO,
+    VariationModel,
+    build_scenario_model,
+    eps_concat,
+)
 
 #: Frozen width of the ε pre-draw blocks (see the module docstring).
 SAMPLE_BLOCK = 20
@@ -66,17 +71,20 @@ def _as_params(design: Design) -> PNNParams:
 
 def draw_variation_samples(
     params: PNNParams,
-    variation: VariationModel,
+    variation,
     n_test: int,
     block: int = SAMPLE_BLOCK,
 ) -> List[kernels.LayerEpsilons]:
-    """Pre-draw all ε factors for ``n_test`` fabrications.
+    """Pre-draw all variation perturbations for ``n_test`` fabrications.
 
-    Consumes the variation model's stream in blocks of ``block`` samples
-    (each block draws θ, activation ω, negative-weight ω per layer, in
-    order) and concatenates per layer.  Returns one
-    :data:`~repro.core.kernels.LayerEpsilons` triple per layer, each array
-    with leading axis ``n_test``.
+    Consumes the model's stream in blocks of ``block`` samples (each block
+    draws θ, activation ω, negative-weight ω per layer, in order) and
+    concatenates per layer.  Works for any
+    :class:`~repro.core.variation.NonIdealityModel` (or duck-typed legacy
+    sampler): bare ε arrays concatenate exactly as before, override-bearing
+    perturbations concatenate field-wise.  Returns one
+    :data:`~repro.core.kernels.LayerEpsilons` triple per layer, each with
+    leading axis ``n_test``.
     """
     per_layer: List[List[List[np.ndarray]]] = [
         [[], [], []] for _ in params.layers
@@ -91,9 +99,9 @@ def draw_variation_samples(
         remaining -= chunk
     return [
         (
-            np.concatenate(theta_parts, axis=0),
-            np.concatenate(act_parts, axis=0),
-            np.concatenate(neg_parts, axis=0),
+            eps_concat(theta_parts, axis=0),
+            eps_concat(act_parts, axis=0),
+            eps_concat(neg_parts, axis=0),
         )
         for theta_parts, act_parts, neg_parts in per_layer
     ]
@@ -107,6 +115,7 @@ def evaluate_mc(
     n_test: int = 100,
     seed: int = 0,
     batch_mc: int = 20,
+    scenario: str = DEFAULT_SCENARIO,
 ) -> MonteCarloAccuracy:
     """Evaluate accuracy over ``n_test`` fabricated-circuit samples.
 
@@ -116,15 +125,28 @@ def evaluate_mc(
     samples are *computed* in chunks of ``batch_mc`` to bound memory; the
     ε stream is pre-drawn in fixed :data:`SAMPLE_BLOCK` blocks, so the
     result is independent of ``batch_mc``.
+
+    ``scenario`` selects the non-ideality model
+    (:data:`repro.core.variation.SCENARIOS`).  The default scenario takes
+    the pre-refactor ε-only branch unchanged; named scenarios build their
+    model at ``(epsilon, seed)`` and may be non-nominal even at ε = 0
+    (stuck-at defects still fabricate broken devices).
     """
     params = _as_params(design)
     y = np.asarray(y, dtype=np.int64)
-    if epsilon == 0.0:
-        predictions = kernels.predict(params, x)          # (1, B)
-        accuracy = float((predictions[0] == y).mean())
-        return MonteCarloAccuracy(accuracies=np.asarray([accuracy]))
+    if scenario == DEFAULT_SCENARIO:
+        if epsilon == 0.0:
+            predictions = kernels.predict(params, x)      # (1, B)
+            accuracy = float((predictions[0] == y).mean())
+            return MonteCarloAccuracy(accuracies=np.asarray([accuracy]))
+        variation = VariationModel(epsilon, seed=seed)
+    else:
+        variation = build_scenario_model(scenario, epsilon, seed=seed)
+        if variation.is_nominal:
+            predictions = kernels.predict(params, x)      # (1, B)
+            accuracy = float((predictions[0] == y).mean())
+            return MonteCarloAccuracy(accuracies=np.asarray([accuracy]))
 
-    variation = VariationModel(epsilon, seed=seed)
     epsilons = draw_variation_samples(params, variation, n_test)
     batch_mc = max(1, int(batch_mc))
     accuracies: List[float] = []

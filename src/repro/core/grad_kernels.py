@@ -72,6 +72,7 @@ import numpy as np
 
 from repro.core.kernels import (
     BIAS_VOLTAGE,
+    apply_nonideality,
     positive_route_mask,
     stable_sigmoid,
 )
@@ -81,8 +82,32 @@ from repro.core.params import (
     SurrogateParams,
     snapshot_surrogate,
 )
+from repro.core.variation import EpsilonLike, Perturbation
 
-Epsilons = Optional[Sequence[Tuple[Optional[np.ndarray], ...]]]
+Epsilons = Optional[Sequence[Tuple[Optional[EpsilonLike], ...]]]
+
+
+def apply_nonideality_bwd(
+    d_effective: np.ndarray, eps: EpsilonLike, axis: int = 0
+) -> np.ndarray:
+    """VJP of :func:`repro.core.kernels.apply_nonideality` onto the nominal
+    printed values, reducing the Monte-Carlo ``axis``.
+
+    For a bare multiplicative draw this is exactly the pre-refactor
+    ``(d_eff * ε).sum(axis)`` instruction.  For a
+    :class:`~repro.core.variation.Perturbation` the cotangent is scaled and
+    **zeroed through overridden devices** — a stuck conductance contributes
+    no gradient to the printed value it replaced, which is what makes
+    defect-aware training train around defects instead of fighting them.
+    ``axis=0`` serves the serial engine; the lane engine reduces ``axis=1``
+    (its leading axis is the lane stack).
+    """
+    if isinstance(eps, Perturbation):
+        grad = d_effective * eps.scale
+        if eps.override_mask is not None:
+            grad = np.where(eps.override_mask, 0.0, grad)
+        return grad.sum(axis=axis)
+    return (d_effective * eps).sum(axis=axis)
 
 
 # --------------------------------------------------------------------- #
@@ -685,9 +710,9 @@ class _LayerTape:
     """Per-layer saved intermediates of one recorded forward pass."""
 
     x_aug: np.ndarray
-    eps_theta: Optional[np.ndarray]
-    eps_act: Optional[np.ndarray]
-    eps_neg: Optional[np.ndarray]
+    eps_theta: Optional[EpsilonLike]
+    eps_act: Optional[EpsilonLike]
+    eps_neg: Optional[EpsilonLike]
     crossbar: tuple = ()
     neg_transfer: tuple = ()
     act_transfer: Optional[tuple] = None
@@ -796,7 +821,7 @@ class KernelNetwork:
         omega_printable, ctx_re = reassemble_omega_fwd(w_raw, self.space)
         omega = omega_printable[None]
         if epsilon is not None:
-            omega = omega * epsilon
+            omega = apply_nonideality(omega, epsilon)
         eta, ctx_sp = surrogate_eta_fwd(omega, sp)
         ctx = (ctx_re, omega, epsilon, ctx_sp) if record else None
         return eta, ctx
@@ -806,7 +831,7 @@ class KernelNetwork:
         ctx_re, _omega, epsilon, ctx_sp = ctx
         d_omega_scaled = surrogate_eta_bwd(d_eta, ctx_sp, sp)
         if epsilon is not None:
-            d_printable = (d_omega_scaled * epsilon).sum(axis=0)
+            d_printable = apply_nonideality_bwd(d_omega_scaled, epsilon, axis=0)
         else:
             d_printable = d_omega_scaled[0]
         return reassemble_omega_bwd(d_printable, ctx_re)
@@ -859,7 +884,7 @@ class KernelNetwork:
             printable = project_printable(theta_raw, meta.g_min, meta.g_max)
             theta_eff = printable[None]
             if eps_theta is not None:
-                theta_eff = theta_eff * eps_theta
+                theta_eff = apply_nonideality(theta_eff, eps_theta)
 
             eta_neg, neg_chain = self._eta_chain(
                 w_neg, eps_neg, self.neg_surrogate, record
@@ -923,7 +948,7 @@ class KernelNetwork:
                 grad, ctx.crossbar, ws=self.workspace, tag=f"bwd.l{index}"
             )
             if ctx.eps_theta is not None:
-                d_printable = (d_theta_eff * ctx.eps_theta).sum(axis=0)
+                d_printable = apply_nonideality_bwd(d_theta_eff, ctx.eps_theta, axis=0)
             else:
                 d_printable = d_theta_eff[0]
             grads[index].theta = d_printable          # straight-through projection

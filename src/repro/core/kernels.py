@@ -35,6 +35,8 @@ from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.variation import EpsilonLike, Perturbation, sample_role
+
 if TYPE_CHECKING:  # real imports would be cyclic and are not needed at runtime
     from repro.core.params import LayerParams, PNNParams, SurrogateParams
 
@@ -328,25 +330,51 @@ def surrogate_eta(omega: np.ndarray, surrogate: "SurrogateParams") -> np.ndarray
     raise ValueError(f"unknown surrogate backend {surrogate.backend!r}")
 
 
+def apply_nonideality(nominal: np.ndarray, eps: EpsilonLike) -> np.ndarray:
+    """Apply one sampled non-ideality draw to nominal printed values.
+
+    The single variation-application kernel shared by the crossbar θ and
+    circuit ω paths (serial, gradient and lane engines alike):
+
+    - a bare ``ndarray`` is a pure multiplicative factor — exactly the
+      pre-refactor ``nominal * eps`` instruction, which is what keeps the
+      default ε-only scenario bit-identical to recorded results;
+    - a :class:`~repro.core.variation.Perturbation` multiplies by its
+      ``scale`` and then pins overridden devices to ``sign(nominal) *
+      override_value`` (a stuck conductance keeps the crossbar routing
+      sign; a zero nominal entry stays zero).
+    """
+    if isinstance(eps, Perturbation):
+        effective = nominal * eps.scale
+        if eps.override_mask is not None:
+            effective = np.where(
+                eps.override_mask, np.sign(nominal) * eps.override_value, effective
+            )
+        return effective
+    return nominal * eps
+
+
 def circuit_eta(
     omega: np.ndarray,
     surrogate: "SurrogateParams",
-    epsilon_omega: Optional[np.ndarray] = None,
+    epsilon_omega: Optional[EpsilonLike] = None,
 ) -> np.ndarray:
     """η of one nonlinear circuit, optionally under printing variation.
 
     ``omega`` is the printable component matrix ``(n_circuits, 7)``;
-    ``epsilon_omega`` optionally multiplies it with per-sample factors
+    ``epsilon_omega`` optionally perturbs it with per-sample draws
     ``(n_mc, n_circuits, 7)`` (Fig. 5 step 4 — variation applies to the
     printable values).  Returns ``(n_mc | 1, n_circuits, 4)``.
     """
     n_circuits = omega.shape[0]
     omega = omega.reshape(1, n_circuits, 7)
     if epsilon_omega is not None:
-        eps = np.asarray(epsilon_omega, dtype=np.float64)
+        eps = epsilon_omega
+        if not isinstance(eps, Perturbation):
+            eps = np.asarray(eps, dtype=np.float64)
         if eps.ndim != 3 or eps.shape[1:] != (n_circuits, 7):
             raise ValueError("epsilon_omega must be (n_mc, n_circuits, 7)")
-        omega = omega * eps
+        omega = apply_nonideality(omega, eps)
     return surrogate_eta(omega, surrogate)
 
 
@@ -355,8 +383,10 @@ def circuit_eta(
 # --------------------------------------------------------------------- #
 
 #: One layer's variation draw: (ε_theta, ε_activation, ε_negweight).
+#: Each slot is a bare multiplicative factor array (legacy) or a
+#: generalized :class:`~repro.core.variation.Perturbation`.
 LayerEpsilons = Tuple[
-    Optional[np.ndarray], Optional[np.ndarray], Optional[np.ndarray]
+    Optional[EpsilonLike], Optional[EpsilonLike], Optional[EpsilonLike]
 ]
 
 
@@ -365,9 +395,9 @@ def layer_forward(
     layer: "LayerParams",
     act_surrogate: "SurrogateParams",
     neg_surrogate: "SurrogateParams",
-    epsilon_theta: Optional[np.ndarray] = None,
-    epsilon_act: Optional[np.ndarray] = None,
-    epsilon_neg: Optional[np.ndarray] = None,
+    epsilon_theta: Optional[EpsilonLike] = None,
+    epsilon_act: Optional[EpsilonLike] = None,
+    epsilon_neg: Optional[EpsilonLike] = None,
 ) -> np.ndarray:
     """One printed layer, autograd-free: Eq. 1 + (optionally) Eq. 2.
 
@@ -381,10 +411,12 @@ def layer_forward(
 
     theta_eff = layer.theta[None]                             # (1, I+2, O)
     if epsilon_theta is not None:
-        eps = np.asarray(epsilon_theta, dtype=np.float64)
+        eps = epsilon_theta
+        if not isinstance(eps, Perturbation):
+            eps = np.asarray(eps, dtype=np.float64)
         if eps.ndim != 3 or eps.shape[1:] != layer.theta.shape:
             raise ValueError("epsilon_theta must be (n_mc, in+2, out)")
-        theta_eff = theta_eff * eps                           # (N, I+2, O)
+        theta_eff = apply_nonideality(theta_eff, eps)         # (N, I+2, O)
 
     inv_eta = circuit_eta(layer.neg_omega, neg_surrogate, epsilon_neg)
     inverted = circuit_transfer(x_aug, inv_eta, "negweight")
@@ -404,10 +436,16 @@ def sample_layer_epsilons(variation, n_mc: int, layer: "LayerParams") -> LayerEp
     results depend on it) and analysis tools like
     :class:`repro.analysis.sensitivity._SelectiveVariation` identify
     component groups by their position in this 3-cycle.
+
+    Models implementing the :class:`~repro.core.variation.NonIdealityModel`
+    protocol are sampled through ``sample_perturbation`` with the matching
+    role hints; duck-typed legacy models fall back to bare ``sample`` —
+    either way the RNG stream is consumed in the same canonical order
+    (pinned by ``tests/core/test_sampling_order.py``).
     """
-    eps_theta = variation.sample(n_mc, layer.theta.shape)
-    eps_act = variation.sample(n_mc, (layer.act_omega.shape[0], 7))
-    eps_neg = variation.sample(n_mc, (layer.neg_omega.shape[0], 7))
+    eps_theta = sample_role(variation, n_mc, layer.theta.shape, "theta")
+    eps_act = sample_role(variation, n_mc, (layer.act_omega.shape[0], 7), "act")
+    eps_neg = sample_role(variation, n_mc, (layer.neg_omega.shape[0], 7), "neg")
     return eps_theta, eps_act, eps_neg
 
 

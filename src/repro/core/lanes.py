@@ -68,9 +68,11 @@ from repro.core.grad_kernels import (
     transfer_bwd,
     transfer_fwd,
 )
-from repro.core.kernels import BIAS_VOLTAGE
+from repro.core.grad_kernels import apply_nonideality_bwd
+from repro.core.kernels import BIAS_VOLTAGE, apply_nonideality
 from repro.core.params import PNNParams
 from repro.core.pnn import PrintedNeuralNetwork
+from repro.core.variation import EpsilonLike, eps_stack
 from repro.optim import EarlyStopping, RawParameter
 from repro.optim.lanes import LaneAdam
 
@@ -81,28 +83,32 @@ LANE_SHARED_FIELDS = (
     "lr_omega",
     "learnable_nonlinear",
     "epsilon",
+    "scenario",
     "n_mc_train",
     "max_epochs",
     "patience",
     "loss",
 )
 
-#: One lane's pre-drawn ε triples: list over layers of (ε_θ, ε_act, ε_neg).
-LaneEpsilons = Optional[List[Tuple[np.ndarray, np.ndarray, np.ndarray]]]
+#: One lane's pre-drawn ε triples: list over layers of (ε_θ, ε_act, ε_neg);
+#: each slot is a bare factor array or a generalized ``Perturbation``.
+LaneEpsilons = Optional[List[Tuple[EpsilonLike, EpsilonLike, EpsilonLike]]]
 
 
-def stack_epsilons(per_lane: Sequence[List[Tuple[np.ndarray, ...]]]):
+def stack_epsilons(per_lane: Sequence[List[Tuple[EpsilonLike, ...]]]):
     """Stack per-lane ε draws into lane-stacked triples.
 
     ``per_lane[l]`` is lane ``l``'s :func:`draw_epoch_epsilons` result
     (one ``(ε_θ, ε_act, ε_neg)`` triple per layer, leading axis ``n_mc``);
     the return value carries one triple per layer with leading axes
     ``(L, n_mc)``.  Stacking copies — lanes stay bitwise independent.
+    Perturbation slots (scenario models with overrides) stack field-wise
+    through :func:`~repro.core.variation.eps_stack`.
     """
     n_layers = len(per_lane[0])
     return [
         tuple(
-            np.stack([lane_draws[index][k] for lane_draws in per_lane])
+            eps_stack([lane_draws[index][k] for lane_draws in per_lane])
             for k in range(3)
         )
         for index in range(n_layers)
@@ -186,7 +192,7 @@ class LaneNetwork:
         omega_printable, ctx_re = reassemble_omega_fwd(w_raw, self.net.space)
         omega = omega_printable[:, None]                      # (L, 1, C, 7)
         if epsilon is not None:
-            omega = omega * epsilon                           # (L, N, C, 7)
+            omega = apply_nonideality(omega, epsilon)         # (L, N, C, 7)
         eta, ctx_sp = surrogate_eta_fwd(omega, sp)
         ctx = (ctx_re, omega, epsilon, ctx_sp) if record else None
         return eta, ctx
@@ -196,7 +202,7 @@ class LaneNetwork:
         ctx_re, _omega, epsilon, ctx_sp = ctx
         d_omega_scaled = surrogate_eta_bwd(d_eta, ctx_sp, sp)
         if epsilon is not None:
-            d_printable = (d_omega_scaled * epsilon).sum(axis=1)
+            d_printable = apply_nonideality_bwd(d_omega_scaled, epsilon, axis=1)
         else:
             d_printable = d_omega_scaled[:, 0]
         return reassemble_omega_bwd(d_printable, ctx_re)
@@ -250,7 +256,7 @@ class LaneNetwork:
             printable = project_printable(theta_raw, meta.g_min, meta.g_max)
             theta_eff = printable[:, None]                    # (L, 1, I, O)
             if eps_theta is not None:
-                theta_eff = theta_eff * eps_theta             # (L, N, I, O)
+                theta_eff = apply_nonideality(theta_eff, eps_theta)  # (L, N, I, O)
 
             eta_neg, neg_chain = self._eta_chain(
                 w_neg, eps_neg, self.net.neg_surrogate, record
@@ -313,7 +319,7 @@ class LaneNetwork:
                 grad, ctx.crossbar, ws=self.workspace, tag=f"lanes.bwd.l{index}"
             )
             if ctx.eps_theta is not None:
-                d_printable = (d_theta_eff * ctx.eps_theta).sum(axis=1)
+                d_printable = apply_nonideality_bwd(d_theta_eff, ctx.eps_theta, axis=1)
             else:
                 d_printable = d_theta_eff[:, 0]
             grads[index].theta = d_printable          # straight-through projection
@@ -416,10 +422,12 @@ def train_pnn_lanes(
         dataset/setup, so all lanes see the same data).
     configs:
         One :class:`~repro.core.training.TrainConfig` per lane.  All
-        fields except ``seed`` must agree (:data:`LANE_SHARED_FIELDS`);
-        ``verbose`` is ignored.  Variation/val-variation overrides (aging
-        models) are not supported on the lane path — use the serial
-        engine for those.
+        fields except ``seed`` must agree (:data:`LANE_SHARED_FIELDS` —
+        including ``scenario``: lane stacks carry per-lane draws of the
+        *same* non-ideality model class, seeded per lane).  ``verbose``
+        is ignored.  Explicit variation/val-variation model *objects*
+        (aging models) are not supported on the lane path — use the
+        serial engine for those; named scenarios ride the config.
 
     Returns
     -------
@@ -442,10 +450,10 @@ def train_pnn_lanes(
     # engine="lanes" dispatch, so the reverse import must be deferred.
     from repro.core.training import (
         TrainResult,
+        _training_variation,
         _validation_epsilons,
         draw_epoch_epsilons,
     )
-    from repro.core.variation import VariationModel
 
     pnns = list(pnns)
     configs = list(configs)
@@ -475,13 +483,11 @@ def train_pnn_lanes(
         groups.append({"params": omega_params, "lr": base.lr_omega})
     optimizer = LaneAdam(groups)
 
-    # Per-lane RNG streams: one variation model per lane, consumed only
+    # Per-lane RNG streams: one variation model per lane (scenario-built,
+    # legacy VariationModel for the default scenario), consumed only
     # while the lane is active — the serial loop's exact consumption.
-    sample_variation = base.variation_aware
-    variations = [
-        VariationModel(config.epsilon, seed=config.seed) if sample_variation else None
-        for config in configs
-    ]
+    variations = [_training_variation(config) for config in configs]
+    sample_variation = variations[0] is not None
     n_mc = base.n_mc_train if sample_variation else 1
 
     # Hoisted fixed validation ε per lane (seed + VALIDATION_SEED_OFFSET),

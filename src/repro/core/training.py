@@ -53,7 +53,13 @@ from repro.core.grad_kernels import KernelNetwork, ce_loss_fwd, margin_loss_fwd
 from repro.core.losses import MarginLoss, VoltageCrossEntropy, make_loss
 from repro.core.params import snapshot_params
 from repro.core.pnn import PrintedNeuralNetwork
-from repro.core.variation import VariationModel
+from repro.core.variation import (
+    DEFAULT_SCENARIO,
+    VariationModel,
+    build_scenario_model,
+    model_has_overrides,
+    sample_role,
+)
 from repro.optim import Adam, EarlyStopping, RawParameter
 
 #: Seed offset separating the fixed validation ε stream from training draws.
@@ -69,6 +75,12 @@ class TrainConfig:
     ``seed + VALIDATION_SEED_OFFSET`` (see ``docs/TRAINING.md`` §2).  In
     the lane tier every field except ``seed`` must agree across the
     stacked configs (``repro.core.lanes.LANE_SHARED_FIELDS``).
+
+    ``scenario`` names the non-ideality configuration to train under
+    (``repro.core.variation.SCENARIOS``).  The ``"default"`` scenario is
+    the legacy ε-only path — bit-identical to pre-scenario behavior; named
+    scenarios build their model through the registry (and may be
+    non-nominal even at ε = 0, e.g. stuck-at defects).
     """
 
     lr_theta: float = 0.1
@@ -81,6 +93,7 @@ class TrainConfig:
     loss: str = "margin"
     seed: int = 0
     verbose: bool = False
+    scenario: str = DEFAULT_SCENARIO
 
     @property
     def variation_aware(self) -> bool:
@@ -109,15 +122,50 @@ def draw_epoch_epsilons(variation, n_mc: int, pnn: PrintedNeuralNetwork):
     order :meth:`PrintedNeuralNetwork.forward` samples internally — so
     pre-drawing (for the kernel engine, or to freeze the validation set)
     consumes the RNG identically to the taped path.
+
+    Scenario models are sampled through ``sample_perturbation`` with the
+    canonical (θ, act, neg) role hints; duck-typed legacy models keep the
+    bare ``sample`` surface — the RNG stream order is identical either way
+    (``tests/core/test_sampling_order.py``).
     """
     return [
         (
-            variation.sample(n_mc, (layer.in_features + 2, layer.out_features)),
-            variation.sample(n_mc, (layer.activation.n_circuits, 7)),
-            variation.sample(n_mc, (layer.negation.n_circuits, 7)),
+            sample_role(
+                variation, n_mc, (layer.in_features + 2, layer.out_features), "theta"
+            ),
+            sample_role(variation, n_mc, (layer.activation.n_circuits, 7), "act"),
+            sample_role(variation, n_mc, (layer.negation.n_circuits, 7), "neg"),
         )
         for layer in pnn.layers
     ]
+
+
+def _training_variation(config: TrainConfig):
+    """The training-draw model for ``config``, or ``None`` for nominal runs.
+
+    The default scenario reproduces the legacy behavior byte for byte: a
+    ``VariationModel(config.epsilon, seed=config.seed)`` when ε > 0, no
+    sampling at all otherwise.  Named scenarios build their model through
+    the registry; a scenario model that is non-nominal even at ε = 0
+    (e.g. stuck-at defects) turns Monte-Carlo sampling on.
+    """
+    model = build_scenario_model(config.scenario, config.epsilon, seed=config.seed)
+    if model is None:
+        if not config.variation_aware:
+            return None
+        return VariationModel(config.epsilon, seed=config.seed)
+    return None if model.is_nominal else model
+
+
+def _validation_variation(config: TrainConfig):
+    """The validation-draw model at ``seed + VALIDATION_SEED_OFFSET``."""
+    val_seed = config.seed + VALIDATION_SEED_OFFSET
+    model = build_scenario_model(config.scenario, config.epsilon, seed=val_seed)
+    if model is None:
+        if not config.variation_aware:
+            return None
+        return VariationModel(config.epsilon, seed=val_seed)
+    return None if model.is_nominal else model
 
 
 def _validation_epsilons(pnn: PrintedNeuralNetwork, config: TrainConfig, val_variation):
@@ -132,10 +180,8 @@ def _validation_epsilons(pnn: PrintedNeuralNetwork, config: TrainConfig, val_var
     must compare parameter progress, not fresh sampling noise.
     """
     variation = val_variation
-    if variation is None and config.variation_aware:
-        variation = VariationModel(
-            config.epsilon, seed=config.seed + VALIDATION_SEED_OFFSET
-        )
+    if variation is None:
+        variation = _validation_variation(config)
     if variation is None or variation.is_nominal:
         return None
     return draw_epoch_epsilons(variation, config.n_mc_train, pnn)
@@ -184,8 +230,16 @@ def train_pnn(
         )[0]
 
     train_variation = variation
-    if train_variation is None and config.variation_aware:
-        train_variation = VariationModel(config.epsilon, seed=config.seed)
+    if train_variation is None:
+        train_variation = _training_variation(config)
+    if engine == "autograd" and (
+        model_has_overrides(train_variation) or model_has_overrides(val_variation)
+    ):
+        raise ValueError(
+            "engine='autograd' supports multiplicative non-idealities only; "
+            "override-carrying models (stuck-at defects) need engine='kernel' "
+            "or engine='lanes'"
+        )
     n_mc = 1
     if train_variation is not None and not train_variation.is_nominal:
         n_mc = config.n_mc_train
@@ -424,10 +478,8 @@ def _validation_loss(
     """
     if epsilons is None:
         variation = val_variation
-        if variation is None and config.variation_aware:
-            variation = VariationModel(
-                config.epsilon, seed=config.seed + VALIDATION_SEED_OFFSET
-            )
+        if variation is None:
+            variation = _validation_variation(config)
         if variation is not None and not variation.is_nominal:
             epsilons = draw_epoch_epsilons(variation, config.n_mc_train, pnn)
 

@@ -1,26 +1,190 @@
-"""Printing-variation model (Sec. III-C).
+"""Printed-hardware non-idealities (Sec. III-C and extensions).
 
-Printing variation is dominated by the finite printing resolution, so every
-printed value is perturbed multiplicatively by an i.i.d. factor
+The paper models printing variation as an i.i.d. multiplicative factor
 
     ε ~ U[1 − ϵ, 1 + ϵ]
 
 where ϵ reflects the printing precision (the paper evaluates ϵ ∈ {0%, 5%,
-10%}).  The same model perturbs the crossbar conductances θ and the
-printable component values ω of the nonlinear circuits.
+10%}), applied to the crossbar conductances θ and the printable component
+values ω of the nonlinear circuits.  Real printed hardware exhibits
+non-idealities that are *not* expressible as an independent multiplicative
+factor — stuck-on/stuck-off conductance defects and spatially-correlated
+printing variation (Bayat et al., "Advancing Memristive Analog Neuromorphic
+Networks") — so this module generalizes the seam:
+
+- :class:`NonIdealityModel` is the isinstance-checkable protocol every
+  model implements.  ``sample`` keeps the legacy multiplicative surface;
+  ``sample_perturbation`` is the generalized form and may return a
+  :class:`Perturbation` carrying per-device overrides.
+- :class:`Perturbation` is one sampled draw: a multiplicative ``scale``
+  plus an optional ``(override_mask, override_value)`` pair.  A **bare
+  ndarray remains a valid draw** (a pure multiplicative perturbation) so
+  the legacy ε-only path executes byte-for-byte the pre-refactor
+  arithmetic — the bit-identity gate of ``docs/TRAINING.md`` §2.
+- :class:`ComposedModel` chains models over the same devices (scales
+  multiply; a later model's override wins).
+- The scenario registry (:data:`SCENARIOS`, :func:`build_scenario_model`)
+  names the non-ideality configurations reachable from the experiments
+  CLI; ``"default"`` builds *no* model object at all, keeping the legacy
+  code path untouched.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 
-class VariationModel:
-    """Sampler for multiplicative uniform printing variation."""
+@dataclass(frozen=True)
+class Perturbation:
+    """One sampled non-ideality draw over a ``(n_mc, *device_shape)`` block.
 
-    def __init__(self, epsilon: float, rng: Optional[np.random.Generator] = None, seed: Optional[int] = None):
+    ``effective = nominal * scale`` everywhere ``override_mask`` is False;
+    where it is True the device is pinned to ``sign(nominal) *
+    override_value`` instead (magnitude override — a stuck conductance
+    keeps the routing sign of the crossbar entry it replaces).  Gradients
+    must not flow through overridden devices; the VJP helpers in
+    ``core.grad_kernels`` zero them.
+
+    ``shape``/``ndim``/``__getitem__`` proxy the leading Monte-Carlo axis
+    of every field so code written against bare ε arrays (chunk slicing,
+    lane compaction) works unchanged on a :class:`Perturbation`.
+    """
+
+    scale: np.ndarray
+    override_mask: Optional[np.ndarray] = None
+    override_value: Optional[np.ndarray] = None
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.scale.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.scale.ndim
+
+    def __getitem__(self, index) -> "Perturbation":
+        return Perturbation(
+            self.scale[index],
+            None if self.override_mask is None else self.override_mask[index],
+            None if self.override_value is None else self.override_value[index],
+        )
+
+
+#: One slot of a layer's (θ, act, neg) triple: a bare multiplicative
+#: factor array (legacy) or a generalized :class:`Perturbation`.
+EpsilonLike = Union[np.ndarray, Perturbation]
+
+#: The roles a per-layer draw triple is sampled in — canonical order.
+EPSILON_ROLES: Tuple[str, ...] = ("theta", "act", "neg")
+
+
+def _zeros_like_mask(scale: np.ndarray) -> np.ndarray:
+    return np.zeros(scale.shape, dtype=bool)
+
+
+def _combine(parts: Sequence[EpsilonLike], join) -> EpsilonLike:
+    if all(isinstance(p, np.ndarray) for p in parts):
+        return join(list(parts))
+    scales = [p.scale if isinstance(p, Perturbation) else p for p in parts]
+    scale = join(scales)
+    if all(not isinstance(p, Perturbation) or p.override_mask is None
+           for p in parts):
+        return Perturbation(scale)
+    masks, values = [], []
+    for p, s in zip(parts, scales):
+        if isinstance(p, Perturbation) and p.override_mask is not None:
+            masks.append(p.override_mask)
+            values.append(p.override_value)
+        else:
+            masks.append(_zeros_like_mask(s))
+            values.append(np.zeros(s.shape))
+    return Perturbation(scale, join(masks), join(values))
+
+
+def eps_concat(parts: Sequence[EpsilonLike], axis: int = 0) -> EpsilonLike:
+    """Concatenate draw blocks along the Monte-Carlo axis.
+
+    Bare arrays take exactly the legacy ``np.concatenate`` path;
+    perturbations concatenate field-wise (absent masks fill with zeros).
+    """
+    return _combine(parts, lambda arrays: np.concatenate(arrays, axis=axis))
+
+
+def eps_stack(parts: Sequence[EpsilonLike], axis: int = 0) -> EpsilonLike:
+    """Stack per-lane draws on a new leading lane axis (lane tier)."""
+    return _combine(parts, lambda arrays: np.stack(arrays, axis=axis))
+
+
+class NonIdealityModel(ABC):
+    """Protocol for sampled printed-hardware non-idealities.
+
+    Implementations provide ``is_nominal`` and ``sample`` (the legacy
+    multiplicative surface).  Models whose effect is not a bare
+    multiplicative factor override :meth:`sample_perturbation` and raise
+    ``TypeError`` from :meth:`sample`; consumers that can apply overrides
+    (the kernel and lane engines) always call ``sample_perturbation``.
+    """
+
+    @property
+    @abstractmethod
+    def is_nominal(self) -> bool:
+        """True when sampling is a deterministic no-op (exact ones)."""
+
+    @abstractmethod
+    def sample(self, n_mc: int, shape: Sequence[int]) -> np.ndarray:
+        """Draw ``(n_mc, *shape)`` multiplicative factors."""
+
+    def sample_perturbation(self, n_mc: int, shape: Sequence[int],
+                            role: str = "theta") -> EpsilonLike:
+        """Draw the generalized perturbation for one ``role`` slot.
+
+        ``role`` is one of :data:`EPSILON_ROLES` — ``"theta"`` for crossbar
+        conductances, ``"act"``/``"neg"`` for printable circuit component
+        values ω.  The default delegates to :meth:`sample`, so purely
+        multiplicative models consume their RNG stream exactly as before
+        the pipeline refactor.
+        """
+        return self.sample(n_mc, shape)
+
+    @property
+    def has_overrides(self) -> bool:
+        """True when draws may carry ``override_mask`` entries."""
+        return False
+
+
+def sample_role(model, n_mc: int, shape: Sequence[int], role: str) -> EpsilonLike:
+    """Draw one (θ | act | neg) slot from ``model``.
+
+    Routes through ``sample_perturbation`` when the model provides it and
+    falls back to the bare ``sample`` surface for duck-typed legacy models,
+    preserving their RNG consumption.
+    """
+    fn = getattr(model, "sample_perturbation", None)
+    if fn is None:
+        return model.sample(n_mc, shape)
+    return fn(n_mc, shape, role=role)
+
+
+def model_has_overrides(model) -> bool:
+    """Whether ``model`` may emit override-carrying perturbations."""
+    return bool(getattr(model, "has_overrides", False))
+
+
+class _EpsilonFamilyModel(NonIdealityModel):
+    """Shared plumbing of the multiplicative ε families.
+
+    Epsilon validation, RNG setup, ``is_nominal`` and the ``sample``
+    skeleton used to be copy-pasted between :class:`VariationModel` and
+    :class:`GaussianVariationModel`; subclasses now only supply
+    :meth:`_draw`.
+    """
+
+    def __init__(self, epsilon: float, rng: Optional[np.random.Generator] = None,
+                 seed: Optional[int] = None):
         if epsilon < 0 or epsilon >= 1:
             raise ValueError("epsilon must be in [0, 1)")
         self.epsilon = float(epsilon)
@@ -43,6 +207,17 @@ class VariationModel:
         full_shape = (n_mc, *tuple(int(s) for s in shape))
         if self.is_nominal:
             return np.ones(full_shape)
+        return self._draw(full_shape)
+
+    @abstractmethod
+    def _draw(self, full_shape: Tuple[int, ...]) -> np.ndarray:
+        """Draw the non-nominal factors for one ``(n_mc, *shape)`` block."""
+
+
+class VariationModel(_EpsilonFamilyModel):
+    """Sampler for multiplicative uniform printing variation (the paper's)."""
+
+    def _draw(self, full_shape: Tuple[int, ...]) -> np.ndarray:
         return self.rng.uniform(1.0 - self.epsilon, 1.0 + self.epsilon, size=full_shape)
 
 
@@ -50,7 +225,7 @@ class VariationModel:
 PAPER_EPSILONS: Tuple[float, ...] = (0.0, 0.05, 0.10)
 
 
-class GaussianVariationModel:
+class GaussianVariationModel(_EpsilonFamilyModel):
     """Gaussian alternative to the paper's uniform variation (extension).
 
     The paper motivates ``U[1−ϵ, 1+ϵ]`` with the limited printing
@@ -62,11 +237,104 @@ class GaussianVariationModel:
 
     def __init__(self, epsilon: float, rng: Optional[np.random.Generator] = None,
                  seed: Optional[int] = None):
+        super().__init__(epsilon, rng=rng, seed=seed)
+        self.sigma = self.epsilon / np.sqrt(3.0)
+
+    def _draw(self, full_shape: Tuple[int, ...]) -> np.ndarray:
+        draws = self.rng.normal(1.0, self.sigma, size=full_shape)
+        return np.clip(draws, 1.0 - 3.0 * self.sigma, 1.0 + 3.0 * self.sigma)
+
+
+class StuckAtModel(NonIdealityModel):
+    """Bernoulli stuck-on/stuck-off conductance defects.
+
+    Each crossbar device is independently stuck-on (pinned to ``g_max``)
+    with probability ``p_stuck_on`` or stuck-off (pinned to ``g_min``) with
+    probability ``p_stuck_off`` — the imperfect-hardware model of Bayat et
+    al.  Defects override the printed magnitude, so they surface as
+    :class:`Perturbation` masks rather than scale factors; the printable
+    circuit components ω (``role`` ``"act"``/``"neg"``) are unaffected and
+    consume no RNG.  Defaults clamp to the ``ConductanceConfig`` surrogate
+    design-space bounds (g_min=0.01, g_max=10.0).
+    """
+
+    def __init__(self, p_stuck_on: float = 0.005, p_stuck_off: float = 0.005,
+                 g_min: float = 0.01, g_max: float = 10.0,
+                 rng: Optional[np.random.Generator] = None,
+                 seed: Optional[int] = None):
+        if p_stuck_on < 0 or p_stuck_off < 0 or p_stuck_on + p_stuck_off > 1:
+            raise ValueError("stuck probabilities must be >= 0 and sum to <= 1")
+        if not 0 < g_min < g_max:
+            raise ValueError("need 0 < g_min < g_max")
+        self.p_stuck_on = float(p_stuck_on)
+        self.p_stuck_off = float(p_stuck_off)
+        self.g_min = float(g_min)
+        self.g_max = float(g_max)
+        if rng is None:
+            rng = np.random.default_rng(seed)
+        self.rng = rng
+
+    @property
+    def is_nominal(self) -> bool:
+        return self.p_stuck_on == 0.0 and self.p_stuck_off == 0.0
+
+    @property
+    def has_overrides(self) -> bool:
+        return not self.is_nominal
+
+    def sample(self, n_mc: int, shape: Sequence[int]) -> np.ndarray:
+        raise TypeError(
+            "stuck-at defects are not expressible as multiplicative factors; "
+            "use sample_perturbation() (the kernel and lane engines do)"
+        )
+
+    def sample_perturbation(self, n_mc: int, shape: Sequence[int],
+                            role: str = "theta") -> EpsilonLike:
+        if n_mc < 1:
+            raise ValueError("n_mc must be >= 1")
+        full_shape = (n_mc, *tuple(int(s) for s in shape))
+        scale = np.ones(full_shape)
+        if role != "theta" or self.is_nominal:
+            return scale
+        draw = self.rng.uniform(size=full_shape)
+        stuck_on = draw < self.p_stuck_on
+        stuck_off = (draw >= self.p_stuck_on) & (draw < self.p_stuck_on + self.p_stuck_off)
+        mask = stuck_on | stuck_off
+        value = np.where(stuck_on, self.g_max, self.g_min)
+        from repro import telemetry
+
+        tel = telemetry.get()
+        tel.count("defects.applied", int(mask.sum()))
+        tel.count("defects.sampled", int(mask.size))
+        return Perturbation(scale, mask, value)
+
+
+class CorrelatedVariationModel(NonIdealityModel):
+    """Spatially-correlated printing variation (shared blockwise factors).
+
+    Printing heads drift slowly, so neighbouring devices err together.  A
+    fraction ``correlation`` of the total variance (``σ = ϵ/√3``, variance-
+    matched to the paper's uniform model) is carried by factors shared
+    across the crossbar: half of it by one per-draw global factor and a
+    quarter each by per-row and per-column factors (a rank-1 blockwise
+    structure); the remaining ``1 − correlation`` stays i.i.d. per device.
+    Non-2D shapes (the ω vectors) split global/local only.  Draws clip at
+    ±3σ like the Gaussian family.
+    """
+
+    def __init__(self, epsilon: float, correlation: float = 0.5,
+                 rng: Optional[np.random.Generator] = None,
+                 seed: Optional[int] = None):
         if epsilon < 0 or epsilon >= 1:
             raise ValueError("epsilon must be in [0, 1)")
+        if not 0.0 <= correlation <= 1.0:
+            raise ValueError("correlation must be in [0, 1]")
         self.epsilon = float(epsilon)
+        self.correlation = float(correlation)
         self.sigma = self.epsilon / np.sqrt(3.0)
-        self.rng = rng if rng is not None else np.random.default_rng(seed)
+        if rng is None:
+            rng = np.random.default_rng(seed)
+        self.rng = rng
 
     @property
     def is_nominal(self) -> bool:
@@ -75,8 +343,156 @@ class GaussianVariationModel:
     def sample(self, n_mc: int, shape: Sequence[int]) -> np.ndarray:
         if n_mc < 1:
             raise ValueError("n_mc must be >= 1")
-        full_shape = (n_mc, *tuple(int(s) for s in shape))
+        shape = tuple(int(s) for s in shape)
+        full_shape = (n_mc, *shape)
         if self.is_nominal:
             return np.ones(full_shape)
-        draws = self.rng.normal(1.0, self.sigma, size=full_shape)
-        return np.clip(draws, 1.0 - 3.0 * self.sigma, 1.0 + 3.0 * self.sigma)
+        rho, sigma = self.correlation, self.sigma
+        if len(shape) == 2:
+            rows, cols = shape
+            parts = (
+                (np.sqrt(rho / 2.0) * sigma, (n_mc, 1, 1)),
+                (np.sqrt(rho / 4.0) * sigma, (n_mc, rows, 1)),
+                (np.sqrt(rho / 4.0) * sigma, (n_mc, 1, cols)),
+                (np.sqrt(1.0 - rho) * sigma, full_shape),
+            )
+        else:
+            parts = (
+                (np.sqrt(rho) * sigma, (n_mc, *(1,) * len(shape))),
+                (np.sqrt(1.0 - rho) * sigma, full_shape),
+            )
+        draws = np.ones(full_shape)
+        for amplitude, part_shape in parts:
+            draws = draws + amplitude * self.rng.standard_normal(part_shape)
+        return np.clip(draws, 1.0 - 3.0 * sigma, 1.0 + 3.0 * sigma)
+
+
+class ComposedModel(NonIdealityModel):
+    """Chain of non-ideality models acting on the same devices.
+
+    Multiplicative scales compose by multiplication in listed order; where
+    models carry overrides, a **later model's override wins** and overrides
+    always win over scales at apply time (``kernels.apply_nonideality``).
+    Subsumes the ad-hoc composition ``core.aging.CompositeVariation`` used
+    to hand-roll.
+    """
+
+    def __init__(self, *models: NonIdealityModel):
+        if not models:
+            raise ValueError("ComposedModel needs at least one model")
+        self.models = tuple(models)
+
+    @property
+    def is_nominal(self) -> bool:
+        return all(model.is_nominal for model in self.models)
+
+    @property
+    def has_overrides(self) -> bool:
+        return any(model_has_overrides(model) for model in self.models)
+
+    def sample(self, n_mc: int, shape: Sequence[int]) -> np.ndarray:
+        """Product of the component factor draws (legacy composition)."""
+        combined = np.ones((n_mc, *tuple(int(s) for s in shape)))
+        for model in self.models:
+            combined = combined * model.sample(n_mc, shape)
+        return combined
+
+    def sample_perturbation(self, n_mc: int, shape: Sequence[int],
+                            role: str = "theta") -> EpsilonLike:
+        scale: Optional[np.ndarray] = None
+        mask: Optional[np.ndarray] = None
+        value: Optional[np.ndarray] = None
+        for model in self.models:
+            drawn = sample_role(model, n_mc, shape, role)
+            if isinstance(drawn, Perturbation):
+                part_scale = drawn.scale
+                part_mask, part_value = drawn.override_mask, drawn.override_value
+            else:
+                part_scale, part_mask, part_value = drawn, None, None
+            scale = part_scale if scale is None else scale * part_scale
+            if part_mask is not None:
+                if mask is None:
+                    mask = part_mask.copy()
+                    value = np.where(part_mask, part_value, 0.0)
+                else:
+                    value = np.where(part_mask, part_value, value)
+                    mask = mask | part_mask
+        if mask is None:
+            return scale
+        return Perturbation(scale, mask, value)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, CLI-reachable non-ideality configuration.
+
+    ``build(epsilon, seed)`` returns the model to train/evaluate with, or
+    ``None`` for the default scenario — the experiments layer then takes
+    its pre-refactor legacy branch, which is what keeps the default
+    bit-identical to recorded results.
+    """
+
+    name: str
+    description: str
+    build: Callable[[float, Optional[int]], Optional[NonIdealityModel]] = field(repr=False)
+
+
+#: The scenario the whole pre-refactor stack is equivalent to.
+DEFAULT_SCENARIO = "default"
+
+#: Separates the defect RNG stream from the ε stream of the same seed.
+_DEFECT_SEED_OFFSET = 60013
+
+
+def _build_default(epsilon: float, seed: Optional[int]) -> None:
+    return None
+
+
+def _build_gaussian(epsilon: float, seed: Optional[int]) -> GaussianVariationModel:
+    return GaussianVariationModel(epsilon, seed=seed)
+
+
+def _build_stuck(epsilon: float, seed: Optional[int]) -> ComposedModel:
+    defect_seed = None if seed is None else seed + _DEFECT_SEED_OFFSET
+    return ComposedModel(
+        VariationModel(epsilon, seed=seed),
+        StuckAtModel(p_stuck_on=0.005, p_stuck_off=0.005, seed=defect_seed),
+    )
+
+
+def _build_correlated(epsilon: float, seed: Optional[int]) -> CorrelatedVariationModel:
+    return CorrelatedVariationModel(epsilon, correlation=0.5, seed=seed)
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    "default": Scenario(
+        "default", "i.i.d. multiplicative U[1−ϵ, 1+ϵ] (paper baseline)", _build_default),
+    "gaussian": Scenario(
+        "gaussian", "variance-matched Gaussian ε, truncated at ±3σ", _build_gaussian),
+    "stuck-1pct": Scenario(
+        "stuck-1pct", "uniform ε composed with 1% stuck-on/off conductance defects",
+        _build_stuck),
+    "correlated": Scenario(
+        "correlated", "spatially-correlated printing variation (ρ=0.5 shared factors)",
+        _build_correlated),
+}
+
+
+def scenario_names() -> Tuple[str, ...]:
+    return tuple(SCENARIOS)
+
+
+def build_scenario_model(name: str, epsilon: float,
+                         seed: Optional[int] = None) -> Optional[NonIdealityModel]:
+    """Build the non-ideality model for scenario ``name`` at level ``epsilon``.
+
+    Returns ``None`` for the default scenario: callers must then follow the
+    legacy ε-only branch (``VariationModel`` construction inline), which is
+    pinned bit-identical to pre-refactor behavior.
+    """
+    try:
+        scenario = SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise ValueError(f"unknown scenario {name!r}; known scenarios: {known}") from None
+    return scenario.build(epsilon, seed)

@@ -46,7 +46,13 @@ from repro.experiments.jobs import (
 from repro.experiments.cache import ResultCache, RunJournal, job_digest
 from repro.experiments.parallel import run_table2_parallel
 from repro.experiments.report import render_telemetry_report
-from repro.experiments.tables import render_table2, render_table3, summarize_table3
+from repro.experiments.tables import (
+    render_scenario_grid,
+    render_table2,
+    render_table3,
+    split_by_scenario,
+    summarize_table3,
+)
 from repro.experiments.ablation import improvement_summary
 
 __all__ = [
@@ -72,6 +78,8 @@ __all__ = [
     "run_table2",
     "render_table2",
     "render_table3",
+    "render_scenario_grid",
+    "split_by_scenario",
     "render_telemetry_report",
     "summarize_table3",
     "improvement_summary",

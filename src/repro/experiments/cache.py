@@ -50,6 +50,7 @@ import numpy as np
 from repro import telemetry
 from repro.core import load_params, load_pnn, save_params, snapshot_params
 from repro.core.params import PNNParams
+from repro.core.variation import DEFAULT_SCENARIO
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.jobs import SPLIT_SEED, JobKey, JobOutcome
 
@@ -67,7 +68,10 @@ def job_digest(
 
     The digest covers everything that determines the trained design:
 
-    - the job key ``(dataset, setup flags, train ϵ, seed)``;
+    - the job key ``(dataset, setup flags, train ϵ, seed)`` — plus the
+      scenario name for non-default scenarios.  Default-scenario keys
+      hash the historical 5-element tuple, so every digest recorded
+      before scenarios existed still hits;
     - the training-relevant :class:`ExperimentConfig` fields (see
       :meth:`ExperimentConfig.training_fingerprint` — ``seeds`` and
       ``n_test`` are deliberately *not* part of it);
@@ -91,9 +95,12 @@ def job_digest(
     str
         A 64-hex-digit digest; equal digests ⇒ bit-identical outcomes.
     """
+    job = key.astuple()
+    if key.scenario == DEFAULT_SCENARIO:
+        job = job[:5]
     payload = {
         "schema": CACHE_SCHEMA,
-        "job": key.astuple(),
+        "job": job,
         "train": config.training_fingerprint(),
         "surrogates": surrogate_fp,
         "split_seed": split_seed,
@@ -151,6 +158,9 @@ class ResultCache:
         The returned outcome has ``params=None`` and ``cache_hit=True``;
         materialize the design itself with :meth:`load_design` only when
         it is actually needed (i.e. for the best seed of a group).
+        Sidecars written before scenarios existed carry a 5-element key
+        list; :class:`JobKey` fills the trailing scenario with its
+        default.
         """
         meta = self.load_meta(digest)
         tel = telemetry.get()
@@ -256,6 +266,7 @@ class RunJournal:
             "variation_aware": outcome.key.variation_aware,
             "train_eps": outcome.key.train_eps,
             "seed": outcome.key.seed,
+            "scenario": outcome.key.scenario,
             "wall_time": outcome.wall_time,
             "epochs_run": outcome.epochs_run,
             "best_epoch": outcome.best_epoch,

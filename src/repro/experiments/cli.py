@@ -21,6 +21,14 @@ re-run — or a run interrupted and restarted — re-trains nothing)::
     python -m repro.experiments.cli table2 --profile smoke --datasets iris \
         --workers 4 --cache-dir artifacts/table2_cache
 
+Sweep non-ideality scenarios (each trains + evaluates its own grid; the
+``gaussian`` scenario swaps the uniform ε model for the Gaussian one,
+``stuck-1pct`` adds ~1% stuck-at conductance defects, ``correlated``
+applies spatially-correlated printing variation)::
+
+    python -m repro.experiments.cli table2 --profile smoke --datasets iris \
+        --scenario default --scenario stuck-1pct
+
 Record structured telemetry while running, then inspect it::
 
     python -m repro.experiments.cli table2 --profile smoke --datasets iris \
@@ -36,6 +44,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro import default_artifacts_dir, get_default_bundle, telemetry
+from repro.core.variation import DEFAULT_SCENARIO, scenario_names
 from repro.datasets import DATASET_NAMES
 from repro.experiments.ablation import improvement_summary
 from repro.experiments.cache import ResultCache
@@ -43,7 +52,11 @@ from repro.experiments.config import PROFILES, Setup
 from repro.experiments.parallel import run_table2_parallel
 from repro.experiments.report import render_telemetry_report
 from repro.experiments.runner import run_cell
-from repro.experiments.tables import render_table2, render_table3
+from repro.experiments.tables import (
+    render_scenario_grid,
+    render_table3,
+    split_by_scenario,
+)
 
 
 def _add_profile(parser: argparse.ArgumentParser) -> None:
@@ -100,6 +113,11 @@ def _build_parser() -> argparse.ArgumentParser:
                              "setup, ϵ_train) group into lanes; 'off' "
                              "recovers the historical per-job scheduling "
                              "(default: setup)")
+    table2.add_argument("--scenario", action="append", dest="scenarios",
+                        choices=scenario_names(), metavar="NAME", default=None,
+                        help="non-ideality scenario to sweep (repeatable); "
+                             "choices: " + ", ".join(scenario_names()) + " "
+                             "(default: default ε-only)")
 
     report = commands.add_parser(
         "report", help="aggregate summary of a recorded telemetry run"
@@ -149,6 +167,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 return 2
             cache = ResultCache(cache_dir)
         lane_width = 1 if args.lane_grouping == "off" else max(1, args.lane_width)
+        scenarios = tuple(dict.fromkeys(args.scenarios or (DEFAULT_SCENARIO,)))
         if args.telemetry:
             telemetry.enable(args.telemetry, manifest={
                 "command": "table2",
@@ -157,18 +176,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "workers": args.workers,
                 "seeds": list(profile.seeds),
                 "lane_width": lane_width,
+                "scenarios": list(scenarios),
             })
         results = run_table2_parallel(
             args.datasets, profile, surrogates=bundle,
             workers=args.workers, cache=cache,
             progress=lambda msg: print(f"[run] {msg}", file=sys.stderr),
             lane_width=lane_width,
+            scenarios=scenarios,
         )
-        print(render_table2(results))
+        print(render_scenario_grid(results))
         print()
-        print(render_table3(results))
-        for summary in improvement_summary(results).values():
-            print(summary)
+        # Table III and the §IV-D summary are per-scenario analyses.
+        for scenario, cells in split_by_scenario(results).items():
+            if len(scenarios) > 1:
+                print(f"=== scenario: {scenario} ===")
+            print(render_table3(cells))
+            for summary in improvement_summary(cells).values():
+                print(summary)
         return 0
 
     return 1   # pragma: no cover - argparse enforces the command set

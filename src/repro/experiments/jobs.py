@@ -6,7 +6,7 @@ can run in any order — or concurrently — without changing a single bit of
 the result.  This module defines the unit of work:
 
 - :class:`JobKey` — a frozen, hashable identifier
-  ``(dataset, setup, train ϵ, seed)`` for one training run;
+  ``(dataset, setup, train ϵ, seed, scenario)`` for one training run;
 - :func:`enumerate_jobs` — the deduplicated job list for a set of
   datasets (nominal setups train once with ϵ = 0 and are shared across
   both test ϵ columns, exactly like the serial runner's ``trained`` dict);
@@ -43,6 +43,7 @@ from repro import telemetry
 from repro.core import PrintedNeuralNetwork, TrainConfig, train_pnn
 from repro.core.lanes import train_pnn_lanes
 from repro.core.params import PNNParams, snapshot_params
+from repro.core.variation import DEFAULT_SCENARIO
 from repro.datasets import load_splits
 from repro.datasets.base import DatasetSplits
 from repro.experiments.config import SETUPS, TEST_EPSILONS, ExperimentConfig, Setup
@@ -72,6 +73,11 @@ class JobKey:
     seed:
         The random seed owning this training run (network init +
         variation sampling).
+    scenario:
+        Named non-ideality scenario from
+        :data:`repro.core.variation.SCENARIOS`.  Appended with a default
+        so pre-scenario call sites (and cached 5-element key metadata)
+        keep working positionally.
     """
 
     dataset: str
@@ -79,6 +85,7 @@ class JobKey:
     variation_aware: bool
     train_eps: float
     seed: int
+    scenario: str = DEFAULT_SCENARIO
 
     @property
     def setup(self) -> Setup:
@@ -86,16 +93,19 @@ class JobKey:
         return Setup(learnable=self.learnable, variation_aware=self.variation_aware)
 
     @property
-    def group(self) -> Tuple[str, bool, bool, float]:
-        """Training-group key: all seeds of one ``(dataset, setup, train ϵ)``.
+    def group(self) -> Tuple[str, bool, bool, float, str]:
+        """Training-group key: all seeds of one ``(dataset, setup, train ϵ, scenario)``.
 
         The best-of-seeds selection and the serial runner's ``trained``
         dict both operate at this granularity.
         """
-        return (self.dataset, self.learnable, self.variation_aware, self.train_eps)
+        return (
+            self.dataset, self.learnable, self.variation_aware,
+            self.train_eps, self.scenario,
+        )
 
-    def astuple(self) -> Tuple[str, bool, bool, float, int]:
-        """The key as a plain tuple (stable field order)."""
+    def astuple(self) -> Tuple[str, bool, bool, float, int, str]:
+        """The key as a plain tuple (stable field order, scenario last)."""
         return tuple(getattr(self, f.name) for f in fields(self))
 
 
@@ -164,39 +174,51 @@ def iter_cells(datasets: List[str]) -> Iterator[Tuple[str, Setup, float]]:
                 yield dataset, setup, eps_test
 
 
-def enumerate_jobs(datasets: List[str], config: ExperimentConfig) -> List[JobKey]:
+def enumerate_jobs(
+    datasets: List[str],
+    config: ExperimentConfig,
+    scenarios: Tuple[str, ...] = (DEFAULT_SCENARIO,),
+) -> List[JobKey]:
     """The deduplicated training jobs behind a Table-II run.
 
     Nominal setups share a single ϵ = 0 training across both test ϵ
     columns — the on-disk analogue of the serial runner's ``trained``
     dict — so 4 setups × 2 test ϵ collapse to 6 training groups per
-    dataset, each fanned out over ``config.seeds``.
+    dataset, each fanned out over ``config.seeds``.  Each scenario gets
+    its own full grid (scenario-major order), since a scenario changes
+    what the training optimizes against.
 
     Returns
     -------
     list of JobKey
-        In deterministic cell order, then seed order; every key is
-        hashable and unique.
+        In deterministic scenario order, then cell order, then seed
+        order; every key is hashable and unique.
     """
     jobs: List[JobKey] = []
     seen = set()
-    for dataset, setup, eps_test in iter_cells(datasets):
-        group = (dataset, setup.learnable, setup.variation_aware, train_epsilon(setup, eps_test))
-        if group in seen:
-            continue
-        seen.add(group)
-        for seed in config.seeds:
-            key = JobKey(
-                dataset=dataset,
-                learnable=setup.learnable,
-                variation_aware=setup.variation_aware,
-                train_eps=train_epsilon(setup, eps_test),
-                seed=int(seed),
+    for scenario in scenarios:
+        for dataset, setup, eps_test in iter_cells(datasets):
+            group = (
+                dataset, setup.learnable, setup.variation_aware,
+                train_epsilon(setup, eps_test), scenario,
             )
-            assert isinstance(hash(key), int) and key.astuple() == (
-                key.dataset, key.learnable, key.variation_aware, key.train_eps, key.seed,
-            ), "job keys must be hashable dataclass tuples"
-            jobs.append(key)
+            if group in seen:
+                continue
+            seen.add(group)
+            for seed in config.seeds:
+                key = JobKey(
+                    dataset=dataset,
+                    learnable=setup.learnable,
+                    variation_aware=setup.variation_aware,
+                    train_eps=train_epsilon(setup, eps_test),
+                    seed=int(seed),
+                    scenario=scenario,
+                )
+                assert isinstance(hash(key), int) and key.astuple() == (
+                    key.dataset, key.learnable, key.variation_aware,
+                    key.train_eps, key.seed, key.scenario,
+                ), "job keys must be hashable dataclass tuples"
+                jobs.append(key)
     return jobs
 
 
@@ -216,6 +238,7 @@ def _train_config(key: JobKey, config: ExperimentConfig) -> TrainConfig:
         patience=config.patience,
         loss=config.loss,
         seed=key.seed,
+        scenario=key.scenario,
     )
 
 
@@ -273,6 +296,7 @@ def execute_job(
         variation_aware=key.variation_aware,
         train_eps=key.train_eps,
         seed=key.seed,
+        scenario=key.scenario,
         engine=engine,
     ):
         pnn = PrintedNeuralNetwork(
@@ -295,6 +319,7 @@ def execute_job(
             variation_aware=key.variation_aware,
             train_eps=key.train_eps,
             seed=key.seed,
+            scenario=key.scenario,
             wall_s=wall_time,
             cpu_s=time.process_time() - cpu_start,
             epochs_run=result.epochs_run,
@@ -390,6 +415,7 @@ def execute_job_lanes(
         learnable=first.learnable,
         variation_aware=first.variation_aware,
         train_eps=first.train_eps,
+        scenario=first.scenario,
         n_lanes=len(keys),
         seeds=[key.seed for key in keys],
     ):
@@ -422,6 +448,7 @@ def execute_job_lanes(
                 variation_aware=key.variation_aware,
                 train_eps=key.train_eps,
                 seed=key.seed,
+                scenario=key.scenario,
                 wall_s=wall_share,
                 cpu_s=cpu_share,
                 epochs_run=result.epochs_run,

@@ -46,6 +46,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import telemetry
 from repro.core import evaluate_mc, surrogate_fingerprint
+from repro.core.variation import DEFAULT_SCENARIO
 from repro.datasets import load_splits
 from repro.experiments.cache import ResultCache, RunJournal, job_digest
 from repro.experiments.config import ExperimentConfig
@@ -107,6 +108,7 @@ def run_table2_parallel(
     journal: Optional[RunJournal] = None,
     progress: Optional[Callable[[str], None]] = None,
     lane_width: int = 8,
+    scenarios: Tuple[str, ...] = (DEFAULT_SCENARIO,),
 ) -> List[CellResult]:
     """Run the Table-II grid with caching and multi-process training.
 
@@ -141,12 +143,18 @@ def run_table2_parallel(
         disables lane batching and recovers the historical per-job
         scheduling exactly.  Any width produces bit-identical results —
         only the wall time changes.
+    scenarios:
+        Non-ideality scenarios to sweep
+        (:data:`repro.core.variation.SCENARIOS` names).  Each scenario
+        trains and evaluates its own full grid; the default
+        single-scenario sweep reproduces the historical results (and
+        cache digests) exactly.
 
     Returns
     -------
     list of CellResult
-        In the exact order of the serial runner: dataset → setup →
-        test ϵ.
+        In the exact order of the serial runner, scenario-major:
+        scenario → dataset → setup → test ϵ.
     """
     surrogates = surrogates if surrogates is not None else default_surrogates()
     fingerprint = surrogate_fingerprint(surrogates)
@@ -154,7 +162,8 @@ def run_table2_parallel(
         journal = RunJournal(cache.journal_path)
 
     tel = telemetry.get()
-    jobs = enumerate_jobs(datasets, config)
+    scenarios = tuple(scenarios)
+    jobs = enumerate_jobs(datasets, config, scenarios=scenarios)
     if tel.enabled:
         tel.event(
             "table2.start",
@@ -162,6 +171,7 @@ def run_table2_parallel(
             workers=int(workers),
             n_jobs=len(jobs),
             cached=cache is not None,
+            scenarios=list(scenarios),
         )
     outcomes: Dict[JobKey, JobOutcome] = {}
     pending: List[JobKey] = []
@@ -175,7 +185,7 @@ def run_table2_parallel(
                 journal.record(cached)
             if progress is not None:
                 progress(f"{key.dataset}: {key.setup.label} ϵ_train={key.train_eps:.0%} "
-                         f"seed {key.seed} [cache hit]")
+                         f"{_scenario_tag(key.scenario)}seed {key.seed} [cache hit]")
         else:
             pending.append(key)
 
@@ -189,7 +199,8 @@ def run_table2_parallel(
         outcomes[key] = outcome
         if progress is not None:
             progress(f"{key.dataset}: {key.setup.label} ϵ_train={key.train_eps:.0%} "
-                     f"seed {key.seed} [trained {outcome.epochs_run} epochs "
+                     f"{_scenario_tag(key.scenario)}seed {key.seed} "
+                     f"[trained {outcome.epochs_run} epochs "
                      f"in {outcome.wall_time:.1f}s]")
 
     batches = group_jobs_into_lanes(pending, lane_width)
@@ -229,7 +240,7 @@ def run_table2_parallel(
             _FORK_STATE.clear()
 
     with tel.span("table2.assemble"):
-        results = _assemble(datasets, config, surrogates, outcomes, cache)
+        results = _assemble(datasets, config, surrogates, outcomes, cache, scenarios)
     if tel.enabled:
         tel.event("table2.done", n_jobs=len(jobs), n_trained=len(pending))
         # Collate the per-process worker logs into the parent run's
@@ -238,58 +249,73 @@ def run_table2_parallel(
     return results
 
 
+def _scenario_tag(scenario: str) -> str:
+    """Progress-line tag for non-default scenarios (empty otherwise)."""
+    return "" if scenario == DEFAULT_SCENARIO else f"[{scenario}] "
+
+
 def _assemble(
     datasets: List[str],
     config: ExperimentConfig,
     surrogates,
     outcomes: Dict[JobKey, JobOutcome],
     cache: Optional[ResultCache],
+    scenarios: Tuple[str, ...] = (DEFAULT_SCENARIO,),
 ) -> List[CellResult]:
     """Best-of-seeds selection + MC evaluation, in serial-runner order.
 
     Seeds are scanned in ``config.seeds`` order with a strict ``<`` on the
     validation loss — the same tie-breaking as the serial ``_train_best``
     loop — so the selected designs (and hence the reported cells) match
-    the serial run exactly.
+    the serial run exactly.  Each scenario assembles its own grid, and
+    the MC test evaluation draws from that scenario's model (the default
+    scenario takes the historical ε-only branch unchanged).
     """
     results: List[CellResult] = []
-    designs: Dict[Tuple[str, bool, bool, float], Tuple[object, int, float]] = {}
+    designs: Dict[Tuple[str, bool, bool, float, str], Tuple[object, int, float]] = {}
     splits_by_dataset: Dict[str, object] = {}
-    for dataset, setup, eps_test in iter_cells(datasets):
-        if dataset not in splits_by_dataset:
-            splits_by_dataset[dataset] = load_splits(
-                dataset, seed=SPLIT_SEED, max_train=config.max_train
+    for scenario in scenarios:
+        for dataset, setup, eps_test in iter_cells(datasets):
+            if dataset not in splits_by_dataset:
+                splits_by_dataset[dataset] = load_splits(
+                    dataset, seed=SPLIT_SEED, max_train=config.max_train
+                )
+            splits = splits_by_dataset[dataset]
+            group = (
+                dataset, setup.learnable, setup.variation_aware,
+                train_epsilon(setup, eps_test), scenario,
             )
-        splits = splits_by_dataset[dataset]
-        group = (dataset, setup.learnable, setup.variation_aware, train_epsilon(setup, eps_test))
-        if group not in designs:
-            best: Optional[JobOutcome] = None
-            for seed in config.seeds:
-                outcome = outcomes[JobKey(dataset, setup.learnable, setup.variation_aware,
-                                          train_epsilon(setup, eps_test), int(seed))]
-                if best is None or outcome.val_loss < best.val_loss:
-                    best = outcome
-            assert best is not None
-            if best.params is not None:
-                design = best.params
-            else:
-                assert cache is not None and best.digest is not None
-                design = cache.load_design(best.digest, surrogates)
-            designs[group] = (design, best.key.seed, best.val_loss)
-        design, best_seed, val_loss = designs[group]
-        accuracy = evaluate_mc(
-            design, splits.x_test, splits.y_test,
-            epsilon=eps_test, n_test=config.n_test, seed=mc_evaluation_seed(best_seed),
-        )
-        results.append(
-            CellResult(
-                dataset=dataset,
-                setup=setup,
-                eps_test=eps_test,
-                mean=accuracy.mean,
-                std=accuracy.std,
-                best_seed=best_seed,
-                best_val_loss=val_loss,
+            if group not in designs:
+                best: Optional[JobOutcome] = None
+                for seed in config.seeds:
+                    outcome = outcomes[JobKey(dataset, setup.learnable, setup.variation_aware,
+                                              train_epsilon(setup, eps_test), int(seed),
+                                              scenario)]
+                    if best is None or outcome.val_loss < best.val_loss:
+                        best = outcome
+                assert best is not None
+                if best.params is not None:
+                    design = best.params
+                else:
+                    assert cache is not None and best.digest is not None
+                    design = cache.load_design(best.digest, surrogates)
+                designs[group] = (design, best.key.seed, best.val_loss)
+            design, best_seed, val_loss = designs[group]
+            accuracy = evaluate_mc(
+                design, splits.x_test, splits.y_test,
+                epsilon=eps_test, n_test=config.n_test,
+                seed=mc_evaluation_seed(best_seed), scenario=scenario,
             )
-        )
+            results.append(
+                CellResult(
+                    dataset=dataset,
+                    setup=setup,
+                    eps_test=eps_test,
+                    mean=accuracy.mean,
+                    std=accuracy.std,
+                    best_seed=best_seed,
+                    best_val_loss=val_loss,
+                    scenario=scenario,
+                )
+            )
     return results

@@ -224,6 +224,48 @@ def _lanes_section(events: List[Dict], counters: Dict[str, float]) -> List[str]:
     return lines
 
 
+def _scenario_section(events: List[Dict], counters: Dict[str, float]) -> List[str]:
+    """Per-scenario robustness grid of the run's trained jobs.
+
+    Groups ``job.done`` events by their non-ideality scenario and renders
+    a Table-II-style grid (setup × ϵ_train → jobs, mean best val loss)
+    per scenario, plus the stuck-at defect-injection counters.  Runs
+    recorded before scenarios existed have no ``scenario`` attribute and
+    produce no section.
+    """
+    jobs = [e for e in events
+            if e.get("kind") == "event" and e.get("name") == "job.done"
+            and e["attrs"].get("scenario") is not None]
+    scenarios = list(dict.fromkeys(e["attrs"]["scenario"] for e in jobs))
+    lines: List[str] = []
+    if scenarios and scenarios != ["default"]:
+        lines.append("scenarios:")
+        for scenario in scenarios:
+            members = [e for e in jobs if e["attrs"]["scenario"] == scenario]
+            cells: Dict[tuple, List[float]] = {}
+            for event in members:
+                a = event["attrs"]
+                key = (_setup_label(bool(a.get("learnable")), bool(a.get("variation_aware"))),
+                       float(a.get("train_eps", 0.0)))
+                cells.setdefault(key, []).append(float(a.get("val_loss", float("nan"))))
+            rows = [
+                [scenario, setup, f"{eps:.0%}", str(len(losses)),
+                 f"{min(losses):.4f}"]
+                for (setup, eps), losses in sorted(cells.items())
+            ]
+            lines.extend(_rows_to_table(
+                ["scenario", "setup", "eps", "jobs", "best_val_loss"], rows,
+            ))
+    applied = int(counters.get("defects.applied", 0))
+    sampled = int(counters.get("defects.sampled", 0))
+    if sampled:
+        rate = applied / sampled
+        lines.append(
+            f"defects: {applied}/{sampled} devices stuck ({rate:.2%} injection rate)"
+        )
+    return lines
+
+
 def render_telemetry_report(
     directory: Union[str, os.PathLike], top: int = 10
 ) -> str:
@@ -264,6 +306,7 @@ def render_telemetry_report(
         _surrogate_section(events),
         _training_section(events, counters),
         _lanes_section(events, counters),
+        _scenario_section(events, counters),
     ):
         if section:
             lines.extend(section)

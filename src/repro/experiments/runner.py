@@ -25,6 +25,7 @@ from repro.core import (
     evaluate_mc,
     train_pnn,
 )
+from repro.core.variation import DEFAULT_SCENARIO
 from repro.datasets import load_splits
 from repro.datasets.base import DatasetSplits
 from repro.experiments.config import SETUPS, TEST_EPSILONS, ExperimentConfig, Setup
@@ -36,7 +37,13 @@ Surrogates = Union[SurrogateBundle, tuple]
 
 @dataclass
 class CellResult:
-    """One Table-II cell: a setup evaluated at one test ϵ."""
+    """One Table-II cell: a setup evaluated at one test ϵ.
+
+    ``scenario`` names the non-ideality scenario the cell was trained and
+    evaluated under (:data:`repro.core.variation.SCENARIOS`); the serial
+    runner only produces the default ε-only scenario, the parallel engine
+    can sweep a scenario grid.
+    """
 
     dataset: str
     setup: Setup
@@ -45,9 +52,14 @@ class CellResult:
     std: float
     best_seed: int
     best_val_loss: float
+    scenario: str = DEFAULT_SCENARIO
 
     def __str__(self) -> str:
-        return f"{self.dataset} [{self.setup.label}] ϵ={self.eps_test:.0%}: {self.mean:.3f} ± {self.std:.3f}"
+        tag = "" if self.scenario == DEFAULT_SCENARIO else f" ({self.scenario})"
+        return (
+            f"{self.dataset} [{self.setup.label}] ϵ={self.eps_test:.0%}{tag}: "
+            f"{self.mean:.3f} ± {self.std:.3f}"
+        )
 
 
 def default_surrogates() -> Tuple[AnalyticSurrogate, AnalyticSurrogate]:

@@ -6,6 +6,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.core.variation import DEFAULT_SCENARIO, SCENARIOS
 from repro.datasets.registry import DISPLAY_NAMES
 from repro.experiments.config import TEST_EPSILONS
 from repro.experiments.runner import CellResult
@@ -67,6 +68,39 @@ def render_table2(results: List[CellResult]) -> str:
             average += f"{'—':>22s}"
     lines.append(average)
     return "\n".join(lines)
+
+
+def split_by_scenario(results: List[CellResult]) -> Dict[str, List[CellResult]]:
+    """Partition cell results by scenario, preserving first-appearance order.
+
+    Results produced before scenarios existed (or by the serial runner)
+    all carry the default scenario and land in one bucket, so the split
+    is a no-op for historical result sets.
+    """
+    buckets: Dict[str, List[CellResult]] = {}
+    for cell in results:
+        buckets.setdefault(cell.scenario, []).append(cell)
+    return buckets
+
+
+def render_scenario_grid(results: List[CellResult]) -> str:
+    """Table-II-style robustness grid, one section per scenario.
+
+    A single-scenario result set renders exactly like
+    :func:`render_table2` (no section headers), so default runs keep
+    their historical output byte for byte.
+    """
+    buckets = split_by_scenario(results)
+    if list(buckets) == [DEFAULT_SCENARIO]:
+        return render_table2(results)
+    sections = []
+    for scenario, cells in buckets.items():
+        described = SCENARIOS.get(scenario)
+        header = f"=== scenario: {scenario} ==="
+        if described is not None:
+            header += f"  ({described.description})"
+        sections.append(header + "\n" + render_table2(cells))
+    return "\n\n".join(sections)
 
 
 def summarize_table3(results: List[CellResult]) -> Dict[Tuple[bool, bool, float], Tuple[float, float]]:

@@ -1,0 +1,127 @@
+"""The default ε-only scenario is pinned bit-for-bit to recorded results.
+
+The composable non-ideality pipeline (``repro.core.variation``) carries a
+hard compatibility gate: the default scenario must execute the exact same
+floating-point instruction sequence — and consume the RNG streams in the
+exact same order — as the pre-refactor multiplicative-ε code.  This module
+freezes a {surrogate} × {activation sharing} × {ε} grid of training and
+Monte-Carlo evaluation results captured *before* the refactor, as float
+hex strings, and checks them with exact equality (``assert_array_equal``
+and ``==`` — never ``allclose``).
+
+If one of these tests fails, the change under test re-rolled the noise
+stream or altered the arithmetic of the default path; every recorded
+Table-II number is invalid.  Do not loosen the comparison — revert the
+change or consciously re-record (see docs/TRAINING.md §"The ε-stream
+contract").
+"""
+
+import numpy as np
+import pytest
+from numpy.testing import assert_array_equal
+
+from repro.core import (
+    DEFAULT_SCENARIO,
+    PrintedNeuralNetwork,
+    TrainConfig,
+    evaluate_mc,
+    snapshot_params,
+    train_pnn,
+)
+
+# Captured at commit 0e44cff (pre-pipeline), python floats serialized with
+# float.hex() — exact, no rounding.  Recipe: the grid loop in
+# TestDefaultScenarioPinned below.
+RECORDED = {
+    ("analytic", False, 0.0): {
+        "best_val_loss": "0x1.117e230331072p-4",
+        "last_train": "0x1.103770ee0c8dap-4",
+        "last_val": "0x1.117e230331072p-4",
+        "accuracies": ["0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.d99999999999ap-1", "0x1.f333333333333p-1", "0x1.f333333333333p-1", "0x1.f333333333333p-1", "0x1.0000000000000p+0", "0x1.f333333333333p-1", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.f333333333333p-1", "0x1.0000000000000p+0", "0x1.f333333333333p-1", "0x1.0000000000000p+0", "0x1.f333333333333p-1", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.f333333333333p-1", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.f333333333333p-1"],
+    },
+    ("analytic", False, 0.1): {
+        "best_val_loss": "0x1.5d0bc18ffa7f3p-5",
+        "last_train": "0x1.b900ebceba75ap-5",
+        "last_val": "0x1.5d0bc18ffa7f3p-5",
+        "accuracies": ["0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.f333333333333p-1", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.f333333333333p-1", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0"],
+    },
+    ("analytic", True, 0.0): {
+        "best_val_loss": "0x1.8d0ec2c30b263p-9",
+        "last_train": "0x1.58738e700b186p-9",
+        "last_val": "0x1.3718e2f335be6p-8",
+        "accuracies": ["0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.d99999999999ap-1", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.f333333333333p-1", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0"],
+    },
+    ("analytic", True, 0.1): {
+        "best_val_loss": "0x1.1a22177ace86dp-7",
+        "last_train": "0x1.b2981deb97d93p-7",
+        "last_val": "0x1.517752d1a01d1p-7",
+        "accuracies": ["0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.f333333333333p-1", "0x1.f333333333333p-1", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.f333333333333p-1", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0"],
+    },
+    ("mlp", False, 0.0): {
+        "best_val_loss": "0x1.35e076e1218b2p-4",
+        "last_train": "0x1.d158458ec9abap-5",
+        "last_val": "0x1.35e076e1218b2p-4",
+        "accuracies": ["0x1.8000000000000p-2"] * 23,
+    },
+    ("mlp", False, 0.1): {
+        "best_val_loss": "0x1.30c98b6144926p-4",
+        "last_train": "0x1.dd268eef8f283p-5",
+        "last_val": "0x1.30c98b6144926p-4",
+        "accuracies": ["0x1.8000000000000p-2"] * 23,
+    },
+    ("mlp", True, 0.0): {
+        "best_val_loss": "0x1.eee3b22692b0bp-6",
+        "last_train": "0x1.bb91ea3664853p-6",
+        "last_val": "0x1.1f9078a0b91cap-5",
+        "accuracies": ["0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.f333333333333p-1", "0x1.f333333333333p-1", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.e666666666666p-1", "0x1.f333333333333p-1", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.f333333333333p-1", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.f333333333333p-1", "0x1.f333333333333p-1", "0x1.f333333333333p-1", "0x1.f333333333333p-1"],
+    },
+    ("mlp", True, 0.1): {
+        "best_val_loss": "0x1.1a2117fda3b4cp-5",
+        "last_train": "0x1.88b241fad8ea4p-5",
+        "last_val": "0x1.3ab7277f24c63p-5",
+        "accuracies": ["0x1.6666666666666p-1", "0x1.c000000000000p-1", "0x1.6666666666666p-1", "0x1.0000000000000p+0", "0x1.0000000000000p+0", "0x1.c000000000000p-1", "0x1.4000000000000p-1", "0x1.a666666666666p-1", "0x1.c000000000000p-1", "0x1.4000000000000p-1", "0x1.b333333333333p-1", "0x1.d99999999999ap-1", "0x1.d99999999999ap-1", "0x1.d99999999999ap-1", "0x1.b333333333333p-1", "0x1.b333333333333p-1", "0x1.4cccccccccccdp-1", "0x1.4cccccccccccdp-1", "0x1.e666666666666p-1", "0x1.e666666666666p-1", "0x1.0000000000000p+0", "0x1.e666666666666p-1", "0x1.d99999999999ap-1"],
+    },
+}
+
+
+def _unhex(value):
+    return float.fromhex(value)
+
+
+@pytest.mark.parametrize(
+    "sur_name,per_neuron,eps",
+    sorted(RECORDED),
+    ids=lambda v: str(v).replace(".", "_") if not isinstance(v, str) else v,
+)
+def test_default_scenario_bit_identical_to_recorded(
+    sur_name, per_neuron, eps, analytic_surrogates, tiny_bundle, blob_data
+):
+    """Training + MC evaluation on the default path match the recording."""
+    x_train, y_train, x_val, y_val = blob_data
+    surrogates = analytic_surrogates if sur_name == "analytic" else tiny_bundle
+    pnn = PrintedNeuralNetwork(
+        [2, 3, 2], surrogates,
+        per_neuron_activation=per_neuron,
+        rng=np.random.default_rng(7),
+    )
+    config = TrainConfig(max_epochs=25, patience=25, epsilon=eps,
+                         n_mc_train=5, seed=3)
+    assert config.scenario == DEFAULT_SCENARIO
+    result = train_pnn(pnn, x_train, y_train, x_val, y_val, config)
+    recorded = RECORDED[(sur_name, per_neuron, eps)]
+    assert result.best_val_loss == _unhex(recorded["best_val_loss"])
+    assert result.history[-1][1] == _unhex(recorded["last_train"])
+    assert result.history[-1][2] == _unhex(recorded["last_val"])
+
+    mc = evaluate_mc(
+        snapshot_params(pnn), x_val, y_val, epsilon=0.1, n_test=23, seed=11
+    )
+    expected = np.asarray([_unhex(a) for a in recorded["accuracies"]])
+    assert_array_equal(mc.accuracies, expected)
+
+    # Passing the scenario explicitly must take the identical branch.
+    mc_named = evaluate_mc(
+        snapshot_params(pnn), x_val, y_val, epsilon=0.1, n_test=23, seed=11,
+        scenario=DEFAULT_SCENARIO,
+    )
+    assert_array_equal(mc_named.accuracies, expected)

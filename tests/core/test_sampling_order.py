@@ -1,0 +1,183 @@
+"""The canonical (θ, act, neg) sampling order is pinned for every model.
+
+``kernels.sample_layer_epsilons`` defines the evaluation noise stream:
+per layer it draws crossbar θ, then activation ω, then negative-weight ω,
+in that order, from one shared model.  Recorded results depend on this
+3-cycle, and :class:`repro.analysis.sensitivity._SelectiveVariation`
+identifies component groups by position in it.  These tests pin (a) the
+role order and shapes handed to protocol models, (b) the bare-``sample``
+fallback for duck-typed legacy models, and (c) the exact RNG consumption
+of every concrete model class against manual, canonical-order
+reconstructions — with exact equality throughout.
+"""
+
+from types import SimpleNamespace
+from typing import Sequence
+
+import numpy as np
+from numpy.testing import assert_array_equal
+
+from repro.core.aging import AgingModel
+from repro.core.kernels import sample_layer_epsilons
+from repro.core.variation import (
+    ComposedModel,
+    CorrelatedVariationModel,
+    GaussianVariationModel,
+    NonIdealityModel,
+    Perturbation,
+    StuckAtModel,
+    VariationModel,
+)
+
+N_MC = 4
+THETA_SHAPE = (5, 6)
+N_ACT = 3
+N_NEG = 2
+
+
+def make_layer():
+    """A minimal stand-in exposing the shapes the sampler reads."""
+    return SimpleNamespace(
+        theta=np.zeros(THETA_SHAPE),
+        act_omega=np.zeros((N_ACT, 7)),
+        neg_omega=np.zeros((N_NEG, 7)),
+    )
+
+
+class RecordingProtocolModel(NonIdealityModel):
+    """Protocol model that logs every draw request."""
+
+    def __init__(self):
+        self.calls = []
+
+    @property
+    def is_nominal(self) -> bool:
+        return False
+
+    def sample(self, n_mc: int, shape: Sequence[int]) -> np.ndarray:
+        self.calls.append(("sample", tuple(shape)))
+        return np.ones((n_mc, *tuple(shape)))
+
+    def sample_perturbation(self, n_mc, shape, role="theta"):
+        self.calls.append((role, tuple(shape)))
+        return np.ones((n_mc, *tuple(shape)))
+
+
+class RecordingLegacyModel:
+    """Duck-typed pre-protocol sampler: only ``sample``, no roles."""
+
+    def __init__(self):
+        self.calls = []
+        self.is_nominal = False
+
+    def sample(self, n_mc, shape):
+        self.calls.append(tuple(shape))
+        return np.ones((n_mc, *tuple(shape)))
+
+
+class TestCanonicalOrder:
+    def test_protocol_models_get_roles_in_theta_act_neg_order(self):
+        model = RecordingProtocolModel()
+        sample_layer_epsilons(model, N_MC, make_layer())
+        assert model.calls == [
+            ("theta", THETA_SHAPE),
+            ("act", (N_ACT, 7)),
+            ("neg", (N_NEG, 7)),
+        ]
+
+    def test_legacy_models_fall_back_to_bare_sample_same_order(self):
+        model = RecordingLegacyModel()
+        sample_layer_epsilons(model, N_MC, make_layer())
+        assert model.calls == [THETA_SHAPE, (N_ACT, 7), (N_NEG, 7)]
+
+    def test_two_layers_repeat_the_cycle(self):
+        model = RecordingProtocolModel()
+        sample_layer_epsilons(model, N_MC, make_layer())
+        sample_layer_epsilons(model, N_MC, make_layer())
+        roles = [role for role, _ in model.calls]
+        assert roles == ["theta", "act", "neg"] * 2
+
+
+class TestStreamConsumption:
+    """Exact RNG reconstruction per model class, in canonical order."""
+
+    def test_uniform_variation(self):
+        triple = sample_layer_epsilons(VariationModel(0.1, seed=5), N_MC, make_layer())
+        rng = np.random.default_rng(5)
+        for eps, shape in zip(triple, (THETA_SHAPE, (N_ACT, 7), (N_NEG, 7))):
+            assert isinstance(eps, np.ndarray)
+            assert_array_equal(eps, rng.uniform(0.9, 1.1, size=(N_MC, *shape)))
+
+    def test_gaussian_variation(self):
+        model = GaussianVariationModel(0.1, seed=5)
+        triple = sample_layer_epsilons(model, N_MC, make_layer())
+        rng = np.random.default_rng(5)
+        for eps, shape in zip(triple, (THETA_SHAPE, (N_ACT, 7), (N_NEG, 7))):
+            draws = rng.normal(1.0, model.sigma, size=(N_MC, *shape))
+            expected = np.clip(draws, 1.0 - 3 * model.sigma, 1.0 + 3 * model.sigma)
+            assert_array_equal(eps, expected)
+
+    def test_stuck_at_consumes_rng_only_for_theta(self):
+        model = StuckAtModel(p_stuck_on=0.3, p_stuck_off=0.3, seed=5)
+        first = sample_layer_epsilons(model, N_MC, make_layer())
+        second = sample_layer_epsilons(model, N_MC, make_layer())
+        rng = np.random.default_rng(5)
+        for triple in (first, second):
+            assert isinstance(triple[0], Perturbation)
+            draw = rng.uniform(size=(N_MC, *THETA_SHAPE))
+            assert_array_equal(triple[0].override_mask, draw < 0.6)
+            assert_array_equal(triple[0].scale, np.ones((N_MC, *THETA_SHAPE)))
+            # ω slots are untouched and draw nothing from the stream.
+            assert isinstance(triple[1], np.ndarray)
+            assert isinstance(triple[2], np.ndarray)
+            assert_array_equal(triple[1], np.ones((N_MC, N_ACT, 7)))
+            assert_array_equal(triple[2], np.ones((N_MC, N_NEG, 7)))
+
+    def test_correlated_variation(self):
+        model = CorrelatedVariationModel(0.1, correlation=0.5, seed=5)
+        triple = sample_layer_epsilons(model, N_MC, make_layer())
+        rng = np.random.default_rng(5)
+        rho, sigma = 0.5, model.sigma
+        for eps, shape in zip(triple, (THETA_SHAPE, (N_ACT, 7), (N_NEG, 7))):
+            rows, cols = shape
+            expected = np.ones((N_MC, *shape))
+            for amplitude, part_shape in (
+                (np.sqrt(rho / 2.0) * sigma, (N_MC, 1, 1)),
+                (np.sqrt(rho / 4.0) * sigma, (N_MC, rows, 1)),
+                (np.sqrt(rho / 4.0) * sigma, (N_MC, 1, cols)),
+                (np.sqrt(1.0 - rho) * sigma, (N_MC, *shape)),
+            ):
+                expected = expected + amplitude * rng.standard_normal(part_shape)
+            expected = np.clip(expected, 1.0 - 3 * sigma, 1.0 + 3 * sigma)
+            assert_array_equal(eps, expected)
+
+    def test_composed_draws_components_in_listed_order_per_role(self):
+        model = ComposedModel(
+            VariationModel(0.1, seed=5),
+            StuckAtModel(p_stuck_on=0.3, p_stuck_off=0.0, seed=7),
+        )
+        triple = sample_layer_epsilons(model, N_MC, make_layer())
+        eps_rng = np.random.default_rng(5)
+        defect_rng = np.random.default_rng(7)
+        theta = triple[0]
+        assert isinstance(theta, Perturbation)
+        assert_array_equal(
+            theta.scale, eps_rng.uniform(0.9, 1.1, size=(N_MC, *THETA_SHAPE))
+        )
+        assert_array_equal(
+            theta.override_mask,
+            defect_rng.uniform(size=(N_MC, *THETA_SHAPE)) < 0.3,
+        )
+        # ω slots: only the ε component draws, so they stay bare arrays
+        # continuing the ε stream exactly where θ left it.
+        for eps, shape in zip(triple[1:], ((N_ACT, 7), (N_NEG, 7))):
+            assert isinstance(eps, np.ndarray)
+            assert_array_equal(eps, eps_rng.uniform(0.9, 1.1, size=(N_MC, *shape)))
+
+    def test_aging_model(self):
+        model = AgingModel(drift_rate=0.05, spread=0.02, seed=5)
+        triple = sample_layer_epsilons(model, N_MC, make_layer())
+        rng = np.random.default_rng(5)
+        reference = AgingModel(drift_rate=0.05, spread=0.02, rng=rng)
+        for eps, shape in zip(triple, (THETA_SHAPE, (N_ACT, 7), (N_NEG, 7))):
+            assert_array_equal(eps, reference.sample(N_MC, shape))

@@ -25,12 +25,19 @@ class TestJobKey:
         b = JobKey("iris", True, True, 0.05, 2)
         assert hash(a) != hash(b) or a != b
         assert a < b
-        assert a.astuple() == ("iris", True, True, 0.05, 1)
+        assert a.astuple() == ("iris", True, True, 0.05, 1, "default")
 
     def test_setup_and_group(self):
         key = JobKey("iris", True, False, 0.0, 3)
         assert key.setup == Setup(learnable=True, variation_aware=False)
-        assert key.group == ("iris", True, False, 0.0)
+        assert key.group == ("iris", True, False, 0.0, "default")
+
+    def test_scenario_defaults_for_positional_construction(self):
+        # Pre-scenario call sites (and cached 5-element key lists) still
+        # construct keys positionally; the scenario fills in last.
+        key = JobKey(*("iris", True, True, 0.05, 1))
+        assert key.scenario == "default"
+        assert key == JobKey("iris", True, True, 0.05, 1, "default")
 
     def test_train_epsilon_rule(self):
         va = Setup(learnable=False, variation_aware=True)
