@@ -1,0 +1,145 @@
+"""Backend matrix: every registered backend on the two kernel hot paths.
+
+Times the full registry (:mod:`repro.core.backends`) on the workloads the
+fused backend was built for, at shapes where the per-chunk intermediates
+are tens of MB (the regime the Table-II protocol scales into, and where
+the allocating reference pays an mmap + page-fault round trip per
+temporary):
+
+- **MC evaluation** — :func:`~repro.core.evaluation.evaluate_mc` over
+  ``n_test`` fabrications in ``batch_mc`` chunks (the Sec. IV accuracy
+  protocol);
+- **training** — :func:`~repro.core.training.train_pnn` epochs with the
+  Monte-Carlo expected loss through :class:`KernelNetwork`.
+
+Results are asserted **bitwise identical** across backends before any
+timing — the registry's contract — so the speedups compare paths that
+produce byte-equal numbers.  The acceptance gates (fused ≥ 1.5× on MC
+evaluation, ≥ 1.2× on training) are asserted against the ``numpy``
+reference; timings are min-of-``REPEATS`` to shrug off neighbor noise.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import save_and_print
+from repro.core import (
+    PrintedNeuralNetwork,
+    TrainConfig,
+    backend_names,
+    evaluate_mc,
+    numba_version,
+    snapshot_params,
+    train_pnn,
+)
+from repro.surrogate import AnalyticSurrogate
+
+SIZES = (16, 6, 4)
+REPEATS = 3
+
+# MC evaluation: 90 fabrications in chunks of 30 over an 8192-point batch
+# (x_aug chunks of 30*8192*18 doubles = 35 MB).
+MC_BATCH, MC_N_TEST, MC_BATCH_MC, MC_EPSILON = 8192, 90, 30, 0.1
+MC_GATE = 1.5
+
+# Training: 4 variation-aware epochs over a 16384-point batch at
+# n_mc_train=20 (47 MB batch-sized intermediates per kernel).
+TRAIN_BATCH, TRAIN_EPOCHS, TRAIN_N_MC, TRAIN_SEED = 16384, 4, 20, 5
+TRAIN_GATE = 1.2
+
+
+def _surrogates():
+    return (AnalyticSurrogate("ptanh"), AnalyticSurrogate("negweight"))
+
+
+def _best_time(fn, repeats=REPEATS):
+    fn()                                  # warm (page faults, BLAS init)
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def test_backend_matrix(output_dir):
+    surrogates = _surrogates()
+    rng = np.random.default_rng(2)
+
+    # ---------------- MC evaluation ---------------- #
+    pnn = PrintedNeuralNetwork(list(SIZES), surrogates, rng=np.random.default_rng(0))
+    params = snapshot_params(pnn)
+    x_mc = rng.uniform(0.0, 1.0, (MC_BATCH, SIZES[0]))
+    y_mc = rng.integers(0, SIZES[-1], MC_BATCH)
+
+    def run_mc(backend):
+        return evaluate_mc(
+            params, x_mc, y_mc, epsilon=MC_EPSILON, n_test=MC_N_TEST,
+            seed=7, batch_mc=MC_BATCH_MC, backend=backend,
+        )
+
+    mc_reference = run_mc("numpy")
+    mc_times = {}
+    for backend in backend_names():
+        np.testing.assert_array_equal(
+            run_mc(backend).accuracies, mc_reference.accuracies
+        )
+        mc_times[backend] = _best_time(lambda: run_mc(backend))
+
+    # ---------------- training ---------------- #
+    x_tr = rng.uniform(0.0, 1.0, (TRAIN_BATCH, SIZES[0]))
+    y_tr = rng.integers(0, SIZES[-1], TRAIN_BATCH)
+    x_val = rng.uniform(0.0, 1.0, (256, SIZES[0]))
+    y_val = rng.integers(0, SIZES[-1], 256)
+
+    def run_train(backend):
+        net = PrintedNeuralNetwork(
+            list(SIZES), surrogates, rng=np.random.default_rng(TRAIN_SEED)
+        )
+        config = TrainConfig(
+            max_epochs=TRAIN_EPOCHS, patience=TRAIN_EPOCHS, epsilon=0.1,
+            n_mc_train=TRAIN_N_MC, seed=TRAIN_SEED, backend=backend,
+        )
+        return train_pnn(net, x_tr, y_tr, x_val, y_val, config)
+
+    train_reference = run_train("numpy")
+    train_times = {}
+    for backend in backend_names():
+        result = run_train(backend)
+        assert result.history == train_reference.history
+        assert result.best_epoch == train_reference.best_epoch
+        train_times[backend] = _best_time(lambda: run_train(backend))
+
+    # ---------------- report + gates ---------------- #
+    jit = numba_version()
+    lines = [
+        f"backend matrix ({'numba ' + jit if jit else 'no numba'}; outcomes "
+        "bitwise equal across backends before timing)",
+        f"MC evaluation: topology {list(SIZES)}, batch {MC_BATCH}, "
+        f"n_test {MC_N_TEST}, batch_mc {MC_BATCH_MC}, eps {MC_EPSILON}",
+    ]
+    for backend in backend_names():
+        speedup = mc_times["numpy"] / mc_times[backend]
+        lines.append(
+            f"  {backend:>6}: {mc_times[backend]:7.3f} s   ({speedup:4.2f}x)"
+        )
+    lines.append(
+        f"training: batch {TRAIN_BATCH}, {TRAIN_EPOCHS} epochs, "
+        f"n_mc {TRAIN_N_MC}, eps 0.1"
+    )
+    for backend in backend_names():
+        speedup = train_times["numpy"] / train_times[backend]
+        lines.append(
+            f"  {backend:>6}: {train_times[backend]:7.3f} s   ({speedup:4.2f}x)"
+        )
+    save_and_print(output_dir, "backend_matrix", "\n".join(lines))
+
+    mc_speedup = mc_times["numpy"] / mc_times["fused"]
+    train_speedup = train_times["numpy"] / train_times["fused"]
+    assert mc_speedup >= MC_GATE, (
+        f"fused MC-evaluation speedup regressed: {mc_speedup:.2f}x < {MC_GATE}x"
+    )
+    assert train_speedup >= TRAIN_GATE, (
+        f"fused training speedup regressed: {train_speedup:.2f}x < {TRAIN_GATE}x"
+    )

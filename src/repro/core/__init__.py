@@ -33,7 +33,11 @@ This package is the paper's primary contribution (Sec. III):
   serial kernel runs;
 - :mod:`~repro.core.evaluation` — Monte-Carlo test evaluation
   (N_test = 100) reporting mean ± std accuracy as in Table II, running
-  through the autograd-free kernel path.
+  through the autograd-free kernel path;
+- :mod:`~repro.core.backends` — the execution-backend registry behind
+  the kernel seam: the historical allocating ``"numpy"`` reference and
+  the preallocated-scratch ``"fused"`` backend (optional numba JIT
+  tier), every backend bitwise-equal to the reference.
 """
 
 from repro.core.conductance import ConductanceConfig
@@ -62,6 +66,13 @@ from repro.core.variation import (
 )
 from repro.core.losses import MarginLoss, make_loss
 from repro.core.grad_kernels import KernelNetwork, Workspace
+from repro.core.backends import (
+    DEFAULT_BACKEND,
+    Backend,
+    backend_names,
+    get_backend,
+    numba_version,
+)
 from repro.core.training import TrainConfig, TrainResult, train_pnn
 from repro.core.lanes import LaneNetwork, train_pnn_lanes
 from repro.core.evaluation import (
@@ -107,6 +118,11 @@ __all__ = [
     "make_loss",
     "KernelNetwork",
     "Workspace",
+    "Backend",
+    "DEFAULT_BACKEND",
+    "backend_names",
+    "get_backend",
+    "numba_version",
     "TrainConfig",
     "TrainResult",
     "train_pnn",

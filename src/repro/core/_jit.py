@@ -1,0 +1,48 @@
+"""Optional numba JIT tier for the fused backend (leaf module, no repro deps).
+
+The fused backend (:mod:`repro.core.backends`) is pure-numpy with
+preallocated scratch; when :mod:`numba` happens to be importable, a small
+set of elementwise ufuncs compile and collapse two numpy passes into one.
+Numba is *never* a dependency: this module degrades to ``None`` handles
+and the fused-numpy tier carries the speedup alone.
+
+Bitwise-safety contract
+-----------------------
+Only *elementwise scalar chains* are eligible for JIT here.  Numba's
+default compilation is IEEE-strict (no fast-math, no FMA contraction), so
+``(v - e3) * e4`` and ``e1 + e2 * t`` round per-operation exactly like
+the equivalent two numpy passes.  Transcendentals (``tanh``, ``exp``) and
+reductions are deliberately **excluded** — libm vs numpy-SIMD results can
+differ in the last ulp, which would break the house rule that every
+backend is ``assert_array_equal``-identical to ``NUMPY_OPS``.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+except Exception:  # ImportError, or a broken install — same answer
+    numba = None
+
+#: ``numba.__version__`` when importable, else ``None`` (recorded in
+#: telemetry manifests so cached results are attributable).
+NUMBA_VERSION = getattr(numba, "__version__", None)
+
+#: Whether the JIT tier is active.
+HAVE_NUMBA = numba is not None
+
+if numba is not None:  # pragma: no cover - exercised only where numba is installed
+    @numba.vectorize(["float64(float64, float64, float64)"],
+                     nopython=True, cache=True)
+    def shift_scale(v, e3, e4):
+        """One-pass ``(v - e3) * e4`` — bitwise equal to subtract-then-multiply."""
+        return (v - e3) * e4
+
+    @numba.vectorize(["float64(float64, float64, float64)"],
+                     nopython=True, cache=True)
+    def affine(e1, e2, t):
+        """One-pass ``e1 + e2 * t`` — bitwise equal to multiply-then-add."""
+        return e1 + e2 * t
+else:
+    shift_scale = None
+    affine = None

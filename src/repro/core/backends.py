@@ -1,0 +1,331 @@
+"""Backend registry behind the kernel ops seam, plus the fused backend.
+
+:mod:`repro.core.kernels` is generic over ops adapters (``NUMPY_OPS`` /
+``TENSOR_OPS``); this module adds the third tier the ROADMAP names — a
+registry of named *execution backends* for the numpy hot paths:
+
+- ``"numpy"`` — the historical allocating kernels, unchanged.  This is
+  the reference every other backend must match **bitwise**
+  (``assert_array_equal``, never ``allclose`` — the house rule).
+- ``"fused"`` — preallocated scratch via the existing
+  :class:`~repro.core.grad_kernels.Workspace` machinery and ``out=``
+  /in-place arithmetic across ``augment_inputs → crossbar_output →
+  circuit_transfer → apply_nonideality`` (and their VJPs inside
+  :class:`~repro.core.grad_kernels.KernelNetwork`), eliminating the
+  temporary-array churn numpy pays for multi-MB intermediates (freshly
+  mmapped pages per temporary).  Identical operations in identical order,
+  only the destination buffers change — so results are bit-identical.
+
+An optional JIT tier layers on top (:mod:`repro.core._jit`): if ``numba``
+imports, two elementwise scalar chains compile into single passes; if not
+(the supported baseline), the fused-numpy tier alone carries the speedup.
+Auto-detected, never a dependency — :func:`numba_version` reports what a
+run actually used, and telemetry manifests record it.
+
+Backend choice is an execution detail, exactly like the training
+``engine``: it is deliberately **outside** the result-cache fingerprint
+(:func:`repro.experiments.cache.job_digest`), so cache entries recorded
+under one backend are shared by all of them.
+
+The MC-evaluation entry point is :meth:`Backend.make_eval_driver`:
+:func:`repro.core.evaluation.evaluate_mc` builds one driver per call and
+reuses it across ``batch_mc`` chunks, so the fused driver's scratch
+buffers persist across the whole evaluation.  The training-path fused
+tier threads through ``KernelNetwork.from_pnn(..., backend=...)`` /
+``TrainConfig.backend`` instead (one Workspace per engine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core import _jit, kernels
+from repro.core.grad_kernels import Workspace
+from repro.core.kernels import (
+    BIAS_VOLTAGE,
+    LayerEpsilons,
+    apply_nonideality,
+    circuit_eta,
+)
+from repro.core.variation import Perturbation
+
+#: The reference backend — and the default everywhere a backend is chosen.
+DEFAULT_BACKEND = "numpy"
+
+
+def numba_version() -> Optional[str]:
+    """``numba.__version__`` when the JIT tier is available, else ``None``."""
+    return _jit.NUMBA_VERSION
+
+
+# --------------------------------------------------------------------- #
+# evaluation drivers                                                    #
+# --------------------------------------------------------------------- #
+
+
+class NumpyEvalDriver:
+    """Reference MC-evaluation driver: thin wrapper over the numpy kernels."""
+
+    def __init__(self, params, x: np.ndarray):
+        self.params = params
+        self.x = np.asarray(x, dtype=np.float64)
+
+    def forward(self, epsilons: Optional[List[LayerEpsilons]] = None) -> np.ndarray:
+        """Output voltages ``(n_mc, batch, classes)`` for one draw chunk."""
+        return kernels.network_forward(self.params, self.x, epsilons=epsilons)
+
+    def predict(self, epsilons: Optional[List[LayerEpsilons]] = None) -> np.ndarray:
+        """Class predictions ``(n_mc, batch)`` for one draw chunk."""
+        return kernels.predict(self.params, self.x, epsilons=epsilons)
+
+
+class FusedEvalDriver:
+    """Fused MC-evaluation driver: one Workspace across every chunk.
+
+    Executes exactly the :func:`repro.core.kernels.network_forward`
+    sequence — same validation, same operations in the same order — but
+    every batch-sized intermediate lives in a named scratch buffer that
+    persists across ``batch_mc`` chunks (chunk shapes are constant, so the
+    steady state allocates nothing).  ``out=`` ufuncs and matmuls round
+    identically to their allocating forms, keeping the output bitwise
+    equal to the reference driver (pinned per chunk by
+    ``tests/core/test_backends.py``).
+    """
+
+    def __init__(self, params, x: np.ndarray):
+        data = np.asarray(x, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError("expected a (batch, features) input")
+        if data.shape[1] != params.layer_sizes[0]:
+            raise ValueError(
+                f"input has {data.shape[1]} features, "
+                f"network expects {params.layer_sizes[0]}"
+            )
+        self.params = params
+        self.x = data
+        self.workspace = Workspace()
+        # Shape of the layer-0 x_aug buffer whose content is already
+        # valid; layer 0 augments the *same* broadcast input every chunk,
+        # so a same-shaped chunk can skip the (large) refill entirely.
+        self._x0_filled: Optional[Tuple[int, ...]] = None
+
+    # ------------------------------------------------------------------ #
+    # fused kernel steps                                                 #
+    # ------------------------------------------------------------------ #
+
+    def _fill_x_aug(
+        self, tag: str, hidden: np.ndarray, cacheable: bool = False
+    ) -> np.ndarray:
+        """`augment_inputs` into a buffer: [x | 1 V bias | 0 V down].
+
+        ``cacheable`` marks a fill whose content is chunk-invariant (layer
+        0: ``hidden`` is always the broadcast network input).  Nothing else
+        ever writes to the x_aug buffers, so when the chunk shape repeats
+        the previous fill is still byte-exact and is reused as-is.
+        """
+        *lead, batch, n_in = hidden.shape
+        shape = (*lead, batch, n_in + 2)
+        x_aug = self.workspace.buf(f"{tag}.x_aug", shape)
+        if cacheable and self._x0_filled == shape:
+            return x_aug
+        x_aug[..., :n_in] = hidden
+        x_aug[..., n_in] = BIAS_VOLTAGE
+        x_aug[..., n_in + 1] = 0.0
+        if cacheable:
+            self._x0_filled = shape
+        return x_aug
+
+    def _fused_transfer(
+        self, voltage: np.ndarray, eta: np.ndarray, kind: str, tag: str
+    ) -> np.ndarray:
+        """`circuit_transfer` with buffered intermediates (bitwise equal)."""
+        ws = self.workspace
+        n_mc, n_circuits = eta.shape[0], eta.shape[1]
+        shape = (n_mc, 1, 1) if n_circuits == 1 else (n_mc, 1, n_circuits)
+        eta1 = eta[:, :, 0].reshape(*shape)
+        eta2 = eta[:, :, 1].reshape(*shape)
+        eta3 = eta[:, :, 2].reshape(*shape)
+        eta4 = eta[:, :, 3].reshape(*shape)
+        full = np.broadcast_shapes(voltage.shape, shape)
+        u = ws.buf(f"{tag}.u", full)
+        if _jit.shift_scale is not None:
+            _jit.shift_scale(voltage, eta3, eta4, out=u)
+        else:
+            np.subtract(voltage, eta3, out=u)
+            np.multiply(u, eta4, out=u)
+        np.tanh(u, out=u)
+        out = ws.buf(f"{tag}.out", full)
+        if _jit.affine is not None:
+            _jit.affine(eta1, eta2, u, out=out)
+        else:
+            np.multiply(eta2, u, out=out)
+            np.add(eta1, out, out=out)
+        if kind == "negweight":
+            np.negative(out, out=out)
+        return out
+
+    def _fused_crossbar(
+        self, x_aug: np.ndarray, inverted: np.ndarray, theta_eff: np.ndarray, tag: str
+    ) -> np.ndarray:
+        """`crossbar_output` with buffered intermediates (bitwise equal)."""
+        ws = self.workspace
+        batch = x_aug.shape[-2]
+        n_out = theta_eff.shape[-1]
+        magnitude = np.abs(theta_eff, out=ws.buf(f"{tag}.mag", theta_eff.shape))
+        route = ws.buf(f"{tag}.route", theta_eff.shape)
+        np.greater_equal(theta_eff, 0.0, out=route)
+        route[..., -1, :] = 1.0
+        pos_w = np.multiply(magnitude, route, out=ws.buf(f"{tag}.pos", theta_eff.shape))
+        neg_w = np.subtract(1.0, route, out=ws.buf(f"{tag}.neg", theta_eff.shape))
+        np.multiply(magnitude, neg_w, out=neg_w)
+        lead = np.broadcast_shapes(x_aug.shape[:-2], theta_eff.shape[:-2])
+        numerator = np.matmul(
+            x_aug, pos_w, out=ws.buf(f"{tag}.num", (*lead, batch, n_out))
+        )
+        num2 = np.matmul(
+            inverted, neg_w, out=ws.buf(f"{tag}.num2", (*lead, batch, n_out))
+        )
+        np.add(numerator, num2, out=numerator)
+        denom = np.sum(
+            magnitude, axis=1, out=ws.buf(f"{tag}.denom", (theta_eff.shape[0], n_out))
+        )
+        np.add(denom, 1e-12, out=denom)
+        np.divide(
+            numerator, denom.reshape(theta_eff.shape[0], 1, n_out), out=numerator
+        )
+        return numerator
+
+    # ------------------------------------------------------------------ #
+    # whole-path driver                                                  #
+    # ------------------------------------------------------------------ #
+
+    def forward(self, epsilons: Optional[List[LayerEpsilons]] = None) -> np.ndarray:
+        """Output voltages ``(n_mc, batch, classes)`` for one draw chunk."""
+        params = self.params
+        ws = self.workspace
+        if epsilons is not None:
+            if len(epsilons) != len(params.layers):
+                raise ValueError("need one epsilon triple per layer")
+            first = epsilons[0][0]
+            n_mc = 1 if first is None else int(first.shape[0])
+        else:
+            n_mc = 1
+
+        hidden = self.x[None]
+        if n_mc > 1:
+            hidden = np.broadcast_to(hidden, (n_mc, *self.x.shape))
+
+        for index, layer in enumerate(params.layers):
+            eps_theta = eps_act = eps_neg = None
+            if epsilons is not None:
+                eps_theta, eps_act, eps_neg = epsilons[index]
+            tag = f"mc.l{index}"
+
+            x_aug = self._fill_x_aug(tag, hidden, cacheable=index == 0)
+
+            theta_eff = layer.theta[None]                     # (1, I+2, O)
+            if eps_theta is not None:
+                eps = eps_theta
+                if not isinstance(eps, Perturbation):
+                    eps = np.asarray(eps, dtype=np.float64)
+                if eps.ndim != 3 or eps.shape[1:] != layer.theta.shape:
+                    raise ValueError("epsilon_theta must be (n_mc, in+2, out)")
+                theta_eff = apply_nonideality(
+                    theta_eff, eps,
+                    out=ws.buf(
+                        f"{tag}.theta",
+                        np.broadcast_shapes(theta_eff.shape, eps.shape),
+                    ),
+                )
+
+            inv_eta = circuit_eta(layer.neg_omega, params.neg_surrogate, eps_neg)
+            inverted = self._fused_transfer(x_aug, inv_eta, "negweight", f"{tag}.neg")
+            v_z = self._fused_crossbar(x_aug, inverted, theta_eff, tag)
+            if not layer.apply_activation:
+                hidden = v_z
+                continue
+            act_eta = circuit_eta(layer.act_omega, params.act_surrogate, eps_act)
+            hidden = self._fused_transfer(v_z, act_eta, "ptanh", f"{tag}.act")
+        return hidden
+
+    def predict(self, epsilons: Optional[List[LayerEpsilons]] = None) -> np.ndarray:
+        """Class predictions ``(n_mc, batch)`` for one draw chunk."""
+        voltages = self.forward(epsilons)
+        out = self.workspace.buf("mc.pred", voltages.shape[:-1], dtype=np.intp)
+        return np.argmax(voltages, axis=-1, out=out)
+
+
+# --------------------------------------------------------------------- #
+# the registry                                                          #
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Backend:
+    """One registered execution backend.
+
+    Attributes
+    ----------
+    name:
+        Registry key (the CLI/TrainConfig spelling).
+    description:
+        One human-readable line (shown in docs/benchmarks).
+    fused:
+        Whether the backend uses preallocated-scratch fused kernels.
+    make_eval_driver:
+        Factory ``(params, x) → driver`` with ``forward(epsilons)`` /
+        ``predict(epsilons)`` — the MC-evaluation whole-path driver.
+    """
+
+    name: str
+    description: str
+    fused: bool
+    make_eval_driver: Callable = field(repr=False)
+
+
+_REGISTRY: Dict[str, Backend] = {}
+
+
+def register_backend(backend: Backend) -> Backend:
+    """Add one backend to the registry (last registration of a name wins)."""
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def get_backend(name: str) -> Backend:
+    """Look up a backend by name; unknown names list the valid choices."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        valid = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown backend {name!r}; expected one of: {valid}") from None
+
+
+def backend_names() -> Tuple[str, ...]:
+    """Registered backend names, in registration order (reference first)."""
+    return tuple(_REGISTRY)
+
+
+register_backend(
+    Backend(
+        name="numpy",
+        description="historical allocating numpy kernels (the bitwise reference)",
+        fused=False,
+        make_eval_driver=NumpyEvalDriver,
+    )
+)
+register_backend(
+    Backend(
+        name="fused",
+        description=(
+            "preallocated-scratch fused kernels (out=/in-place numpy"
+            + (", numba JIT inner loops" if _jit.HAVE_NUMBA else "")
+            + "); bitwise equal to 'numpy'"
+        ),
+        fused=True,
+        make_eval_driver=FusedEvalDriver,
+    )
+)

@@ -28,7 +28,9 @@ from typing import List, Union
 
 import numpy as np
 
+from repro import telemetry
 from repro.core import kernels
+from repro.core.backends import DEFAULT_BACKEND, get_backend
 from repro.core.params import PNNParams, snapshot_params
 from repro.core.pnn import PrintedNeuralNetwork
 from repro.core.variation import (
@@ -116,6 +118,7 @@ def evaluate_mc(
     seed: int = 0,
     batch_mc: int = 20,
     scenario: str = DEFAULT_SCENARIO,
+    backend: str = DEFAULT_BACKEND,
 ) -> MonteCarloAccuracy:
     """Evaluate accuracy over ``n_test`` fabricated-circuit samples.
 
@@ -131,6 +134,13 @@ def evaluate_mc(
     the pre-refactor ε-only branch unchanged; named scenarios build their
     model at ``(epsilon, seed)`` and may be non-nominal even at ε = 0
     (stuck-at defects still fabricate broken devices).
+
+    ``backend`` picks the execution backend
+    (:mod:`repro.core.backends`) for the chunk loop.  Every registered
+    backend is bitwise-equal to ``"numpy"``, so the choice never changes
+    results — only how fast the chunks run.  One driver is built per call
+    and reused across chunks, so a fused backend's scratch buffers are
+    allocated once for the whole evaluation.
     """
     params = _as_params(design)
     y = np.asarray(y, dtype=np.int64)
@@ -149,16 +159,27 @@ def evaluate_mc(
 
     epsilons = draw_variation_samples(params, variation, n_test)
     batch_mc = max(1, int(batch_mc))
-    accuracies: List[float] = []
-    for start in range(0, n_test, batch_mc):
-        stop = min(start + batch_mc, n_test)
-        chunk = [
-            (theta[start:stop], act[start:stop], neg[start:stop])
-            for theta, act, neg in epsilons
-        ]
-        predictions = kernels.predict(params, x, epsilons=chunk)  # (stop-start, B)
-        accuracies.extend((predictions == y).mean(axis=1).tolist())
-    return MonteCarloAccuracy(accuracies=np.asarray(accuracies))
+    # One driver (and, for fused backends, one scratch workspace) reused
+    # across every chunk; one preallocated output row per fabrication.
+    driver = get_backend(backend).make_eval_driver(params, x)
+    accuracies = np.empty(n_test, dtype=np.float64)
+    with telemetry.get().span(
+        "mc.evaluate",
+        backend=backend,
+        scenario=scenario,
+        epsilon=epsilon,
+        n_test=int(n_test),
+        batch_mc=batch_mc,
+    ):
+        for start in range(0, n_test, batch_mc):
+            stop = min(start + batch_mc, n_test)
+            chunk = [
+                (theta[start:stop], act[start:stop], neg[start:stop])
+                for theta, act, neg in epsilons
+            ]
+            predictions = driver.predict(chunk)               # (stop-start, B)
+            np.mean(predictions == y, axis=1, out=accuracies[start:stop])
+    return MonteCarloAccuracy(accuracies=accuracies)
 
 
 def evaluate_mc_autograd(

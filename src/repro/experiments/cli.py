@@ -44,6 +44,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro import default_artifacts_dir, get_default_bundle, telemetry
+from repro.core.backends import DEFAULT_BACKEND, backend_names, numba_version
 from repro.core.variation import DEFAULT_SCENARIO, scenario_names
 from repro.datasets import DATASET_NAMES
 from repro.experiments.ablation import improvement_summary
@@ -118,6 +119,12 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="non-ideality scenario to sweep (repeatable); "
                              "choices: " + ", ".join(scenario_names()) + " "
                              "(default: default ε-only)")
+    table2.add_argument("--backend", choices=backend_names(),
+                        default=DEFAULT_BACKEND,
+                        help="kernel execution backend for training and MC "
+                             "evaluation; every backend is bitwise-identical "
+                             "to 'numpy' and shares its cache entries "
+                             "(default: numpy)")
 
     report = commands.add_parser(
         "report", help="aggregate summary of a recorded telemetry run"
@@ -177,6 +184,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "seeds": list(profile.seeds),
                 "lane_width": lane_width,
                 "scenarios": list(scenarios),
+                "backend": args.backend,
+                "numba": numba_version(),
             })
         results = run_table2_parallel(
             args.datasets, profile, surrogates=bundle,
@@ -184,6 +193,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             progress=lambda msg: print(f"[run] {msg}", file=sys.stderr),
             lane_width=lane_width,
             scenarios=scenarios,
+            backend=args.backend,
         )
         print(render_scenario_grid(results))
         print()

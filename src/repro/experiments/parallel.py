@@ -78,7 +78,10 @@ def _forked_execute(key: JobKey) -> JobOutcome:
     inherited from the parent at fork time — avoiding a per-task pickle
     of the surrogate bundle.
     """
-    return execute_job(key, _FORK_STATE["config"], _FORK_STATE["surrogates"])
+    return execute_job(
+        key, _FORK_STATE["config"], _FORK_STATE["surrogates"],
+        backend=_FORK_STATE.get("backend", "numpy"),
+    )
 
 
 def _forked_execute_batch(keys: List[JobKey]) -> List[JobOutcome]:
@@ -88,7 +91,10 @@ def _forked_execute_batch(keys: List[JobKey]) -> List[JobOutcome]:
     :func:`execute_job_lanes`, so the pool handles mixed batch widths
     with one code path.
     """
-    return execute_job_lanes(keys, _FORK_STATE["config"], _FORK_STATE["surrogates"])
+    return execute_job_lanes(
+        keys, _FORK_STATE["config"], _FORK_STATE["surrogates"],
+        backend=_FORK_STATE.get("backend", "numpy"),
+    )
 
 
 def _pool_context():
@@ -109,6 +115,7 @@ def run_table2_parallel(
     progress: Optional[Callable[[str], None]] = None,
     lane_width: int = 8,
     scenarios: Tuple[str, ...] = (DEFAULT_SCENARIO,),
+    backend: str = "numpy",
 ) -> List[CellResult]:
     """Run the Table-II grid with caching and multi-process training.
 
@@ -149,6 +156,12 @@ def run_table2_parallel(
         trains and evaluates its own full grid; the default
         single-scenario sweep reproduces the historical results (and
         cache digests) exactly.
+    backend:
+        Kernel execution backend (:mod:`repro.core.backends`) for both
+        training and MC evaluation.  Bitwise-equal across backends, so —
+        like ``workers`` and ``lane_width`` — it changes wall time only,
+        never results, and it is *not* part of the cache digest: entries
+        recorded under one backend are served to all of them.
 
     Returns
     -------
@@ -172,6 +185,7 @@ def run_table2_parallel(
             n_jobs=len(jobs),
             cached=cache is not None,
             scenarios=list(scenarios),
+            backend=backend,
         )
     outcomes: Dict[JobKey, JobOutcome] = {}
     pending: List[JobKey] = []
@@ -220,11 +234,12 @@ def run_table2_parallel(
 
     if workers <= 1 or len(batches) <= 1:
         for batch in batches:
-            for outcome in execute_job_lanes(batch, config, surrogates):
+            for outcome in execute_job_lanes(batch, config, surrogates, backend=backend):
                 _finish(outcome)
     else:
         _FORK_STATE["config"] = config
         _FORK_STATE["surrogates"] = surrogates
+        _FORK_STATE["backend"] = backend
         try:
             ctx = _pool_context()
             tel.event("pool.start", workers=int(workers), n_pending=len(batches))
@@ -239,8 +254,10 @@ def run_table2_parallel(
         finally:
             _FORK_STATE.clear()
 
-    with tel.span("table2.assemble"):
-        results = _assemble(datasets, config, surrogates, outcomes, cache, scenarios)
+    with tel.span("table2.assemble", backend=backend):
+        results = _assemble(
+            datasets, config, surrogates, outcomes, cache, scenarios, backend=backend
+        )
     if tel.enabled:
         tel.event("table2.done", n_jobs=len(jobs), n_trained=len(pending))
         # Collate the per-process worker logs into the parent run's
@@ -261,6 +278,7 @@ def _assemble(
     outcomes: Dict[JobKey, JobOutcome],
     cache: Optional[ResultCache],
     scenarios: Tuple[str, ...] = (DEFAULT_SCENARIO,),
+    backend: str = "numpy",
 ) -> List[CellResult]:
     """Best-of-seeds selection + MC evaluation, in serial-runner order.
 
@@ -305,6 +323,7 @@ def _assemble(
                 design, splits.x_test, splits.y_test,
                 epsilon=eps_test, n_test=config.n_test,
                 seed=mc_evaluation_seed(best_seed), scenario=scenario,
+                backend=backend,
             )
             results.append(
                 CellResult(

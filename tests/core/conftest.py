@@ -1,0 +1,18 @@
+"""Core-package fixtures: the execution-backend axis.
+
+Every backend registered in :mod:`repro.core.backends` promises *bitwise*
+equality with the historical ``"numpy"`` reference.  The equivalence and
+gradcheck suites parametrize over this fixture so each backend is held to
+exactly the same agreements the reference passes — adding a backend to the
+registry automatically subjects it to the full suite.
+"""
+
+import pytest
+
+from repro.core.backends import backend_names
+
+
+@pytest.fixture(params=backend_names())
+def backend(request):
+    """Name of one registered execution backend (``numpy``, ``fused``, ...)."""
+    return request.param

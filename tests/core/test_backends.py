@@ -1,0 +1,228 @@
+"""The execution-backend registry and the fused backend's bitwise contract.
+
+The registry's house rule (see :mod:`repro.core.backends`): a backend is a
+*performance* choice, never a *numerical* one.  Every check here therefore
+uses ``assert_array_equal`` / ``==`` — a backend that is merely close does
+not belong in the registry.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DEFAULT_BACKEND,
+    PrintedNeuralNetwork,
+    TrainConfig,
+    backend_names,
+    evaluate_mc,
+    get_backend,
+    kernels,
+    numba_version,
+    snapshot_params,
+    train_pnn,
+    train_pnn_lanes,
+)
+from repro.core.backends import Backend, FusedEvalDriver
+from repro.core.evaluation import draw_variation_samples
+from repro.core.grad_kernels import KernelNetwork
+from repro.core.lanes import LaneNetwork
+from repro.core.variation import VariationModel, build_scenario_model
+
+
+def make_pnn(surrogates, per_neuron=False, sizes=(4, 3, 3), seed=7):
+    pnn = PrintedNeuralNetwork(
+        list(sizes), surrogates, per_neuron_activation=per_neuron,
+        rng=np.random.default_rng(seed),
+    )
+    nudge = np.random.default_rng(1)
+    for param in pnn.parameters():
+        param.data = param.data + 0.05 * nudge.standard_normal(param.data.shape)
+    return pnn
+
+
+class TestRegistry:
+    def test_registered_names_and_default(self):
+        assert backend_names() == ("numpy", "fused")
+        assert DEFAULT_BACKEND == "numpy"
+
+    def test_get_backend_roundtrip(self):
+        for name in backend_names():
+            entry = get_backend(name)
+            assert isinstance(entry, Backend)
+            assert entry.name == name
+            assert entry.description
+            assert callable(entry.make_eval_driver)
+        assert get_backend("fused").fused
+        assert not get_backend("numpy").fused
+
+    def test_unknown_backend_lists_valid_names(self):
+        with pytest.raises(ValueError, match="unknown backend 'gpu'.*fused.*numpy"):
+            get_backend("gpu")
+
+    def test_numba_never_required(self):
+        # The JIT tier is strictly opt-in: with numba absent the fused
+        # backend must still register and report no compiled tier.
+        version = numba_version()
+        assert version is None or isinstance(version, str)
+
+    def test_kernel_network_rejects_unknown_backend(self, analytic_surrogates):
+        pnn = make_pnn(analytic_surrogates)
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            KernelNetwork.from_pnn(pnn, backend="gpu")
+
+    def test_train_config_rejects_unknown_backend(
+        self, analytic_surrogates, blob_data
+    ):
+        x_train, y_train, x_val, y_val = blob_data
+        pnn = PrintedNeuralNetwork(
+            [2, 3, 2], analytic_surrogates, rng=np.random.default_rng(0)
+        )
+        config = TrainConfig(max_epochs=1, seed=0, backend="gpu")
+        with pytest.raises(ValueError, match="unknown backend"):
+            train_pnn(pnn, x_train, y_train, x_val, y_val, config)
+
+
+class TestFusedEvalDriver:
+    def test_input_validation_matches_reference(self, analytic_surrogates):
+        params = snapshot_params(make_pnn(analytic_surrogates))
+        with pytest.raises(ValueError, match="expected a .batch, features. input"):
+            FusedEvalDriver(params, np.zeros(4))
+        with pytest.raises(ValueError, match="features"):
+            FusedEvalDriver(params, np.zeros((5, 3)))
+
+    @pytest.mark.parametrize("scenario", ["gaussian", "stuck-1pct", "correlated"])
+    def test_scenario_epsilons_bitwise(self, analytic_surrogates, scenario):
+        # stuck-1pct exercises the Perturbation (override-mask) θ path,
+        # the others the plain multiplicative path with non-uniform draws.
+        params = snapshot_params(make_pnn(analytic_surrogates))
+        x = np.random.default_rng(2).uniform(0.0, 1.0, size=(9, 4))
+        model = build_scenario_model(scenario, 0.1, seed=3)
+        epsilons = draw_variation_samples(params, model, n_test=6)
+        fused = FusedEvalDriver(params, x)
+        reference = kernels.network_forward(params, x, epsilons=epsilons)
+        np.testing.assert_array_equal(fused.forward(epsilons), reference)
+
+    def test_scratch_is_reused_across_chunks(self, analytic_surrogates):
+        params = snapshot_params(make_pnn(analytic_surrogates))
+        x = np.random.default_rng(4).uniform(0.0, 1.0, size=(9, 4))
+        model = VariationModel(0.1, seed=9)
+        driver = FusedEvalDriver(params, x)
+        driver.forward(draw_variation_samples(params, model, n_test=5))
+        stable = driver.workspace.nbytes()
+        assert stable > 0
+        # Same chunk shape again: not a single new scratch byte.
+        driver.forward(draw_variation_samples(params, model, n_test=5))
+        assert driver.workspace.nbytes() == stable
+
+
+class TestTrainingBitwise:
+    """Full training trajectories are bitwise-identical across backends."""
+
+    @pytest.fixture(scope="class")
+    def reference_run(self, analytic_surrogates, blob_data):
+        return self._train("numpy", analytic_surrogates, blob_data)
+
+    @staticmethod
+    def _train(backend, surrogates, blob_data, engine="kernel"):
+        x_train, y_train, x_val, y_val = blob_data
+        pnn = PrintedNeuralNetwork(
+            [2, 3, 2], surrogates, rng=np.random.default_rng(21)
+        )
+        config = TrainConfig(
+            max_epochs=15, patience=15, epsilon=0.05, n_mc_train=3, seed=5,
+            backend=backend,
+        )
+        result = train_pnn(
+            pnn, x_train, y_train, x_val, y_val, config, engine=engine
+        )
+        return pnn, result
+
+    def _assert_same_run(self, run, reference):
+        pnn, result = run
+        ref_pnn, ref_result = reference
+        assert result.history == ref_result.history
+        assert result.best_epoch == ref_result.best_epoch
+        assert result.best_val_loss == ref_result.best_val_loss
+        state, ref_state = pnn.state_dict(), ref_pnn.state_dict()
+        assert state.keys() == ref_state.keys()
+        for name in state:
+            np.testing.assert_array_equal(state[name], ref_state[name])
+
+    def test_backend_trajectories_match(
+        self, analytic_surrogates, blob_data, reference_run, backend
+    ):
+        run = self._train(backend, analytic_surrogates, blob_data)
+        self._assert_same_run(run, reference_run)
+
+    def test_lane_engine_matches(
+        self, analytic_surrogates, blob_data, reference_run, backend
+    ):
+        run = self._train(backend, analytic_surrogates, blob_data, engine="lanes")
+        self._assert_same_run(run, reference_run)
+
+    def test_lane_stack_trains_bitwise_on_fused(
+        self, analytic_surrogates, blob_data
+    ):
+        x_train, y_train, x_val, y_val = blob_data
+
+        def train_pair(backend):
+            pnns = [
+                PrintedNeuralNetwork(
+                    [2, 3, 2], analytic_surrogates, rng=np.random.default_rng(s)
+                )
+                for s in (31, 32)
+            ]
+            configs = [
+                TrainConfig(
+                    max_epochs=12, patience=12, epsilon=0.05, n_mc_train=2,
+                    seed=s, backend=backend,
+                )
+                for s in (31, 32)
+            ]
+            results = train_pnn_lanes(
+                pnns, x_train, y_train, x_val, y_val, configs
+            )
+            return pnns, results
+
+        ref_pnns, ref_results = train_pair("numpy")
+        fused_pnns, fused_results = train_pair("fused")
+        for pnn, result, ref_pnn, ref_result in zip(
+            fused_pnns, fused_results, ref_pnns, ref_results
+        ):
+            self._assert_same_run((pnn, result), (ref_pnn, ref_result))
+
+
+class TestBackendPlumbing:
+    """The fused tier actually engages where it is selected."""
+
+    def test_kernel_network_threads_workspace(self, analytic_surrogates):
+        pnn = make_pnn(analytic_surrogates)
+        assert KernelNetwork.from_pnn(pnn)._fws is None
+        fused = KernelNetwork.from_pnn(pnn, backend="fused")
+        assert fused._fws is fused.workspace
+
+    def test_lane_network_threads_workspace(self, analytic_surrogates):
+        pnn = make_pnn(analytic_surrogates)
+        assert LaneNetwork.from_pnns([pnn])._fws is None
+        fused = LaneNetwork.from_pnns([pnn], backend="fused")
+        assert fused._fws is fused.workspace
+
+    def test_evaluate_mc_selects_driver_class(
+        self, analytic_surrogates, monkeypatch
+    ):
+        pnn = make_pnn(analytic_surrogates, sizes=(2, 3, 2), seed=3)
+        x = np.random.default_rng(0).uniform(0.0, 1.0, size=(8, 2))
+        y = np.random.default_rng(1).integers(0, 2, 8)
+        seen = []
+        original = FusedEvalDriver.forward
+
+        def spy(self, epsilons=None):
+            seen.append(type(self).__name__)
+            return original(self, epsilons)
+
+        monkeypatch.setattr(FusedEvalDriver, "forward", spy)
+        evaluate_mc(
+            snapshot_params(pnn), x, y, epsilon=0.1, n_test=3, seed=2,
+            backend="fused",
+        )
+        assert seen and set(seen) == {"FusedEvalDriver"}

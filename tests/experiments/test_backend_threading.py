@@ -1,0 +1,104 @@
+"""Backend selection threads end-to-end but stays outside the cache digest.
+
+The contract mirrors ``engine``: which backend executed a job is recorded
+everywhere (sidecar, journal, outcome) for attribution, yet never enters
+:func:`job_digest` — backends are bitwise-equal, so a cache entry trained
+on one backend must be served verbatim to every other.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import surrogate_fingerprint
+from repro.experiments import (
+    ExperimentConfig,
+    ResultCache,
+    RunJournal,
+    execute_job,
+    job_digest,
+)
+from repro.experiments.cli import _build_parser
+from repro.experiments.jobs import JobKey
+
+MICRO = ExperimentConfig(
+    seeds=(1,), max_epochs=10, patience=10, n_mc_train=2, n_test=4, max_train=50,
+)
+KEY = JobKey("iris", True, True, 0.05, 1)
+
+
+class TestDigestSharing:
+    def test_backend_outside_training_fingerprint(self):
+        assert "backend" not in MICRO.training_fingerprint()
+
+    def test_outcomes_bitwise_across_backends(self, analytic_surrogates):
+        reference = execute_job(KEY, MICRO, analytic_surrogates, backend="numpy")
+        fused = execute_job(KEY, MICRO, analytic_surrogates, backend="fused")
+        assert reference.backend == "numpy" and fused.backend == "fused"
+        assert fused.val_loss == reference.val_loss
+        assert fused.best_epoch == reference.best_epoch
+        assert fused.epochs_run == reference.epochs_run
+        for mine, ref in zip(fused.params.layers, reference.params.layers):
+            np.testing.assert_array_equal(mine.theta, ref.theta)
+            np.testing.assert_array_equal(mine.act_omega, ref.act_omega)
+            np.testing.assert_array_equal(mine.neg_omega, ref.neg_omega)
+
+    def test_cache_entry_shared_across_backends(self, tmp_path, analytic_surrogates):
+        # A numpy-trained entry must be a hit for a fused-backend run: the
+        # digest is computed from (key, config, surrogates, split) only.
+        cache = ResultCache(tmp_path / "cache")
+        fp = surrogate_fingerprint(analytic_surrogates)
+        digest = job_digest(KEY, MICRO, fp)
+        outcome = execute_job(KEY, MICRO, analytic_surrogates, backend="numpy")
+        cache.store(digest, outcome, analytic_surrogates)
+
+        restored = cache.load_outcome(digest)
+        assert restored is not None and restored.cache_hit
+        # The restored outcome reports the backend that *trained* it.
+        assert restored.backend == "numpy"
+
+
+class TestRecording:
+    def test_sidecar_and_journal_record_backend(self, tmp_path, analytic_surrogates):
+        outcome = execute_job(KEY, MICRO, analytic_surrogates, backend="fused")
+        cache = ResultCache(tmp_path / "cache")
+        fp = surrogate_fingerprint(analytic_surrogates)
+        digest = job_digest(KEY, MICRO, fp)
+        cache.store(digest, outcome, analytic_surrogates)
+        assert cache.load_meta(digest)["backend"] == "fused"
+        assert cache.load_outcome(digest).backend == "fused"
+
+        journal = RunJournal(tmp_path / "journal.jsonl")
+        journal.record(outcome)
+        assert RunJournal.read(journal.path)[0]["backend"] == "fused"
+
+    def test_pre_backend_sidecar_defaults_to_numpy(
+        self, tmp_path, analytic_surrogates
+    ):
+        # Sidecars written before backends existed carry no backend key;
+        # those entries were necessarily trained on the numpy kernels.
+        cache = ResultCache(tmp_path / "cache")
+        fp = surrogate_fingerprint(analytic_surrogates)
+        digest = job_digest(KEY, MICRO, fp)
+        outcome = execute_job(KEY, MICRO, analytic_surrogates, backend="fused")
+        cache.store(digest, outcome, analytic_surrogates)
+        meta = json.loads(cache.meta_path(digest).read_text())
+        del meta["backend"]
+        cache.meta_path(digest).write_text(json.dumps(meta))
+        assert cache.load_outcome(digest).backend == "numpy"
+
+
+class TestCLI:
+    def test_backend_flag_parses(self):
+        args = _build_parser().parse_args(["table2", "--backend", "fused"])
+        assert args.backend == "fused"
+
+    def test_backend_defaults_to_numpy(self):
+        args = _build_parser().parse_args(["table2"])
+        assert args.backend == "numpy"
+
+    def test_unknown_backend_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args(["table2", "--backend", "gpu"])
+        assert "--backend" in capsys.readouterr().err
