@@ -1,0 +1,54 @@
+"""Shared benchmark timing + machine-readable artifact writer.
+
+Two helpers every ``make bench-*`` target routes through:
+
+- :func:`best_time` — the one true min-of-N timer (previously copy-pasted
+  per bench module with drifting warm-up behaviour);
+- :func:`record_benchmark` — writes a ``BENCH_<name>.json`` artifact next
+  to the rendered ``.txt`` table so CI and later sessions can diff
+  measured numbers without parsing prose.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Callable, Dict
+
+
+def best_time(fn: Callable[[], object], repeats: int = 3) -> float:
+    """Minimum wall time of ``repeats`` calls, after one warm-up call.
+
+    The warm call absorbs one-off costs (page faults, BLAS thread spin-up,
+    JIT compilation) so the minimum measures the steady state; min-of-N
+    shrugs off neighbor noise better than the mean on shared machines.
+    """
+    fn()
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def record_benchmark(output_dir: Path, name: str, payload: Dict[str, object]) -> Path:
+    """Write ``BENCH_<name>.json`` with ``payload`` plus host metadata.
+
+    The metadata keys (python version, cpu count, timestamp) make the
+    committed artifact interpretable on its own — speedups measured on a
+    1-core container read differently than on a 16-core workstation.
+    """
+    record = {
+        "benchmark": name,
+        "recorded_unix": int(time.time()),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        **payload,
+    }
+    path = Path(output_dir) / f"BENCH_{name}.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path

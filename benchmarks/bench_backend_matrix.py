@@ -19,10 +19,9 @@ evaluation, ≥ 1.2× on training) are asserted against the ``numpy``
 reference; timings are min-of-``REPEATS`` to shrug off neighbor noise.
 """
 
-import time
-
 import numpy as np
 
+from benchmarks._record import best_time, record_benchmark
 from benchmarks.conftest import save_and_print
 from repro.core import (
     PrintedNeuralNetwork,
@@ -53,16 +52,6 @@ def _surrogates():
     return (AnalyticSurrogate("ptanh"), AnalyticSurrogate("negweight"))
 
 
-def _best_time(fn, repeats=REPEATS):
-    fn()                                  # warm (page faults, BLAS init)
-    times = []
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        times.append(time.perf_counter() - start)
-    return min(times)
-
-
 def test_backend_matrix(output_dir):
     surrogates = _surrogates()
     rng = np.random.default_rng(2)
@@ -85,7 +74,7 @@ def test_backend_matrix(output_dir):
         np.testing.assert_array_equal(
             run_mc(backend).accuracies, mc_reference.accuracies
         )
-        mc_times[backend] = _best_time(lambda: run_mc(backend))
+        mc_times[backend] = best_time(lambda: run_mc(backend), repeats=REPEATS)
 
     # ---------------- training ---------------- #
     x_tr = rng.uniform(0.0, 1.0, (TRAIN_BATCH, SIZES[0]))
@@ -109,7 +98,7 @@ def test_backend_matrix(output_dir):
         result = run_train(backend)
         assert result.history == train_reference.history
         assert result.best_epoch == train_reference.best_epoch
-        train_times[backend] = _best_time(lambda: run_train(backend))
+        train_times[backend] = best_time(lambda: run_train(backend), repeats=REPEATS)
 
     # ---------------- report + gates ---------------- #
     jit = numba_version()
@@ -137,6 +126,15 @@ def test_backend_matrix(output_dir):
 
     mc_speedup = mc_times["numpy"] / mc_times["fused"]
     train_speedup = train_times["numpy"] / train_times["fused"]
+    record_benchmark(output_dir, "backend_matrix", {
+        "numba": jit,
+        "mc": {"batch": MC_BATCH, "n_test": MC_N_TEST, "batch_mc": MC_BATCH_MC,
+               "epsilon": MC_EPSILON, "seconds": mc_times,
+               "fused_speedup": mc_speedup, "gate": MC_GATE},
+        "training": {"batch": TRAIN_BATCH, "epochs": TRAIN_EPOCHS,
+                     "n_mc": TRAIN_N_MC, "seconds": train_times,
+                     "fused_speedup": train_speedup, "gate": TRAIN_GATE},
+    })
     assert mc_speedup >= MC_GATE, (
         f"fused MC-evaluation speedup regressed: {mc_speedup:.2f}x < {MC_GATE}x"
     )

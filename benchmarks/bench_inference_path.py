@@ -14,10 +14,9 @@ headline number is the speedup, which the PR's acceptance criteria require
 to be ≥ 2×.
 """
 
-import time
-
 import numpy as np
 
+from benchmarks._record import best_time
 from benchmarks.conftest import save_and_print
 from repro.core import (
     SAMPLE_BLOCK,
@@ -36,15 +35,6 @@ EPSILON = 0.1
 REPEATS = 5
 
 
-def _best_time(fn, repeats=REPEATS):
-    times = []
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        times.append(time.perf_counter() - start)
-    return min(times)
-
-
 def test_inference_path_speedup(output_dir):
     splits = load_splits("iris", seed=0, max_train=50)
     surrogates = default_surrogates()
@@ -61,11 +51,13 @@ def test_inference_path_speedup(output_dir):
     kernel = evaluate_mc(params, splits.x_test, splits.y_test, **kwargs)
     np.testing.assert_array_equal(kernel.accuracies, autograd.accuracies)
 
-    t_autograd = _best_time(
-        lambda: evaluate_mc_autograd(pnn, splits.x_test, splits.y_test, **kwargs)
+    t_autograd = best_time(
+        lambda: evaluate_mc_autograd(pnn, splits.x_test, splits.y_test, **kwargs),
+        repeats=REPEATS,
     )
-    t_kernel = _best_time(
-        lambda: evaluate_mc(params, splits.x_test, splits.y_test, **kwargs)
+    t_kernel = best_time(
+        lambda: evaluate_mc(params, splits.x_test, splits.y_test, **kwargs),
+        repeats=REPEATS,
     )
     speedup = t_autograd / t_kernel
 

@@ -1,0 +1,195 @@
+"""Sharded MC evaluation over the shared-memory data plane.
+
+Benchmarks the tentpole path on a large-``n_test`` scenario grid
+(``n_test`` = 2000, ``stuck-1pct`` + ``correlated`` — the regime the
+Table-II protocol scales into, where evaluation dominates the wall
+clock).  Four gates, correctness always before timing:
+
+1. **bitwise identity** — ``evaluate_mc_sharded`` equals serial
+   ``evaluate_mc`` via ``assert_array_equal`` at every tested shard
+   count and scenario (the tentpole's hard contract);
+2. **data plane ≥ 2×** (the headline gate) — publishing the evaluation
+   payload once to shared memory and mapping it per shard beats
+   pickling the identical payload per shard, the transport a
+   pool-based design would otherwise pay.  This gate is
+   host-independent: it compares bytes moved, not cores used;
+3. **end-to-end ≥ 1.25×** — the sharded path as shipped (fused driver,
+   adaptive cache-budget chunks) vs. the as-shipped serial default
+   (numpy, ``SAMPLE_BLOCK`` chunks), inline on one core;
+4. **pooled ≥ 2×** — asserted only on hosts with ≥ 4 cores, where the
+   shards actually spread; on smaller hosts the number is recorded but
+   not gated (a 1-core container cannot speed up by adding processes).
+
+All measurements land in ``BENCH_mc_sharding.json`` with the host's CPU
+count, so committed numbers are interpretable on their own.
+"""
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from benchmarks._record import best_time, record_benchmark
+from benchmarks.conftest import save_and_print
+from repro.core import (
+    SAMPLE_BLOCK,
+    PrintedNeuralNetwork,
+    evaluate_mc,
+    evaluate_mc_sharded,
+    snapshot_params,
+)
+from repro.core.evaluation import _resolve_variation, draw_variation_samples
+from repro.core.shm import SharedArrayStore, map_evaluation, publish_evaluation
+from repro.surrogate import AnalyticSurrogate
+
+SIZES = (16, 6, 4)
+BATCH = 8192
+N_TEST = 2000
+EPSILON = 0.1
+SHARDS = 8
+REPEATS = 2
+SCENARIOS = ("stuck-1pct", "correlated")
+TIMED_SCENARIO = "stuck-1pct"
+
+TRANSPORT_GATE = 2.0
+END_TO_END_GATE = 1.25
+POOLED_GATE = 2.0
+POOLED_MIN_CPUS = 4
+
+
+def _workload():
+    surrogates = (AnalyticSurrogate("ptanh"), AnalyticSurrogate("negweight"))
+    pnn = PrintedNeuralNetwork(list(SIZES), surrogates, rng=np.random.default_rng(0))
+    params = snapshot_params(pnn)
+    rng = np.random.default_rng(2)
+    x = rng.uniform(0.0, 1.0, (BATCH, SIZES[0]))
+    y = rng.integers(0, SIZES[-1], BATCH)
+    return params, x, y
+
+
+def _transport_times(params, x, y):
+    """Shared-memory publish+map vs. per-shard pickle of the same payload."""
+    variation = _resolve_variation(EPSILON, seed=7, scenario=TIMED_SCENARIO)
+    epsilons = draw_variation_samples(params, variation, N_TEST)
+    y64 = np.asarray(y, dtype=np.int64)
+
+    def roundtrip_pickle():
+        for _ in range(SHARDS):
+            pickle.loads(pickle.dumps((params, x, y64, epsilons), protocol=5))
+
+    def roundtrip_shm():
+        with SharedArrayStore() as store:
+            payload = publish_evaluation(store, params, x, y64, epsilons,
+                                         dataset_key=None)
+            for _ in range(SHARDS):
+                map_evaluation(payload).close()
+
+    payload_bytes = len(pickle.dumps((params, x, y64, epsilons), protocol=5))
+    t_pickle = best_time(roundtrip_pickle, repeats=REPEATS)
+    t_shm = best_time(roundtrip_shm, repeats=REPEATS)
+    return t_pickle, t_shm, payload_bytes
+
+
+def test_mc_sharding(output_dir):
+    params, x, y = _workload()
+    kwargs = dict(epsilon=EPSILON, n_test=N_TEST, seed=7)
+
+    # ---- gate 1: bitwise identity before any timing ---- #
+    for scenario in SCENARIOS:
+        serial = evaluate_mc(params, x, y, scenario=scenario, **kwargs)
+        for shards in (1, SHARDS):
+            sharded = evaluate_mc_sharded(
+                params, x, y, scenario=scenario, shards=shards,
+                backend="fused", **kwargs,
+            )
+            np.testing.assert_array_equal(sharded.accuracies, serial.accuracies)
+
+    # ---- gate 2: the data plane beats per-shard pickling ---- #
+    t_pickle, t_shm, payload_bytes = _transport_times(params, x, y)
+    transport_speedup = t_pickle / t_shm
+
+    # ---- gate 3: end-to-end, sharded path vs. as-shipped serial ---- #
+    t_serial = best_time(
+        lambda: evaluate_mc(params, x, y, scenario=TIMED_SCENARIO, **kwargs),
+        repeats=REPEATS,
+    )
+    t_sharded = best_time(
+        lambda: evaluate_mc_sharded(
+            params, x, y, scenario=TIMED_SCENARIO, shards=SHARDS,
+            backend="fused", **kwargs,
+        ),
+        repeats=REPEATS,
+    )
+    end_to_end_speedup = t_serial / t_sharded
+
+    # ---- gate 4: pooled fan-out, asserted on multi-core hosts only ---- #
+    cpus = os.cpu_count() or 1
+    pooled_speedup = None
+    if cpus >= POOLED_MIN_CPUS:
+        with ProcessPoolExecutor(max_workers=SHARDS) as pool:
+            t_pooled = best_time(
+                lambda: evaluate_mc_sharded(
+                    params, x, y, scenario=TIMED_SCENARIO, shards=SHARDS,
+                    backend="fused", pool=pool, **kwargs,
+                ),
+                repeats=REPEATS,
+            )
+        pooled_speedup = t_serial / t_pooled
+
+    lines = [
+        f"MC sharding: topology {list(SIZES)}, batch {BATCH}, "
+        f"n_test {N_TEST}, eps {EPSILON}, scenario {TIMED_SCENARIO}, "
+        f"{SHARDS} shards, {cpus} cpu(s)",
+        f"  identity: sharded == serial bitwise at shards in (1, {SHARDS}) "
+        f"for {', '.join(SCENARIOS)}",
+        f"  data plane ({payload_bytes / 1e6:.1f} MB payload x {SHARDS} shards):",
+        f"    per-shard pickle roundtrip: {t_pickle * 1e3:8.2f} ms",
+        f"    shm publish + map         : {t_shm * 1e3:8.2f} ms",
+        f"    speedup                   : {transport_speedup:8.2f}x "
+        f"(gate >= {TRANSPORT_GATE}x)",
+        f"  end-to-end (inline, one core):",
+        f"    serial numpy, batch_mc={SAMPLE_BLOCK:<4}: {t_serial:8.3f} s",
+        f"    sharded fused, adaptive   : {t_sharded:8.3f} s",
+        f"    speedup                   : {end_to_end_speedup:8.2f}x "
+        f"(gate >= {END_TO_END_GATE}x)",
+    ]
+    if pooled_speedup is not None:
+        lines.append(
+            f"  pooled ({SHARDS} workers)     : {pooled_speedup:8.2f}x "
+            f"(gate >= {POOLED_GATE}x)"
+        )
+    else:
+        lines.append(
+            f"  pooled gate skipped: {cpus} cpu(s) < {POOLED_MIN_CPUS} "
+            f"(process fan-out cannot pay for itself on this host)"
+        )
+    save_and_print(output_dir, "mc_sharding", "\n".join(lines))
+
+    record_benchmark(output_dir, "mc_sharding", {
+        "topology": list(SIZES), "batch": BATCH, "n_test": N_TEST,
+        "epsilon": EPSILON, "shards": SHARDS, "scenarios": list(SCENARIOS),
+        "timed_scenario": TIMED_SCENARIO,
+        "payload_bytes": payload_bytes,
+        "transport": {"pickle_seconds": t_pickle, "shm_seconds": t_shm,
+                      "speedup": transport_speedup, "gate": TRANSPORT_GATE},
+        "end_to_end": {"serial_numpy_seconds": t_serial,
+                       "sharded_fused_seconds": t_sharded,
+                       "speedup": end_to_end_speedup, "gate": END_TO_END_GATE},
+        "pooled": {"speedup": pooled_speedup, "gate": POOLED_GATE,
+                   "gated": cpus >= POOLED_MIN_CPUS},
+    })
+
+    assert transport_speedup >= TRANSPORT_GATE, (
+        f"shm data plane only {transport_speedup:.2f}x faster than per-shard "
+        f"pickling (need >= {TRANSPORT_GATE}x)"
+    )
+    assert end_to_end_speedup >= END_TO_END_GATE, (
+        f"sharded path only {end_to_end_speedup:.2f}x faster end-to-end "
+        f"(need >= {END_TO_END_GATE}x)"
+    )
+    if pooled_speedup is not None:
+        assert pooled_speedup >= POOLED_GATE, (
+            f"pooled sharding only {pooled_speedup:.2f}x on {cpus} cpus "
+            f"(need >= {POOLED_GATE}x)"
+        )

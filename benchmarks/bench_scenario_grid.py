@@ -21,6 +21,7 @@ Correctness is asserted before any timing:
 
 import time
 
+from benchmarks._record import record_benchmark
 from benchmarks.conftest import save_and_print
 from repro.core.variation import SCENARIOS, scenario_names
 from repro.experiments import (
@@ -92,6 +93,11 @@ def test_scenario_grid(output_dir):
             f"({SCENARIOS[name].description})"
         )
     save_and_print(output_dir, "scenario_grid", "\n".join(lines))
+    record_benchmark(output_dir, "scenario_grid", {
+        "scenarios": list(scenarios), "seeds": len(CONFIG.seeds),
+        "epochs": EPOCHS, "single_seconds": t_single,
+        "grid_seconds": t_grid, "per_scenario_seconds": per_scenario,
+    })
 
     # The sweep is linear fan-out; allow generous slack for fixed costs.
     assert per_scenario <= 3.0 * t_single, (

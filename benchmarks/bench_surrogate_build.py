@@ -19,6 +19,7 @@ import time
 
 import numpy as np
 
+from benchmarks._record import record_benchmark
 from benchmarks.conftest import save_and_print
 from repro.surrogate.dataset_builder import build_surrogate_dataset
 
@@ -98,4 +99,9 @@ def test_surrogate_build_speedup(output_dir):
         ]
 
     save_and_print(output_dir, "surrogate_build", "\n".join(lines))
+    record_benchmark(output_dir, "surrogate_build", {
+        "kind": KIND, "n_points": N_POINTS, "sweep_points": SWEEP_POINTS,
+        "profile": PROFILE_NAME, "scalar_seconds": t_scalar,
+        "batched_seconds": t_batched, "speedup": speedup, "gate": 5.0,
+    })
     assert speedup >= 5.0, f"batched engine only {speedup:.2f}x faster (need ≥ 5x)"

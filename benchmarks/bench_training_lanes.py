@@ -17,10 +17,9 @@ timing, so the headline speedup — required ≥ 3× by the PR's acceptance
 criteria — compares two paths that produce byte-equal designs.
 """
 
-import time
-
 import numpy as np
 
+from benchmarks._record import best_time, record_benchmark
 from benchmarks.conftest import save_and_print
 from repro.experiments import (
     ExperimentConfig,
@@ -39,15 +38,6 @@ CONFIG = ExperimentConfig(
     seeds=tuple(range(1, LANE_WIDTH + 1)),
     max_epochs=EPOCHS, patience=EPOCHS, n_mc_train=5, n_test=6, max_train=60,
 )
-
-
-def _best_time(fn, repeats=REPEATS):
-    times = []
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        times.append(time.perf_counter() - start)
-    return min(times)
 
 
 def _assert_bitwise_equal(serial, laned):
@@ -75,10 +65,13 @@ def test_training_lanes_speedup(output_dir):
     laned = execute_job_lanes(batch, CONFIG, surrogates)
     _assert_bitwise_equal(serial, laned)
 
-    t_serial = _best_time(
-        lambda: [execute_job(key, CONFIG, surrogates) for key in batch]
+    t_serial = best_time(
+        lambda: [execute_job(key, CONFIG, surrogates) for key in batch],
+        repeats=REPEATS,
     )
-    t_lanes = _best_time(lambda: execute_job_lanes(batch, CONFIG, surrogates))
+    t_lanes = best_time(
+        lambda: execute_job_lanes(batch, CONFIG, surrogates), repeats=REPEATS
+    )
     speedup = t_serial / t_lanes
 
     lines = [
@@ -91,4 +84,10 @@ def test_training_lanes_speedup(output_dir):
         f"  speedup             : {speedup:8.2f} x   (outcomes bitwise equal)",
     ]
     save_and_print(output_dir, "training_lanes", "\n".join(lines))
+    record_benchmark(output_dir, "training_lanes", {
+        "lane_width": LANE_WIDTH, "epochs": EPOCHS,
+        "n_mc_train": CONFIG.n_mc_train, "max_train": CONFIG.max_train,
+        "serial_seconds": t_serial, "lanes_seconds": t_lanes,
+        "speedup": speedup, "gate": 3.0,
+    })
     assert speedup >= 3.0, f"lane speedup regressed: {speedup:.2f}x < 3x"

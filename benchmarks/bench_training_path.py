@@ -17,10 +17,9 @@ histories equal to ≤ 1e-9 relative (asserted below); the headline number is
 the speedup, which the PR's acceptance criteria require to be ≥ 2×.
 """
 
-import time
-
 import numpy as np
 
+from benchmarks._record import best_time
 from benchmarks.conftest import save_and_print
 from repro.core import PrintedNeuralNetwork, TrainConfig, train_pnn
 from repro.datasets import load_splits
@@ -48,15 +47,6 @@ def _train(splits, config, engine):
     return result
 
 
-def _best_time(fn, repeats=REPEATS):
-    times = []
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        times.append(time.perf_counter() - start)
-    return min(times)
-
-
 def test_training_path_speedup(output_dir):
     splits = load_splits("iris", seed=0, max_train=50)
     config = TrainConfig(
@@ -69,8 +59,8 @@ def test_training_path_speedup(output_dir):
     fast = np.array([(t, v) for _, t, v in kernel.history])
     np.testing.assert_allclose(fast, reference, rtol=1e-9, atol=0)
 
-    t_autograd = _best_time(lambda: _train(splits, config, "autograd"))
-    t_kernel = _best_time(lambda: _train(splits, config, "kernel"))
+    t_autograd = best_time(lambda: _train(splits, config, "autograd"), repeats=REPEATS)
+    t_kernel = best_time(lambda: _train(splits, config, "kernel"), repeats=REPEATS)
     speedup = t_autograd / t_kernel
 
     lines = [

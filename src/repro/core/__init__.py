@@ -33,7 +33,13 @@ This package is the paper's primary contribution (Sec. III):
   serial kernel runs;
 - :mod:`~repro.core.evaluation` — Monte-Carlo test evaluation
   (N_test = 100) reporting mean ± std accuracy as in Table II, running
-  through the autograd-free kernel path;
+  through the autograd-free kernel path, serially (``evaluate_mc``) or
+  sharded across a process pool (``evaluate_mc_sharded``) with bitwise
+  identical results;
+- :mod:`~repro.core.shm` — the zero-copy shared-memory data plane behind
+  sharded evaluation: datasets, :class:`PNNParams` snapshots and
+  pre-drawn ε streams published once, mapped read-only in workers under
+  fork and spawn, with audited publish/map/unlink accounting;
 - :mod:`~repro.core.backends` — the execution-backend registry behind
   the kernel seam: the historical allocating ``"numpy"`` reference and
   the preallocated-scratch ``"fused"`` backend (optional numba JIT
@@ -77,10 +83,14 @@ from repro.core.training import TrainConfig, TrainResult, train_pnn
 from repro.core.lanes import LaneNetwork, train_pnn_lanes
 from repro.core.evaluation import (
     SAMPLE_BLOCK,
+    SHARD_BATCH_MC,
     MonteCarloAccuracy,
     evaluate_mc,
     evaluate_mc_autograd,
+    evaluate_mc_sharded,
+    plan_shards,
 )
+from repro.core.shm import SharedArrayStore
 from repro.core.aging import AgingModel, CompositeVariation, evaluate_lifetime
 from repro.core.serialization import (
     load_params,
@@ -130,8 +140,12 @@ __all__ = [
     "train_pnn_lanes",
     "MonteCarloAccuracy",
     "SAMPLE_BLOCK",
+    "SHARD_BATCH_MC",
+    "SharedArrayStore",
     "evaluate_mc",
     "evaluate_mc_autograd",
+    "evaluate_mc_sharded",
+    "plan_shards",
     "load_params",
     "load_pnn",
     "save_params",

@@ -24,12 +24,12 @@ bit-identical.  Changing it would silently re-roll all MC results.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Union
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro import telemetry
-from repro.core import kernels
+from repro.core import kernels, shm
 from repro.core.backends import DEFAULT_BACKEND, get_backend
 from repro.core.params import PNNParams, snapshot_params
 from repro.core.pnn import PrintedNeuralNetwork
@@ -42,6 +42,26 @@ from repro.core.variation import (
 
 #: Frozen width of the ε pre-draw blocks (see the module docstring).
 SAMPLE_BLOCK = 20
+
+#: Ceiling on the default compute-chunk width inside one shard
+#: (``batch_mc=None``).  Five ε blocks per chunk amortizes kernel dispatch
+#: on small test sets; results are chunk-invariant anyway.
+SHARD_BATCH_MC = 5 * SAMPLE_BLOCK
+
+#: Per-chunk intermediate budget behind the adaptive default: the kernel
+#: path materializes roughly ``batch_mc × batch × (features + 2)`` doubles
+#: per chunk, and chunks sized past the cache pay an mmap/page-fault round
+#: trip per temporary (measured: batch 2048 runs ~1.3× faster at chunk 20
+#: than at chunk 100).
+_SHARD_TARGET_BYTES = 16 << 20
+
+
+def _default_shard_batch(span: int, x: np.ndarray) -> int:
+    """Largest ε-block multiple whose intermediates fit the cache budget."""
+    per_row = max(1, x.shape[0] * (x.shape[1] + 2) * 8)
+    rows = min(_SHARD_TARGET_BYTES // per_row, SHARD_BATCH_MC)
+    blocks = max(1, rows // SAMPLE_BLOCK)
+    return max(1, min(span, blocks * SAMPLE_BLOCK))
 
 
 @dataclass
@@ -109,6 +129,49 @@ def draw_variation_samples(
     ]
 
 
+def _resolve_variation(epsilon: float, seed: int, scenario: str):
+    """The evaluation's non-ideality model, or ``None`` for a nominal run.
+
+    Exactly the branch structure :func:`evaluate_mc` always had: the
+    default scenario builds the legacy :class:`VariationModel` (or nothing
+    at ε = 0); named scenarios build their registry model and collapse to
+    nominal only when the model itself is nominal.
+    """
+    if scenario == DEFAULT_SCENARIO:
+        if epsilon == 0.0:
+            return None
+        return VariationModel(epsilon, seed=seed)
+    variation = build_scenario_model(scenario, epsilon, seed=seed)
+    return None if variation.is_nominal else variation
+
+
+def _nominal_accuracy(params: PNNParams, x: np.ndarray,
+                      y: np.ndarray) -> MonteCarloAccuracy:
+    predictions = kernels.predict(params, x)              # (1, B)
+    accuracy = float((predictions[0] == y).mean())
+    return MonteCarloAccuracy(accuracies=np.asarray([accuracy]))
+
+
+def _accuracy_rows(driver, epsilons, y: np.ndarray, start: int, stop: int,
+                   batch_mc: int, out: np.ndarray) -> None:
+    """Fill ``out`` with per-fabrication accuracies for rows [start, stop).
+
+    Slices the pre-drawn ε stream at *global* positions, writes at local
+    ones — the shared inner loop of :func:`evaluate_mc` (start = 0) and of
+    every shard in :func:`evaluate_mc_sharded`.
+    """
+    for chunk_start in range(start, stop, batch_mc):
+        chunk_stop = min(chunk_start + batch_mc, stop)
+        chunk = [
+            (theta[chunk_start:chunk_stop], act[chunk_start:chunk_stop],
+             neg[chunk_start:chunk_stop])
+            for theta, act, neg in epsilons
+        ]
+        predictions = driver.predict(chunk)               # (chunk, B)
+        np.mean(predictions == y, axis=1,
+                out=out[chunk_start - start:chunk_stop - start])
+
+
 def evaluate_mc(
     design: Design,
     x: np.ndarray,
@@ -144,18 +207,9 @@ def evaluate_mc(
     """
     params = _as_params(design)
     y = np.asarray(y, dtype=np.int64)
-    if scenario == DEFAULT_SCENARIO:
-        if epsilon == 0.0:
-            predictions = kernels.predict(params, x)      # (1, B)
-            accuracy = float((predictions[0] == y).mean())
-            return MonteCarloAccuracy(accuracies=np.asarray([accuracy]))
-        variation = VariationModel(epsilon, seed=seed)
-    else:
-        variation = build_scenario_model(scenario, epsilon, seed=seed)
-        if variation.is_nominal:
-            predictions = kernels.predict(params, x)      # (1, B)
-            accuracy = float((predictions[0] == y).mean())
-            return MonteCarloAccuracy(accuracies=np.asarray([accuracy]))
+    variation = _resolve_variation(epsilon, seed, scenario)
+    if variation is None:
+        return _nominal_accuracy(params, x, y)
 
     epsilons = draw_variation_samples(params, variation, n_test)
     batch_mc = max(1, int(batch_mc))
@@ -171,15 +225,176 @@ def evaluate_mc(
         n_test=int(n_test),
         batch_mc=batch_mc,
     ):
-        for start in range(0, n_test, batch_mc):
-            stop = min(start + batch_mc, n_test)
-            chunk = [
-                (theta[start:stop], act[start:stop], neg[start:stop])
-                for theta, act, neg in epsilons
-            ]
-            predictions = driver.predict(chunk)               # (stop-start, B)
-            np.mean(predictions == y, axis=1, out=accuracies[start:stop])
+        _accuracy_rows(driver, epsilons, y, 0, n_test, batch_mc, accuracies)
     return MonteCarloAccuracy(accuracies=accuracies)
+
+
+def plan_shards(n_test: int, shards: int,
+                block: int = SAMPLE_BLOCK) -> List[Tuple[int, int]]:
+    """Split ``n_test`` fabrications into shard spans on ε-block boundaries.
+
+    Every boundary except the final stop is a multiple of ``block``
+    (:data:`SAMPLE_BLOCK`), so each shard consumes whole pre-drawn ε
+    blocks and the concatenated shard outputs reproduce the serial stream
+    exactly.  Blocks spread as evenly as possible; ``shards`` is clamped
+    to the number of blocks so every span is non-empty.
+    """
+    if n_test < 1:
+        raise ValueError("n_test must be >= 1")
+    shards = max(1, int(shards))
+    n_blocks = -(-n_test // block)
+    shards = min(shards, n_blocks)
+    per_shard, remainder = divmod(n_blocks, shards)
+    spans: List[Tuple[int, int]] = []
+    cursor = 0
+    for index in range(shards):
+        width = (per_shard + (1 if index < remainder else 0)) * block
+        start, cursor = cursor, min(n_test, cursor + width)
+        spans.append((start, cursor))
+    return spans
+
+
+#: Per-process cache of the latest mapped payload and its backend driver.
+#: Every shard of one published evaluation that lands in a process reuses
+#: a single mapping and a single driver (with its preallocated scratch) —
+#: one fused driver per worker, not one per shard.  Keyed by the payload's
+#: segment names, which are unique per publish, so a new payload evicts
+#: and closes the stale mapping.
+_SHARD_CACHE: Dict[Tuple[str, str, str, str],
+                   Tuple[shm.MappedEvaluation, object]] = {}
+
+
+def _shard_context(payload: shm.EvalPayload,
+                   backend: str) -> Tuple[shm.MappedEvaluation, object]:
+    key = (payload.params.block.segment, payload.dataset.segment,
+           payload.epsilons.block.segment, backend)
+    cached = _SHARD_CACHE.get(key)
+    if cached is None:
+        while _SHARD_CACHE:
+            _, (stale, _) = _SHARD_CACHE.popitem()
+            stale.close()
+        mapping = shm.map_evaluation(payload)
+        driver = get_backend(backend).make_eval_driver(mapping.params, mapping.x)
+        cached = (mapping, driver)
+        _SHARD_CACHE[key] = cached
+    return cached
+
+
+def _evaluate_shard(payload: shm.EvalPayload, start: int, stop: int,
+                    batch_mc: Optional[int], backend: str) -> np.ndarray:
+    """Shard entry point — runs in pool workers (fork or spawn) or inline.
+
+    Maps the published payload zero-copy (once per process, via
+    :data:`_SHARD_CACHE`), evaluates its span, and returns only the fresh
+    accuracy rows — the one thing that crosses the pipe back.
+    """
+    mapping, driver = _shard_context(payload, backend)
+    if batch_mc is None:
+        batch_mc = _default_shard_batch(stop - start, mapping.x)
+    batch_mc = max(1, int(batch_mc))
+    out = np.empty(stop - start, dtype=np.float64)
+    with telemetry.get().span(
+        "mc.shard",
+        start=int(start),
+        stop=int(stop),
+        backend=backend,
+        batch_mc=batch_mc,
+    ):
+        _accuracy_rows(driver, mapping.epsilons, mapping.y,
+                       start, stop, batch_mc, out)
+    return out
+
+
+def evaluate_mc_sharded(
+    design: Design,
+    x: np.ndarray,
+    y: np.ndarray,
+    epsilon: float,
+    n_test: int = 100,
+    seed: int = 0,
+    batch_mc: Optional[int] = None,
+    scenario: str = DEFAULT_SCENARIO,
+    backend: str = DEFAULT_BACKEND,
+    shards: int = 1,
+    pool=None,
+    store: Optional[shm.SharedArrayStore] = None,
+    dataset_key=None,
+) -> MonteCarloAccuracy:
+    """Shard-parallel :func:`evaluate_mc` over the shared-memory data plane.
+
+    The parent pre-draws the *complete* ε stream exactly as the serial
+    loop does, publishes design, test set and stream once through
+    :mod:`repro.core.shm`, and evaluates :func:`plan_shards` spans — each
+    aligned to :data:`SAMPLE_BLOCK` boundaries, so each shard consumes
+    whole pre-drawn blocks.  Per-shard accuracy rows are merged by ordered
+    concatenation; because the kernels are chunk-invariant (the PR 1/PR 6
+    equality gates), the result is **bitwise identical** to serial
+    :func:`evaluate_mc` at every shard count, pooled or not.
+
+    Parameters beyond :func:`evaluate_mc`'s:
+
+    - ``batch_mc=None`` picks the shard-local compute chunk adaptively:
+      the largest ε-block multiple (capped at :data:`SHARD_BATCH_MC`)
+      whose per-chunk intermediates fit the cache budget; an explicit
+      value is honored as-is.  Either way results do not change.
+    - ``shards`` — requested shard count (clamped to whole ε blocks).
+    - ``pool`` — optional executor (``fork`` or ``spawn``) to spread the
+      shards over; ``None`` evaluates them inline, same data plane.
+    - ``store`` — optional external :class:`~repro.core.shm.
+      SharedArrayStore` to publish through (reused across calls); the
+      per-call design/ε blocks are unpublished on exit either way, so
+      publish/unlink accounting stays balanced.
+    - ``dataset_key`` — cache key for the (x, y) block within ``store``,
+      letting many evaluations on one dataset publish it once.
+
+    Nominal evaluations (``ε = 0`` in the default scenario, or a nominal
+    scenario model) early-return exactly like the serial path and touch no
+    shared memory.
+    """
+    params = _as_params(design)
+    y = np.asarray(y, dtype=np.int64)
+    variation = _resolve_variation(epsilon, seed, scenario)
+    if variation is None:
+        return _nominal_accuracy(params, x, y)
+
+    epsilons = draw_variation_samples(params, variation, n_test)
+    spans = plan_shards(n_test, shards)
+    owns_store = store is None
+    if owns_store:
+        store = shm.SharedArrayStore()
+    payload = None
+    try:
+        with telemetry.get().span(
+            "mc.evaluate_sharded",
+            backend=backend,
+            scenario=scenario,
+            epsilon=epsilon,
+            n_test=int(n_test),
+            shards=len(spans),
+            pooled=pool is not None,
+        ):
+            payload = shm.publish_evaluation(
+                store, params, x, y, epsilons, dataset_key=dataset_key
+            )
+            if pool is None:
+                rows = [
+                    _evaluate_shard(payload, start, stop, batch_mc, backend)
+                    for start, stop in spans
+                ]
+            else:
+                futures = [
+                    pool.submit(_evaluate_shard, payload, start, stop,
+                                batch_mc, backend)
+                    for start, stop in spans
+                ]
+                rows = [future.result() for future in futures]
+        return MonteCarloAccuracy(accuracies=np.concatenate(rows))
+    finally:
+        if owns_store:
+            store.close()
+        elif payload is not None:
+            store.unpublish(payload.params.block)
+            store.unpublish(payload.epsilons.block)
 
 
 def evaluate_mc_autograd(
@@ -210,13 +425,15 @@ def evaluate_mc_autograd(
         return MonteCarloAccuracy(accuracies=np.asarray([accuracy]))
 
     variation = VariationModel(epsilon, seed=seed)
-    accuracies: List[float] = []
-    remaining = n_test
-    while remaining > 0:
-        chunk = min(batch_mc, remaining)
+    # Accumulate into one preallocated row per fabrication, like the
+    # kernel path — not through a Python float list.
+    accuracies = np.empty(n_test, dtype=np.float64)
+    start = 0
+    while start < n_test:
+        stop = min(start + batch_mc, n_test)
         with no_grad():
-            voltages = pnn.forward(x, variation=variation, n_mc=chunk)
-        predictions = np.argmax(voltages.data, axis=-1)   # (chunk, B)
-        accuracies.extend((predictions == y).mean(axis=1).tolist())
-        remaining -= chunk
-    return MonteCarloAccuracy(accuracies=np.asarray(accuracies))
+            voltages = pnn.forward(x, variation=variation, n_mc=stop - start)
+        predictions = np.argmax(voltages.data, axis=-1)   # (stop-start, B)
+        np.mean(predictions == y, axis=1, out=accuracies[start:stop])
+        start = stop
+    return MonteCarloAccuracy(accuracies=accuracies)

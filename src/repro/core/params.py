@@ -27,6 +27,15 @@ PNN_PARAMS_VERSION = 1
 
 
 def _frozen(array: np.ndarray) -> np.ndarray:
+    if (
+        isinstance(array, np.ndarray)
+        and array.dtype == np.float64
+        and not array.flags.writeable
+        and array.flags.c_contiguous
+    ):
+        # Already in frozen form (e.g. a read-only shared-memory view from
+        # repro.core.shm) — adopt it, keeping zero-copy paths zero-copy.
+        return array
     copy = np.array(array, dtype=np.float64, copy=True)
     copy.setflags(write=False)
     return copy

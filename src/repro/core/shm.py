@@ -1,0 +1,493 @@
+"""Zero-copy shared-memory data plane for shard-parallel MC evaluation.
+
+Sharded Monte-Carlo evaluation (:func:`repro.core.evaluation.
+evaluate_mc_sharded`) splits ``n_test`` fabrications across worker
+processes.  Naively each shard task would pickle the test set, the frozen
+:class:`~repro.core.params.PNNParams` design and its slice of the
+pre-drawn ε stream through the pool pipe — megabytes per task, paid again
+for every shard.  This module publishes those payloads **once** into
+``multiprocessing.shared_memory`` segments and hands workers only tiny
+picklable handles (segment name + array offsets); workers map the
+segments back as read-only numpy views without copying a byte, under both
+``fork`` and ``spawn`` start methods.
+
+Accounting contract
+-------------------
+Segments are owned by the publishing :class:`SharedArrayStore`: `close()`
+(or the context manager, the ``__del__`` fallback, or the ``atexit``
+safety net) unlinks every published segment, so a completed run leaks
+nothing.  Telemetry counters audit the lifecycle — ``shm.publish`` /
+``shm.publish_bytes`` on publish, ``shm.map`` on every worker-side map,
+``shm.unlink`` on unlink; a run is leak-free exactly when the publish and
+unlink counts balance (the CI sharding smoke gates on it).
+
+Python 3.11 note: attaching to an existing segment *registers* it with
+the attaching process's ``resource_tracker`` (there is no ``track=False``
+until 3.13), which would make worker exit unlink segments the parent
+still owns.  :func:`_attach` therefore unregisters immediately after
+attaching; only the creating store ever unlinks.
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+import weakref
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import telemetry
+from repro.core.params import LayerParams, PNNParams, SurrogateParams
+from repro.core.variation import Perturbation
+
+#: Byte alignment of every array inside a segment (cache-line friendly).
+_ALIGN = 64
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Location of one array inside a shared segment."""
+
+    offset: int
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+@dataclass(frozen=True)
+class SharedBlock:
+    """Picklable handle to one published segment full of arrays.
+
+    Crossing a pool pipe costs a few hundred bytes regardless of how many
+    megabytes the segment holds — that is the whole point.
+    """
+
+    segment: str
+    specs: Tuple[ArraySpec, ...]
+    nbytes: int
+    label: str
+
+
+_ATTACH_LOCK = threading.Lock()
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting its lifetime.
+
+    See the module docstring: on Python < 3.13 attaching registers the
+    segment with this process's resource tracker, which would unlink it
+    when this process exits even though the publishing store still owns
+    it.  Worse, a *forked* worker shares the parent's tracker, so
+    register-then-unregister would erase the creator's entry.  Suppress
+    the registration instead: only the creating store's entry ever
+    exists, and only its ``unlink`` retires it.
+    """
+    with _ATTACH_LOCK:
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+    return segment
+
+
+class MappedBlock:
+    """Read-only zero-copy views of a published block, kept alive together.
+
+    ``arrays`` are numpy views directly into the shared segment — no copy
+    is made.  :meth:`close` releases the mapping and **invalidates** every
+    view taken from it (standard mmap semantics — numpy does not keep a
+    buffer export open on the segment, so nothing stops the unmap); treat
+    it like closing a file: copy out anything needed first.
+    """
+
+    __slots__ = ("arrays", "_segment")
+
+    def __init__(self, arrays: Tuple[np.ndarray, ...],
+                 segment: shared_memory.SharedMemory):
+        self.arrays = arrays
+        self._segment = segment
+
+    def close(self) -> None:
+        self.arrays = ()
+        segment, self._segment = self._segment, None
+        if segment is None:
+            return
+        try:
+            segment.close()
+        except BufferError:
+            # A live buffer export blocked the unmap (possible on some
+            # platforms); refcounting releases the mmap when it drops.
+            pass
+
+    def __enter__(self) -> "MappedBlock":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def map_block(block: SharedBlock) -> MappedBlock:
+    """Map a published block into this process as read-only views."""
+    segment = _attach(block.segment)
+    arrays = []
+    for spec in block.specs:
+        view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype),
+                          buffer=segment.buf, offset=spec.offset)
+        view.setflags(write=False)
+        arrays.append(view)
+    tel = telemetry.get()
+    if tel.enabled:
+        tel.count("shm.map")
+    return MappedBlock(tuple(arrays), segment)
+
+
+#: Stores not yet closed — the atexit net unlinks whatever is left.
+_LIVE_STORES: "weakref.WeakSet[SharedArrayStore]" = weakref.WeakSet()
+
+
+@atexit.register
+def _close_leftover_stores() -> None:  # pragma: no cover - exit path
+    for store in list(_LIVE_STORES):
+        store.close()
+
+
+class SharedArrayStore:
+    """Publisher and owner of shared-memory array segments.
+
+    One store per scope of work (one sharded evaluation, or one assembly
+    pass reusing a dataset across cells via ``cache_key``).  The store is
+    the single owner of every segment it publishes: :meth:`close` unlinks
+    them all, and the module's ``atexit`` hook closes stores that were
+    never closed explicitly, so no segment outlives the process.
+    """
+
+    def __init__(self):
+        self._segments: "dict[str, shared_memory.SharedMemory]" = {}
+        self._cache: "dict[Hashable, SharedBlock]" = {}
+        self._published = 0
+        self._unlinked = 0
+        self._closed = False
+        _LIVE_STORES.add(self)
+
+    # ----------------------------------------------------------------- #
+    # publishing                                                        #
+    # ----------------------------------------------------------------- #
+
+    def publish(self, arrays: Sequence[np.ndarray], label: str = "arrays",
+                cache_key: Optional[Hashable] = None) -> SharedBlock:
+        """Copy ``arrays`` into one fresh segment and return its handle.
+
+        ``cache_key`` makes the publish idempotent per store: a repeated
+        key returns the already-published block without touching shared
+        memory (used to publish a dataset once across many evaluations).
+        """
+        if self._closed:
+            raise RuntimeError("SharedArrayStore is closed")
+        if cache_key is not None:
+            hit = self._cache.get(cache_key)
+            if hit is not None:
+                return hit
+        prepared = [np.asarray(array) for array in arrays]
+        specs: List[ArraySpec] = []
+        offset = 0
+        for array in prepared:
+            offset = -(-offset // _ALIGN) * _ALIGN
+            specs.append(ArraySpec(offset, tuple(array.shape), array.dtype.str))
+            offset += array.nbytes
+        segment = shared_memory.SharedMemory(create=True, size=max(int(offset), 1))
+        for array, spec in zip(prepared, specs):
+            view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype),
+                              buffer=segment.buf, offset=spec.offset)
+            view[...] = array
+            del view
+        block = SharedBlock(segment.name, tuple(specs), int(offset), label)
+        self._segments[segment.name] = segment
+        self._published += 1
+        tel = telemetry.get()
+        if tel.enabled:
+            tel.count("shm.publish")
+            tel.count("shm.publish_bytes", n=int(offset))
+        if cache_key is not None:
+            self._cache[cache_key] = block
+        return block
+
+    def unpublish(self, block: SharedBlock) -> None:
+        """Unlink one published block early (before :meth:`close`)."""
+        segment = self._segments.pop(block.segment, None)
+        if segment is None:
+            return
+        self._cache = {key: value for key, value in self._cache.items()
+                       if value.segment != block.segment}
+        self._unlink(segment)
+
+    # ----------------------------------------------------------------- #
+    # accounting                                                        #
+    # ----------------------------------------------------------------- #
+
+    @property
+    def publish_count(self) -> int:
+        return self._published
+
+    @property
+    def unlink_count(self) -> int:
+        return self._unlinked
+
+    @property
+    def live_segments(self) -> int:
+        return len(self._segments)
+
+    # ----------------------------------------------------------------- #
+    # lifecycle                                                         #
+    # ----------------------------------------------------------------- #
+
+    def _unlink(self, segment: shared_memory.SharedMemory) -> None:
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - unlinked externally
+            pass
+        self._unlinked += 1
+        tel = telemetry.get()
+        if tel.enabled:
+            tel.count("shm.unlink")
+
+    def close(self) -> None:
+        """Unlink every remaining segment.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for name in list(self._segments):
+            self._unlink(self._segments.pop(name))
+        self._cache.clear()
+        _LIVE_STORES.discard(self)
+
+    def __enter__(self) -> "SharedArrayStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC fallback
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+# --------------------------------------------------------------------- #
+# evaluation payloads: PNNParams, datasets and ε streams                #
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class SurrogateMeta:
+    """Non-array fields of one :class:`SurrogateParams` snapshot."""
+
+    kind: str
+    backend: str
+    n_mlp_layers: int = 0
+    k_prime: float = 0.0
+    v_threshold: float = 0.0
+    vdd: float = 0.0
+    second_stage_load: float = 0.0
+
+
+@dataclass(frozen=True)
+class ParamsHandle:
+    """Handle + structural metadata rebuilding a :class:`PNNParams`."""
+
+    block: SharedBlock
+    layer_sizes: Tuple[int, ...]
+    per_neuron_activation: bool
+    activation_on_output: bool
+    apply_activation: Tuple[bool, ...]
+    act_meta: SurrogateMeta
+    neg_meta: SurrogateMeta
+
+
+@dataclass(frozen=True)
+class EpsilonsHandle:
+    """Handle + per-slot structure of a pre-drawn ε stream.
+
+    ``slots`` records, for each flattened (layer × role) slot, whether the
+    draw was a bare ndarray, an override-free :class:`Perturbation`, or an
+    override-carrying one — so the worker rebuilds exactly the structure
+    the serial loop consumes.
+    """
+
+    block: SharedBlock
+    slots: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class EvalPayload:
+    """Everything one shard worker needs, as picklable handles."""
+
+    params: ParamsHandle
+    dataset: SharedBlock
+    epsilons: EpsilonsHandle
+
+
+def _surrogate_arrays(surrogate: SurrogateParams) -> List[np.ndarray]:
+    if surrogate.backend == "mlp":
+        return [*surrogate.weights, *surrogate.biases, surrogate.input_min,
+                surrogate.input_span, surrogate.eta_min, surrogate.eta_span]
+    return [surrogate.scale, surrogate.shift]
+
+
+def _surrogate_meta(surrogate: SurrogateParams) -> SurrogateMeta:
+    if surrogate.backend == "mlp":
+        return SurrogateMeta(surrogate.kind, "mlp",
+                             n_mlp_layers=len(surrogate.weights))
+    return SurrogateMeta(
+        surrogate.kind, "analytic",
+        k_prime=surrogate.k_prime, v_threshold=surrogate.v_threshold,
+        vdd=surrogate.vdd, second_stage_load=surrogate.second_stage_load,
+    )
+
+
+def _rebuild_surrogate(meta: SurrogateMeta, cursor) -> SurrogateParams:
+    if meta.backend == "mlp":
+        weights = tuple(next(cursor) for _ in range(meta.n_mlp_layers))
+        biases = tuple(next(cursor) for _ in range(meta.n_mlp_layers))
+        return SurrogateParams(
+            kind=meta.kind, backend="mlp", weights=weights, biases=biases,
+            input_min=next(cursor), input_span=next(cursor),
+            eta_min=next(cursor), eta_span=next(cursor),
+        )
+    return SurrogateParams(
+        kind=meta.kind, backend="analytic",
+        scale=next(cursor), shift=next(cursor),
+        k_prime=meta.k_prime, v_threshold=meta.v_threshold,
+        vdd=meta.vdd, second_stage_load=meta.second_stage_load,
+    )
+
+
+def publish_params(store: SharedArrayStore, params: PNNParams,
+                   cache_key: Optional[Hashable] = None) -> ParamsHandle:
+    """Publish a frozen design snapshot (arrays only; metadata rides along)."""
+    arrays: List[np.ndarray] = []
+    for layer in params.layers:
+        arrays.extend((layer.theta, layer.act_omega, layer.neg_omega))
+    arrays.extend(_surrogate_arrays(params.act_surrogate))
+    arrays.extend(_surrogate_arrays(params.neg_surrogate))
+    block = store.publish(arrays, label="params", cache_key=cache_key)
+    return ParamsHandle(
+        block=block,
+        layer_sizes=params.layer_sizes,
+        per_neuron_activation=params.per_neuron_activation,
+        activation_on_output=params.activation_on_output,
+        apply_activation=tuple(layer.apply_activation for layer in params.layers),
+        act_meta=_surrogate_meta(params.act_surrogate),
+        neg_meta=_surrogate_meta(params.neg_surrogate),
+    )
+
+
+def map_params(handle: ParamsHandle) -> Tuple[PNNParams, MappedBlock]:
+    """Rebuild the :class:`PNNParams` over zero-copy views.
+
+    The views are read-only float64 and C-contiguous, so ``LayerParams``
+    adopts them without copying (see ``params._frozen``) — the design is
+    executed straight out of shared memory.
+    """
+    mapping = map_block(handle.block)
+    cursor = iter(mapping.arrays)
+    layers = []
+    for apply_activation in handle.apply_activation:
+        theta, act_omega, neg_omega = next(cursor), next(cursor), next(cursor)
+        layers.append(LayerParams(theta, act_omega, neg_omega, apply_activation))
+    params = PNNParams(
+        layer_sizes=handle.layer_sizes,
+        per_neuron_activation=handle.per_neuron_activation,
+        activation_on_output=handle.activation_on_output,
+        layers=tuple(layers),
+        act_surrogate=_rebuild_surrogate(handle.act_meta, cursor),
+        neg_surrogate=_rebuild_surrogate(handle.neg_meta, cursor),
+    )
+    return params, mapping
+
+
+def publish_epsilons(store: SharedArrayStore, epsilons,
+                     label: str = "epsilons") -> EpsilonsHandle:
+    """Publish a pre-drawn ε stream (one (θ, act, neg) triple per layer)."""
+    arrays: List[np.ndarray] = []
+    slots: List[str] = []
+    for triple in epsilons:
+        for slot in triple:
+            if isinstance(slot, Perturbation):
+                if slot.override_mask is None:
+                    slots.append("perturbation")
+                    arrays.append(slot.scale)
+                else:
+                    slots.append("perturbation+override")
+                    arrays.extend((slot.scale, slot.override_mask,
+                                   slot.override_value))
+            else:
+                slots.append("array")
+                arrays.append(slot)
+    block = store.publish(arrays, label=label)
+    return EpsilonsHandle(block=block, slots=tuple(slots))
+
+
+def map_epsilons(handle: EpsilonsHandle):
+    """Rebuild the ε stream structure over zero-copy views."""
+    mapping = map_block(handle.block)
+    cursor = iter(mapping.arrays)
+    flat = []
+    for kind in handle.slots:
+        if kind == "array":
+            flat.append(next(cursor))
+        elif kind == "perturbation":
+            flat.append(Perturbation(next(cursor)))
+        else:
+            flat.append(Perturbation(next(cursor), next(cursor), next(cursor)))
+    epsilons = [tuple(flat[index:index + 3]) for index in range(0, len(flat), 3)]
+    return epsilons, mapping
+
+
+class MappedEvaluation:
+    """One shard worker's view of the full evaluation payload."""
+
+    __slots__ = ("params", "x", "y", "epsilons", "_mappings")
+
+    def __init__(self, params, x, y, epsilons, mappings):
+        self.params = params
+        self.x = x
+        self.y = y
+        self.epsilons = epsilons
+        self._mappings = mappings
+
+    def close(self) -> None:
+        self.params = self.x = self.y = self.epsilons = None
+        mappings, self._mappings = self._mappings, ()
+        for mapping in mappings:
+            mapping.close()
+
+
+def publish_evaluation(store: SharedArrayStore, params: PNNParams,
+                       x: np.ndarray, y: np.ndarray, epsilons,
+                       dataset_key: Optional[Hashable] = None) -> EvalPayload:
+    """Publish one MC evaluation's payload: design, test set, ε stream.
+
+    ``dataset_key`` caches the (x, y) block per store, so repeated
+    evaluations of different designs on one dataset publish it once.
+    """
+    return EvalPayload(
+        params=publish_params(store, params),
+        dataset=store.publish([x, y], label="dataset", cache_key=dataset_key),
+        epsilons=publish_epsilons(store, epsilons),
+    )
+
+
+def map_evaluation(payload: EvalPayload) -> MappedEvaluation:
+    """Map a published evaluation payload in this (worker) process."""
+    params, params_map = map_params(payload.params)
+    dataset_map = map_block(payload.dataset)
+    x, y = dataset_map.arrays
+    epsilons, eps_map = map_epsilons(payload.epsilons)
+    return MappedEvaluation(params, x, y, epsilons,
+                            (params_map, dataset_map, eps_map))

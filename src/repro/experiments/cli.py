@@ -125,6 +125,11 @@ def _build_parser() -> argparse.ArgumentParser:
                              "evaluation; every backend is bitwise-identical "
                              "to 'numpy' and shares its cache entries "
                              "(default: numpy)")
+    table2.add_argument("--mc-shards", type=int, default=None, metavar="S",
+                        help="split each cell's Monte-Carlo test evaluation "
+                             "into S shards over the shared-memory data "
+                             "plane; results are bit-identical for any S "
+                             "(default: profile setting)")
 
     report = commands.add_parser(
         "report", help="aggregate summary of a recorded telemetry run"
@@ -175,6 +180,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             cache = ResultCache(cache_dir)
         lane_width = 1 if args.lane_grouping == "off" else max(1, args.lane_width)
         scenarios = tuple(dict.fromkeys(args.scenarios or (DEFAULT_SCENARIO,)))
+        mc_shards = (
+            profile.mc_shards if args.mc_shards is None else max(1, args.mc_shards)
+        )
         if args.telemetry:
             telemetry.enable(args.telemetry, manifest={
                 "command": "table2",
@@ -185,6 +193,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "lane_width": lane_width,
                 "scenarios": list(scenarios),
                 "backend": args.backend,
+                "mc_shards": mc_shards,
                 "numba": numba_version(),
             })
         results = run_table2_parallel(
@@ -194,6 +203,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             lane_width=lane_width,
             scenarios=scenarios,
             backend=args.backend,
+            mc_shards=mc_shards,
         )
         print(render_scenario_grid(results))
         print()

@@ -9,8 +9,8 @@ fans the batches out over a ``ProcessPoolExecutor``, and assembles the
 exact same ordered list of :class:`~repro.experiments.runner.CellResult`
 the serial runner produces.
 
-Two tiers of parallelism
-------------------------
+Three tiers of parallelism
+--------------------------
 The **first tier is lane batching**: all seeds of one training group
 (same dataset, setup and training ϵ) are stacked on a leading lane axis
 and trained in lockstep by :func:`repro.core.lanes.train_pnn_lanes` —
@@ -19,7 +19,12 @@ loop per seed, bitwise identical per lane to the serial run.  The
 **process pool is the second tier**: it spreads whole lane *batches*
 (i.e. different groups/datasets) across cores, instead of individual
 seed jobs as it did before lanes existed.  ``lane_width=1`` disables the
-first tier and recovers the historical per-job pool exactly.
+first tier and recovers the historical per-job pool exactly.  The
+**third tier is MC-evaluation sharding** (``mc_shards``): after training,
+the assembly pass splits each cell's ``n_test`` fabrications into
+ε-block-aligned shards evaluated through the zero-copy shared-memory
+data plane (:mod:`repro.core.shm`), pooled when ``workers > 1`` —
+bitwise identical to the serial evaluation at any shard count.
 
 Determinism contract
 --------------------
@@ -45,7 +50,8 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import telemetry
-from repro.core import evaluate_mc, surrogate_fingerprint
+from repro.core import evaluate_mc, evaluate_mc_sharded, surrogate_fingerprint
+from repro.core.shm import SharedArrayStore
 from repro.core.variation import DEFAULT_SCENARIO
 from repro.datasets import load_splits
 from repro.experiments.cache import ResultCache, RunJournal, job_digest
@@ -116,6 +122,7 @@ def run_table2_parallel(
     lane_width: int = 8,
     scenarios: Tuple[str, ...] = (DEFAULT_SCENARIO,),
     backend: str = "numpy",
+    mc_shards: Optional[int] = None,
 ) -> List[CellResult]:
     """Run the Table-II grid with caching and multi-process training.
 
@@ -162,6 +169,14 @@ def run_table2_parallel(
         like ``workers`` and ``lane_width`` — it changes wall time only,
         never results, and it is *not* part of the cache digest: entries
         recorded under one backend are served to all of them.
+    mc_shards:
+        Shard count for the Monte-Carlo test evaluations (third-tier
+        parallelism; ``None`` takes ``config.mc_shards``).  Shards > 1
+        route every non-nominal evaluation through
+        :func:`repro.core.evaluation.evaluate_mc_sharded` over the
+        shared-memory data plane, spread across a pool when
+        ``workers > 1``.  Bitwise identical to serial evaluation at any
+        count, and — like ``backend`` — outside the cache digest.
 
     Returns
     -------
@@ -173,6 +188,9 @@ def run_table2_parallel(
     fingerprint = surrogate_fingerprint(surrogates)
     if journal is None and cache is not None:
         journal = RunJournal(cache.journal_path)
+
+    mc_shards = config.mc_shards if mc_shards is None else mc_shards
+    mc_shards = max(1, int(mc_shards))
 
     tel = telemetry.get()
     scenarios = tuple(scenarios)
@@ -186,6 +204,7 @@ def run_table2_parallel(
             cached=cache is not None,
             scenarios=list(scenarios),
             backend=backend,
+            mc_shards=mc_shards,
         )
     outcomes: Dict[JobKey, JobOutcome] = {}
     pending: List[JobKey] = []
@@ -254,9 +273,10 @@ def run_table2_parallel(
         finally:
             _FORK_STATE.clear()
 
-    with tel.span("table2.assemble", backend=backend):
+    with tel.span("table2.assemble", backend=backend, mc_shards=mc_shards):
         results = _assemble(
-            datasets, config, surrogates, outcomes, cache, scenarios, backend=backend
+            datasets, config, surrogates, outcomes, cache, scenarios,
+            backend=backend, mc_shards=mc_shards, eval_workers=workers,
         )
     if tel.enabled:
         tel.event("table2.done", n_jobs=len(jobs), n_trained=len(pending))
@@ -279,6 +299,8 @@ def _assemble(
     cache: Optional[ResultCache],
     scenarios: Tuple[str, ...] = (DEFAULT_SCENARIO,),
     backend: str = "numpy",
+    mc_shards: int = 1,
+    eval_workers: int = 1,
 ) -> List[CellResult]:
     """Best-of-seeds selection + MC evaluation, in serial-runner order.
 
@@ -288,53 +310,86 @@ def _assemble(
     the serial run exactly.  Each scenario assembles its own grid, and
     the MC test evaluation draws from that scenario's model (the default
     scenario takes the historical ε-only branch unchanged).
+
+    With ``mc_shards > 1`` evaluations run through
+    :func:`~repro.core.evaluation.evaluate_mc_sharded`: one
+    :class:`~repro.core.shm.SharedArrayStore` spans the whole assembly so
+    each dataset's test split is published to shared memory once, and an
+    evaluation pool (``fork`` preferred) is kept when ``eval_workers > 1``
+    — the third parallelism tier.  Results are bitwise identical to the
+    serial ``evaluate_mc`` path either way.
     """
     results: List[CellResult] = []
     designs: Dict[Tuple[str, bool, bool, float, str], Tuple[object, int, float]] = {}
     splits_by_dataset: Dict[str, object] = {}
-    for scenario in scenarios:
-        for dataset, setup, eps_test in iter_cells(datasets):
-            if dataset not in splits_by_dataset:
-                splits_by_dataset[dataset] = load_splits(
-                    dataset, seed=SPLIT_SEED, max_train=config.max_train
-                )
-            splits = splits_by_dataset[dataset]
-            group = (
-                dataset, setup.learnable, setup.variation_aware,
-                train_epsilon(setup, eps_test), scenario,
+    store: Optional[SharedArrayStore] = None
+    eval_pool: Optional[ProcessPoolExecutor] = None
+    if mc_shards > 1:
+        store = SharedArrayStore()
+        if eval_workers > 1:
+            eval_pool = ProcessPoolExecutor(
+                max_workers=min(eval_workers, mc_shards),
+                mp_context=_pool_context(),
             )
-            if group not in designs:
-                best: Optional[JobOutcome] = None
-                for seed in config.seeds:
-                    outcome = outcomes[JobKey(dataset, setup.learnable, setup.variation_aware,
-                                              train_epsilon(setup, eps_test), int(seed),
-                                              scenario)]
-                    if best is None or outcome.val_loss < best.val_loss:
-                        best = outcome
-                assert best is not None
-                if best.params is not None:
-                    design = best.params
+    try:
+        for scenario in scenarios:
+            for dataset, setup, eps_test in iter_cells(datasets):
+                if dataset not in splits_by_dataset:
+                    splits_by_dataset[dataset] = load_splits(
+                        dataset, seed=SPLIT_SEED, max_train=config.max_train
+                    )
+                splits = splits_by_dataset[dataset]
+                group = (
+                    dataset, setup.learnable, setup.variation_aware,
+                    train_epsilon(setup, eps_test), scenario,
+                )
+                if group not in designs:
+                    best: Optional[JobOutcome] = None
+                    for seed in config.seeds:
+                        outcome = outcomes[JobKey(dataset, setup.learnable,
+                                                  setup.variation_aware,
+                                                  train_epsilon(setup, eps_test),
+                                                  int(seed), scenario)]
+                        if best is None or outcome.val_loss < best.val_loss:
+                            best = outcome
+                    assert best is not None
+                    if best.params is not None:
+                        design = best.params
+                    else:
+                        assert cache is not None and best.digest is not None
+                        design = cache.load_design(best.digest, surrogates)
+                    designs[group] = (design, best.key.seed, best.val_loss)
+                design, best_seed, val_loss = designs[group]
+                if mc_shards > 1:
+                    accuracy = evaluate_mc_sharded(
+                        design, splits.x_test, splits.y_test,
+                        epsilon=eps_test, n_test=config.n_test,
+                        seed=mc_evaluation_seed(best_seed), scenario=scenario,
+                        backend=backend, shards=mc_shards, pool=eval_pool,
+                        store=store, dataset_key=("dataset", dataset),
+                    )
                 else:
-                    assert cache is not None and best.digest is not None
-                    design = cache.load_design(best.digest, surrogates)
-                designs[group] = (design, best.key.seed, best.val_loss)
-            design, best_seed, val_loss = designs[group]
-            accuracy = evaluate_mc(
-                design, splits.x_test, splits.y_test,
-                epsilon=eps_test, n_test=config.n_test,
-                seed=mc_evaluation_seed(best_seed), scenario=scenario,
-                backend=backend,
-            )
-            results.append(
-                CellResult(
-                    dataset=dataset,
-                    setup=setup,
-                    eps_test=eps_test,
-                    mean=accuracy.mean,
-                    std=accuracy.std,
-                    best_seed=best_seed,
-                    best_val_loss=val_loss,
-                    scenario=scenario,
+                    accuracy = evaluate_mc(
+                        design, splits.x_test, splits.y_test,
+                        epsilon=eps_test, n_test=config.n_test,
+                        seed=mc_evaluation_seed(best_seed), scenario=scenario,
+                        backend=backend,
+                    )
+                results.append(
+                    CellResult(
+                        dataset=dataset,
+                        setup=setup,
+                        eps_test=eps_test,
+                        mean=accuracy.mean,
+                        std=accuracy.std,
+                        best_seed=best_seed,
+                        best_val_loss=val_loss,
+                        scenario=scenario,
+                    )
                 )
-            )
+    finally:
+        if eval_pool is not None:
+            eval_pool.shutdown()
+        if store is not None:
+            store.close()
     return results

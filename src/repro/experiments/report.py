@@ -313,6 +313,62 @@ def _backend_section(events: List[Dict], counters: Dict[str, float]) -> List[str
     return lines
 
 
+def _sharding_section(events: List[Dict], counters: Dict[str, float]) -> List[str]:
+    """Shard utilization of the MC-evaluation data plane.
+
+    Summarizes ``mc.evaluate_sharded`` spans, breaks the ``mc.shard``
+    worker spans down per process (shards executed, MC rows produced,
+    wall attributed), and audits the shared-memory segment accounting —
+    the ``shm.publish`` / ``shm.unlink`` counters must balance or the run
+    leaked ``/dev/shm`` segments.  Runs recorded before sharding existed
+    produce no section.
+    """
+    sharded = [e for e in events
+               if e.get("kind") == "span" and e.get("name") == "mc.evaluate_sharded"]
+    shard_spans = [e for e in events
+                   if e.get("kind") == "span" and e.get("name") == "mc.shard"]
+    published = int(counters.get("shm.publish", 0))
+    mapped = int(counters.get("shm.map", 0))
+    unlinked = int(counters.get("shm.unlink", 0))
+    if not sharded and not shard_spans and not published:
+        return []
+    lines = ["mc sharding:"]
+    if sharded:
+        wall = sum(float(e.get("dur_s", 0.0)) for e in sharded)
+        pooled = sum(1 for e in sharded if e["attrs"].get("pooled"))
+        counts = sorted({int(e["attrs"].get("shards", 0)) for e in sharded})
+        lines.append(
+            f"sharded evaluations: {len(sharded)} "
+            f"({pooled} pooled) wall {wall:.2f}s "
+            f"shard counts {', '.join(map(str, counts))}"
+        )
+    if shard_spans:
+        by_pid: Dict[int, List[Dict]] = {}
+        for event in shard_spans:
+            by_pid.setdefault(int(event.get("pid", 0)), []).append(event)
+        rows = []
+        for pid in sorted(by_pid):
+            spans = by_pid[pid]
+            rows_done = sum(
+                int(s["attrs"].get("stop", 0)) - int(s["attrs"].get("start", 0))
+                for s in spans
+            )
+            wall = sum(float(s.get("dur_s", 0.0)) for s in spans)
+            rows.append([str(pid), str(len(spans)), str(rows_done), f"{wall:.2f}s"])
+        lines.extend(_rows_to_table(["pid", "shards", "mc_rows", "wall"], rows))
+    if published or mapped or unlinked:
+        mbytes = counters.get("shm.publish_bytes", 0.0) / 1e6
+        balance = (
+            "balanced" if published == unlinked
+            else f"LEAK: {published - unlinked} live"
+        )
+        lines.append(
+            f"shm segments: {published} published ({mbytes:.1f} MB), "
+            f"{mapped} mapped, {unlinked} unlinked ({balance})"
+        )
+    return lines
+
+
 def render_telemetry_report(
     directory: Union[str, os.PathLike], top: int = 10
 ) -> str:
@@ -354,6 +410,7 @@ def render_telemetry_report(
         _training_section(events, counters),
         _lanes_section(events, counters),
         _backend_section(events, counters),
+        _sharding_section(events, counters),
         _scenario_section(events, counters),
     ):
         if section:

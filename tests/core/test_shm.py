@@ -1,0 +1,195 @@
+"""The shared-memory data plane: publish/map round trips and accounting.
+
+Contracts under test (:mod:`repro.core.shm`):
+
+- every mapped view is a **zero-copy**, read-only window onto the
+  published segment, byte-equal to the source arrays;
+- the store is the single owner of its segments — publish/unlink counts
+  balance, ``close()`` is idempotent, cache keys dedupe publishes;
+- payload handles (params, ε streams with and without stuck-at
+  overrides) rebuild exactly the structures the serial loop consumes;
+- attaching from a child process never steals the creator's segment
+  (the Python ≤ 3.12 resource-tracker pitfall).
+"""
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+from numpy.testing import assert_array_equal
+
+from repro.core import PrintedNeuralNetwork, kernels, snapshot_params
+from repro.core.evaluation import draw_variation_samples
+from repro.core.shm import (
+    SharedArrayStore,
+    map_block,
+    map_epsilons,
+    map_evaluation,
+    map_params,
+    publish_epsilons,
+    publish_evaluation,
+    publish_params,
+)
+from repro.core.variation import Perturbation, VariationModel, build_scenario_model
+
+
+@pytest.fixture()
+def store():
+    with SharedArrayStore() as s:
+        yield s
+
+
+def _params(analytic_surrogates, sizes=(4, 3, 3), seed=7):
+    pnn = PrintedNeuralNetwork(
+        list(sizes), analytic_surrogates, rng=np.random.default_rng(seed)
+    )
+    return snapshot_params(pnn)
+
+
+class TestBlocks:
+    def test_roundtrip_is_zero_copy_and_equal(self, store):
+        rng = np.random.default_rng(0)
+        arrays = [rng.standard_normal((5, 3)), np.arange(7, dtype=np.int64)]
+        block = store.publish(arrays, label="test")
+        mapped = map_block(block)
+        for source, view in zip(arrays, mapped.arrays):
+            assert_array_equal(view, source)
+            assert not view.flags.owndata          # a window, not a copy
+            assert not view.flags.writeable
+        mapped.close()
+
+    def test_publish_counts_and_close_balances(self):
+        store = SharedArrayStore()
+        store.publish([np.zeros(4)], label="a")
+        store.publish([np.ones(2)], label="b")
+        assert store.publish_count == 2
+        assert store.live_segments == 2
+        store.close()
+        assert store.unlink_count == 2
+        assert store.live_segments == 0
+        store.close()                              # idempotent
+        assert store.unlink_count == 2
+
+    def test_cache_key_dedupes(self, store):
+        arrays = [np.arange(6.0)]
+        first = store.publish(arrays, label="ds", cache_key=("dataset", "iris"))
+        second = store.publish(arrays, label="ds", cache_key=("dataset", "iris"))
+        assert first is second
+        assert store.publish_count == 1
+
+    def test_unpublish_unlinks_segment(self, store):
+        block = store.publish([np.arange(3.0)], label="gone")
+        store.unpublish(block)
+        assert store.unlink_count == 1
+        with pytest.raises(FileNotFoundError):
+            map_block(block)
+
+    def test_close_is_idempotent_and_clears_views(self, store):
+        block = store.publish([np.full(8, 2.5)], label="held")
+        mapped = map_block(block)
+        copied = np.array(mapped.arrays[0])        # copy out before closing
+        mapped.close()
+        mapped.close()                             # second close is a no-op
+        assert mapped.arrays == ()
+        assert_array_equal(copied, np.full(8, 2.5))
+
+
+class TestPayloads:
+    def test_params_roundtrip_predicts_identically(self, store, analytic_surrogates):
+        params = _params(analytic_surrogates)
+        x = np.random.default_rng(1).uniform(0.0, 1.0, (9, 4))
+        handle = publish_params(store, params)
+        rebuilt, mapped = map_params(handle)
+        for ours, theirs in zip(params.layers, rebuilt.layers):
+            assert_array_equal(theirs.theta, ours.theta)
+            assert_array_equal(theirs.act_omega, ours.act_omega)
+            assert_array_equal(theirs.neg_omega, ours.neg_omega)
+        assert_array_equal(kernels.predict(rebuilt, x), kernels.predict(params, x))
+        mapped.close()
+
+    def test_adopted_arrays_are_zero_copy(self, store, analytic_surrogates):
+        params = _params(analytic_surrogates)
+        rebuilt, mapped = map_params(publish_params(store, params))
+        assert not rebuilt.layers[0].theta.flags.owndata
+        mapped.close()
+
+    @pytest.mark.parametrize("scenario", ["default", "stuck-1pct", "correlated"])
+    def test_epsilons_roundtrip(self, store, analytic_surrogates, scenario):
+        params = _params(analytic_surrogates)
+        if scenario == "default":
+            variation = VariationModel(0.1, seed=3)
+        else:
+            variation = build_scenario_model(scenario, 0.1, seed=3)
+        epsilons = draw_variation_samples(params, variation, 40)
+        handle = publish_epsilons(store, epsilons)
+        rebuilt, mapped = map_epsilons(handle)
+        assert len(rebuilt) == len(epsilons)
+        for ours, theirs in zip(epsilons, rebuilt):
+            for eps, eps_back in zip(ours, theirs):
+                assert type(eps_back) is type(eps)
+                if isinstance(eps, Perturbation):
+                    assert_array_equal(eps_back.scale, eps.scale)
+                    if eps.override_mask is None:
+                        assert eps_back.override_mask is None
+                    else:
+                        assert_array_equal(eps_back.override_mask,
+                                           eps.override_mask)
+                        assert_array_equal(eps_back.override_value,
+                                           eps.override_value)
+                else:
+                    assert_array_equal(eps_back, eps)
+        mapped.close()
+
+    def test_evaluation_payload_roundtrip(self, store, analytic_surrogates):
+        params = _params(analytic_surrogates)
+        rng = np.random.default_rng(5)
+        x = rng.uniform(0.0, 1.0, (11, 4))
+        y = rng.integers(0, 3, 11)
+        epsilons = draw_variation_samples(params, VariationModel(0.1, seed=2), 20)
+        payload = publish_evaluation(store, params, x, y, epsilons,
+                                     dataset_key=("dataset", "toy"))
+        mapping = map_evaluation(payload)
+        assert_array_equal(mapping.x, x)
+        assert_array_equal(mapping.y, y)
+        assert_array_equal(
+            kernels.predict(mapping.params, mapping.x),
+            kernels.predict(params, x),
+        )
+        mapping.close()
+
+    def test_dataset_block_cached_across_publishes(self, store, analytic_surrogates):
+        params = _params(analytic_surrogates)
+        rng = np.random.default_rng(5)
+        x = rng.uniform(0.0, 1.0, (11, 4))
+        y = rng.integers(0, 3, 11)
+        epsilons = draw_variation_samples(params, VariationModel(0.1, seed=2), 20)
+        first = publish_evaluation(store, params, x, y, epsilons,
+                                   dataset_key=("dataset", "toy"))
+        second = publish_evaluation(store, params, x, y, epsilons,
+                                    dataset_key=("dataset", "toy"))
+        assert first.dataset is second.dataset
+        assert first.params.block is not second.params.block
+
+
+def _child_maps(block):
+    mapped = map_block(block)
+    total = float(sum(view.sum() for view in mapped.arrays))
+    mapped.close()
+    return total
+
+
+class TestCrossProcess:
+    @pytest.mark.parametrize("method", ["fork", "spawn"])
+    def test_child_attach_leaves_segment_alive(self, store, method):
+        if method not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"start method {method!r} unavailable")
+        block = store.publish([np.ones(16)], label="xproc")
+        ctx = multiprocessing.get_context(method)
+        with ProcessPoolExecutor(max_workers=1, mp_context=ctx) as pool:
+            assert pool.submit(_child_maps, block).result() == 16.0
+            # A second child proves the first didn't unlink it on exit.
+            assert pool.submit(_child_maps, block).result() == 16.0
+        mapped = map_block(block)               # and the parent still can map
+        assert_array_equal(mapped.arrays[0], np.ones(16))
+        mapped.close()
