@@ -1,7 +1,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: test test-all lint verify bench bench-surrogate bench-lanes bench-scenarios bench-backends bench-sharding
+.PHONY: test test-all lint verify bench bench-surrogate bench-lanes bench-scenarios bench-backends bench-sharding bench-export
 
 test:              ## fast tier: everything not marked @pytest.mark.slow
 	python -m pytest -x -q -m "not slow"
@@ -32,3 +32,6 @@ bench-backends:    ## numpy-vs-fused backend matrix benchmark + artifact
 
 bench-sharding:    ## sharded MC evaluation / shm data plane benchmark + artifact
 	python -m pytest benchmarks/bench_mc_sharding.py -q -s
+
+bench-export:      ## tiling compile + closed-loop deploy verification benchmark + artifact
+	python -m pytest benchmarks/bench_export_deploy.py -q -s

@@ -1,0 +1,103 @@
+"""Export path cost: tiling compile, netlist emission, closed-loop verify.
+
+Times the three stages of the hardware-deploy path
+(:mod:`repro.exporting`) at two design sizes — the Table-II-scale
+topology and the 64-neuron acceptance design — tiled at 8x8:
+
+- **compile** — ``compile_tiling``: θ → per-tile resistance blocks with
+  inter-tile summing nodes;
+- **emit** — ``export_tiled_netlist_text``: structured netlist text;
+- **verify** — ``verify_deployment`` over nominal + stuck-at scenarios,
+  split into its model-load phase (netlist build + ``compile_netlist``
+  per layer, paid once per design) and invoke phase (one
+  ``solve_dc_batch`` per layer per scenario, paid per batch).
+
+Every verification must PASS — a benchmark that times a diverging
+deployment is meaningless — so the bench doubles as a scale check on the
+closed loop.
+"""
+
+import numpy as np
+
+from benchmarks._record import best_time, record_benchmark
+from benchmarks.conftest import save_and_print
+from repro.core import PrintedNeuralNetwork, snapshot_params
+from repro.exporting import (
+    TileSpec,
+    compile_tiling,
+    export_tiled_netlist_text,
+    verify_deployment,
+)
+from repro.surrogate import AnalyticSurrogate
+
+DESIGNS = ([8, 16, 4], [16, 48, 16])
+TILE = (8, 8)
+SCENARIOS = ("nominal", "stuck-1pct")
+N_SAMPLES, N_MC, REPEATS = 8, 2, 3
+
+
+def _surrogates():
+    return (AnalyticSurrogate("ptanh"), AnalyticSurrogate("negweight"))
+
+
+def test_export_deploy(output_dir):
+    spec = TileSpec(max_rows=TILE[0], max_cols=TILE[1])
+    rows = {}
+    for sizes in DESIGNS:
+        pnn = PrintedNeuralNetwork(list(sizes), _surrogates(),
+                                   rng=np.random.default_rng(7))
+        params = snapshot_params(pnn)
+        x = np.random.default_rng(3).uniform(0.0, 1.0, (N_SAMPLES, sizes[0]))
+
+        tiled = compile_tiling(params, spec)
+        compile_s = best_time(lambda: compile_tiling(params, spec),
+                              repeats=REPEATS)
+        emit_s = best_time(lambda: export_tiled_netlist_text(tiled),
+                           repeats=REPEATS)
+
+        verification = verify_deployment(
+            params, x, tiled=tiled, scenarios=SCENARIOS, n_mc=N_MC, seed=0,
+        )
+        assert verification.passed, verification.summary()
+        verify_s = best_time(
+            lambda: verify_deployment(params, x, tiled=tiled,
+                                      scenarios=SCENARIOS, n_mc=N_MC, seed=0),
+            repeats=REPEATS,
+        )
+        lanes = sum(s.n_lanes for s in verification.scenarios)
+        rows["-".join(map(str, sizes))] = {
+            "tiles": tiled.n_tiles,
+            "devices": tiled.n_devices,
+            "compile_s": compile_s,
+            "emit_s": emit_s,
+            "verify_s": verify_s,
+            "model_load_s": verification.model_load_s,
+            "invoke_s": verification.invoke_s,
+            "lanes": lanes,
+            "max_divergence_v": verification.max_output_divergence,
+        }
+
+    lines = [
+        f"export-deploy path at {TILE[0]}x{TILE[1]} tiles, scenarios "
+        f"{list(SCENARIOS)}, {N_SAMPLES} samples x {N_MC} draws "
+        "(all verifications PASS)",
+        f"{'design':>10} {'tiles':>5} {'devices':>7} {'compile':>9} "
+        f"{'emit':>9} {'verify':>9} {'load':>9} {'invoke':>9} {'lanes/s':>9}",
+    ]
+    for name, r in rows.items():
+        lanes_per_s = r["lanes"] / r["invoke_s"] if r["invoke_s"] else 0.0
+        lines.append(
+            f"{name:>10} {r['tiles']:>5} {r['devices']:>7} "
+            f"{r['compile_s'] * 1e3:>7.2f}ms {r['emit_s'] * 1e3:>7.2f}ms "
+            f"{r['verify_s'] * 1e3:>7.2f}ms {r['model_load_s'] * 1e3:>7.2f}ms "
+            f"{r['invoke_s'] * 1e3:>7.2f}ms {lanes_per_s:>9.0f}"
+        )
+    save_and_print(output_dir, "export_deploy", "\n".join(lines))
+
+    record_benchmark(output_dir, "export_deploy", {
+        "tile": {"rows": TILE[0], "cols": TILE[1]},
+        "scenarios": list(SCENARIOS),
+        "n_samples": N_SAMPLES,
+        "n_mc": N_MC,
+        "designs": rows,
+    })

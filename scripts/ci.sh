@@ -98,8 +98,16 @@ print("gradient smoke OK: VJPs <= 1e-8, 5-epoch trajectories <= 1e-9 rel")
 EOF
 
 echo "== surrogate-builder smoke (batched vs scalar, telemetry-audited) =="
-SMOKE_ROOT="$(mktemp -d)"
-trap 'rm -rf "$SMOKE_ROOT"' EXIT
+# CI sets CI_SMOKE_KEEP_DIR to a workspace path so the telemetry event
+# streams survive the run and can be uploaded as build artifacts; local
+# runs keep the self-cleaning mktemp behaviour.
+if [ -n "${CI_SMOKE_KEEP_DIR:-}" ]; then
+    SMOKE_ROOT="$CI_SMOKE_KEEP_DIR"
+    mkdir -p "$SMOKE_ROOT"
+else
+    SMOKE_ROOT="$(mktemp -d)"
+    trap 'rm -rf "$SMOKE_ROOT"' EXIT
+fi
 CACHE_DIR="$SMOKE_ROOT/table2_cache"
 TEL_BUILD="$SMOKE_ROOT/telemetry_build"
 TEL_RUN="$SMOKE_ROOT/telemetry_run"
@@ -472,5 +480,85 @@ EOF
 
 echo "== telemetry report smoke =="
 python -m repro.experiments.cli report --telemetry "$TEL_RUN" --top 5
+
+echo "== export-deploy smoke (8x8 tiling + closed-loop SPICE re-simulation, telemetry-gated) =="
+TEL_EXPORT="$SMOKE_ROOT/telemetry_export"
+EXPORT_DIR="$SMOKE_ROOT/export"
+mkdir -p "$EXPORT_DIR"
+TEL_EXPORT="$TEL_EXPORT" EXPORT_DIR="$EXPORT_DIR" python - <<'EOF'
+import os
+import numpy as np
+from repro import telemetry
+from repro.core import (
+    PrintedNeuralNetwork,
+    TrainConfig,
+    save_params,
+    snapshot_params,
+    train_pnn,
+)
+from repro.experiments.runner import default_surrogates
+from repro.exporting import TileSpec, compile_tiling, verify_deployment
+from repro.exporting.deploy import OUTPUT_TOL
+
+# Train one tiny pNN whose hidden crossbar (10 data rows x 4 cols) spills
+# over an 8x8 tile, so the smoke exercises real multi-tile placement with
+# inter-tile summing nodes — not just the single-tile special case.
+rng = np.random.default_rng(0)
+pnn = PrintedNeuralNetwork([6, 10, 4], default_surrogates(),
+                           rng=np.random.default_rng(7))
+x = rng.uniform(0.0, 1.0, size=(48, 6))
+y = rng.integers(0, 4, size=48)
+train_pnn(pnn, x[:36], y[:36], x[36:], y[36:],
+          TrainConfig(max_epochs=4, patience=4, epsilon=0.1,
+                      n_mc_train=3, seed=1))
+params = snapshot_params(pnn)
+save_params(params, os.path.join(os.environ["EXPORT_DIR"], "pnn.npz"))
+
+tel = telemetry.enable(os.environ["TEL_EXPORT"],
+                       manifest={"command": "ci-export-smoke"})
+tiled = compile_tiling(params, TileSpec(max_rows=8, max_cols=8))
+v = verify_deployment(params, x[:8], tiled=tiled,
+                      scenarios=("nominal", "stuck-1pct"), n_mc=2, seed=0)
+telemetry.get().merge()
+telemetry.disable()
+
+# Gate 1: the trained design survives the deploy gate — re-simulated
+# through solve_dc_batch within the documented analog tolerance, in the
+# nominal corner AND under stuck-at defects.
+assert v.passed, v.summary()
+assert v.max_output_divergence <= OUTPUT_TOL, v.summary()
+
+# Gate 2 (telemetry): multi-tile placement actually happened, no device
+# was silently dropped, and every verification lane converged.
+events = telemetry.read_events(os.environ["TEL_EXPORT"])
+counters = telemetry.summarize_events(events)["counters"]
+assert int(counters["export.tiles"]) > 1, counters
+assert int(counters.get("export.verify_failures", 0)) == 0, counters
+assert int(counters.get("export.load_bearing_skips", 0)) == 0, counters
+lanes = int(counters.get("export.verify_lanes", 0))
+assert lanes == 8 + 2 * 8, f"expected 24 verification lanes, got {lanes}"
+spans = {e["name"] for e in events if e["kind"] == "span"}
+assert {"export.tile", "export.verify"} <= spans, spans
+print(f"export smoke OK: {counters['export.tiles']} tiles / "
+      f"{counters['export.devices']} devices verified over {lanes} lanes; "
+      f"max divergence {v.max_output_divergence:.2e} V <= {OUTPUT_TOL:.0e}")
+EOF
+
+echo "== export CLI smoke (repro export --verify + report section) =="
+TEL_EXPORT_CLI="$SMOKE_ROOT/telemetry_export_cli"
+python -m repro.experiments.cli export --params "$EXPORT_DIR/pnn.npz" \
+    --output "$EXPORT_DIR/pnn_tiled.netlist" --tile-rows 8 --tile-cols 8 \
+    --verify --scenario nominal --scenario stuck-1pct \
+    --telemetry "$TEL_EXPORT_CLI"
+test -s "$EXPORT_DIR/pnn_tiled.netlist" \
+    || { echo "export CLI wrote no netlist"; exit 1; }
+grep -q "^\* tiling: 8x8" "$EXPORT_DIR/pnn_tiled.netlist" \
+    || { echo "netlist missing tiling header"; exit 1; }
+EXPORT_REPORT="$(python -m repro.experiments.cli report --telemetry "$TEL_EXPORT_CLI")"
+echo "$EXPORT_REPORT" | grep -q "export:" \
+    || { echo "report missing export section"; exit 1; }
+echo "$EXPORT_REPORT" | grep -q "verification failures: 0" \
+    || { echo "deploy gate failed: verification failures reported"; exit 1; }
+echo "$EXPORT_REPORT" | grep "export:"
 
 echo "CI OK"

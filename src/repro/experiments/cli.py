@@ -130,6 +130,58 @@ def _build_parser() -> argparse.ArgumentParser:
                              "into S shards over the shared-memory data "
                              "plane; results are bit-identical for any S "
                              "(default: profile setting)")
+    table2.add_argument("--deploy-verify", metavar="ROWSxCOLS", default=None,
+                        help="after assembly, tile every selected design "
+                             "onto ROWSxCOLS crossbar arrays and re-simulate "
+                             "it through the batched SPICE engine (advisory "
+                             "check; results are unchanged). Example: 8x8")
+
+    export = commands.add_parser(
+        "export",
+        help="hardware-deploy export: tile a trained snapshot onto physical "
+             "crossbar arrays, emit the netlist, and (optionally) verify it "
+             "closed-loop through the batched SPICE engine",
+    )
+    export.add_argument("--params", required=True, metavar="FILE",
+                        help="PNNParams snapshot (.npz from save_params)")
+    export.add_argument("--output", metavar="FILE", default=None,
+                        help="write the netlist here (default: stdout is "
+                             "report-only, no netlist dump)")
+    export.add_argument("--title", default="pnn", help="netlist title comment")
+    export.add_argument("--tile-rows", type=int, default=None, metavar="R",
+                        help="max physical rows per crossbar tile, incl. 2 "
+                             "bias/ground rail rows (default: unbounded)")
+    export.add_argument("--tile-cols", type=int, default=None, metavar="C",
+                        help="max output columns per crossbar tile "
+                             "(default: unbounded)")
+    export.add_argument("--bias-policy", choices=("first", "split"),
+                        default="first",
+                        help="rail devices in the first row-block only, or "
+                             "conductance-split across all row blocks "
+                             "(default: first)")
+    export.add_argument("--inverter-budget", type=int, default=None, metavar="N",
+                        help="max negation circuits per tile (default: unbounded)")
+    export.add_argument("--verify", action="store_true",
+                        help="re-simulate the tiled design through "
+                             "solve_dc_batch and gate on kernel agreement")
+    export.add_argument("--verify-samples", type=int, default=8, metavar="B",
+                        help="input samples for verification (default: 8)")
+    export.add_argument("--scenario", action="append", dest="scenarios",
+                        choices=("nominal",) + scenario_names(), metavar="NAME",
+                        default=None,
+                        help="verification scenario (repeatable; default: "
+                             "nominal + default ε-variation)")
+    export.add_argument("--epsilon", type=float, default=0.10,
+                        help="variation level for non-nominal scenarios "
+                             "(default: 0.10)")
+    export.add_argument("--n-mc", type=int, default=2, metavar="N",
+                        help="Monte-Carlo draws per non-nominal scenario "
+                             "(default: 2)")
+    export.add_argument("--seed", type=int, default=0,
+                        help="seed for verification inputs and variation draws")
+    export.add_argument("--telemetry", metavar="DIR", default=None,
+                        help="record telemetry (export.tile / export.verify "
+                             "spans, deploy counters) into DIR")
 
     report = commands.add_parser(
         "report", help="aggregate summary of a recorded telemetry run"
@@ -142,12 +194,87 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_tile(value: Optional[str]):
+    """``"8x8"`` → ``(8, 8)``; ``None`` stays ``None``."""
+    if value is None:
+        return None
+    try:
+        rows, cols = value.lower().split("x")
+        return (int(rows), int(cols))
+    except ValueError:
+        raise SystemExit(f"error: expected ROWSxCOLS (e.g. 8x8), got {value!r}")
+
+
+def _run_export(args) -> int:
+    from repro.core.serialization import load_params
+    from repro.exporting import (
+        TileSpec,
+        TilingError,
+        compile_tiling,
+        deploy_report,
+        export_tiled_netlist_text,
+    )
+
+    if args.telemetry:
+        telemetry.enable(args.telemetry, manifest={
+            "command": "export",
+            "params": str(args.params),
+            "tile_rows": args.tile_rows,
+            "tile_cols": args.tile_cols,
+            "bias_policy": args.bias_policy,
+            "verify": bool(args.verify),
+            "scenarios": list(args.scenarios or ("nominal", "default")),
+            "seed": args.seed,
+        })
+
+    params = load_params(args.params)
+    try:
+        spec = TileSpec(
+            max_rows=args.tile_rows,
+            max_cols=args.tile_cols,
+            bias_policy=args.bias_policy,
+            inverter_budget=args.inverter_budget,
+        )
+        tiled = compile_tiling(params, spec)
+    except TilingError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.output:
+        text = export_tiled_netlist_text(tiled, title=args.title)
+        out = Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + "\n")
+        print(f"netlist written: {out}", file=sys.stderr)
+
+    scenarios = tuple(dict.fromkeys(args.scenarios or ("nominal", "default")))
+    report = deploy_report(
+        params, spec,
+        tiled=tiled,
+        verify=args.verify,
+        scenarios=scenarios,
+        epsilon=args.epsilon,
+        n_mc=args.n_mc,
+        seed=args.seed,
+        n_samples=args.verify_samples,
+    )
+    print(report.summary())
+    if args.telemetry:
+        telemetry.get().merge()
+    if args.verify and not report.passed:
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
 
     if args.command == "report":
         print(render_telemetry_report(args.telemetry, top=args.top), end="")
         return 0
+
+    if args.command == "export":
+        return _run_export(args)
 
     if args.command == "surrogate":
         bundle = get_default_bundle(n_points=args.points, seed=args.seed, verbose=True)
@@ -194,6 +321,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "scenarios": list(scenarios),
                 "backend": args.backend,
                 "mc_shards": mc_shards,
+                "deploy_verify": args.deploy_verify,
                 "numba": numba_version(),
             })
         results = run_table2_parallel(
@@ -204,6 +332,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             scenarios=scenarios,
             backend=args.backend,
             mc_shards=mc_shards,
+            deploy_tile=_parse_tile(args.deploy_verify),
         )
         print(render_scenario_grid(results))
         print()

@@ -123,6 +123,7 @@ def run_table2_parallel(
     scenarios: Tuple[str, ...] = (DEFAULT_SCENARIO,),
     backend: str = "numpy",
     mc_shards: Optional[int] = None,
+    deploy_tile: Optional[Tuple[int, int]] = None,
 ) -> List[CellResult]:
     """Run the Table-II grid with caching and multi-process training.
 
@@ -177,6 +178,16 @@ def run_table2_parallel(
         shared-memory data plane, spread across a pool when
         ``workers > 1``.  Bitwise identical to serial evaluation at any
         count, and — like ``backend`` — outside the cache digest.
+    deploy_tile:
+        Optional ``(max_rows, max_cols)`` crossbar tile bound.  When set,
+        every selected best-of-seeds design is additionally tiled and
+        re-simulated through the batched SPICE engine
+        (:func:`repro.exporting.deploy.verify_deployment`) on a handful
+        of test samples, nominal + cell scenario — an advisory post-job
+        deployability check.  Pure observer: it never alters results,
+        raises, or enters the cache digest; failures surface through the
+        progress callback and the ``export.verify_failures`` telemetry
+        counter.
 
     Returns
     -------
@@ -277,6 +288,7 @@ def run_table2_parallel(
         results = _assemble(
             datasets, config, surrogates, outcomes, cache, scenarios,
             backend=backend, mc_shards=mc_shards, eval_workers=workers,
+            deploy_tile=deploy_tile, progress=progress,
         )
     if tel.enabled:
         tel.event("table2.done", n_jobs=len(jobs), n_trained=len(pending))
@@ -291,6 +303,45 @@ def _scenario_tag(scenario: str) -> str:
     return "" if scenario == DEFAULT_SCENARIO else f"[{scenario}] "
 
 
+#: Test samples fed to the advisory post-job deploy verification.
+_DEPLOY_VERIFY_SAMPLES = 8
+
+
+def _deploy_verify_design(
+    design, splits, deploy_tile: Tuple[int, int], scenario: str,
+    dataset: str, setup, progress: Optional[Callable[[str], None]],
+) -> None:
+    """Advisory closed-loop SPICE check of one selected design.
+
+    Runs once per best-of-seeds design group (not per cell).  Never
+    raises and never touches the results: divergence surfaces through
+    the progress line and the ``export.verify_failures`` counter.
+    """
+    from repro.exporting import TileSpec, verify_deployment
+
+    rows, cols = deploy_tile
+    x = splits.x_test[:_DEPLOY_VERIFY_SAMPLES]
+    try:
+        verification = verify_deployment(
+            design, x, TileSpec(max_rows=rows, max_cols=cols),
+            scenarios=("nominal", scenario), n_mc=2,
+        )
+    except Exception as error:  # advisory: report, don't kill the run
+        if progress is not None:
+            progress(
+                f"{_scenario_tag(scenario)}deploy-verify {dataset}/{setup.label}: "
+                f"error: {error}"
+            )
+        return
+    if progress is not None:
+        status = "ok" if verification.passed else "FAILED"
+        progress(
+            f"{_scenario_tag(scenario)}deploy-verify {dataset}/{setup.label} "
+            f"@ {rows}x{cols}: {status} "
+            f"(max |Δv| = {verification.max_output_divergence:.3g} V)"
+        )
+
+
 def _assemble(
     datasets: List[str],
     config: ExperimentConfig,
@@ -301,6 +352,8 @@ def _assemble(
     backend: str = "numpy",
     mc_shards: int = 1,
     eval_workers: int = 1,
+    deploy_tile: Optional[Tuple[int, int]] = None,
+    progress: Optional[Callable[[str], None]] = None,
 ) -> List[CellResult]:
     """Best-of-seeds selection + MC evaluation, in serial-runner order.
 
@@ -359,6 +412,11 @@ def _assemble(
                         assert cache is not None and best.digest is not None
                         design = cache.load_design(best.digest, surrogates)
                     designs[group] = (design, best.key.seed, best.val_loss)
+                    if deploy_tile is not None:
+                        _deploy_verify_design(
+                            design, splits, deploy_tile, scenario, dataset,
+                            setup, progress,
+                        )
                 design, best_seed, val_loss = designs[group]
                 if mc_shards > 1:
                     accuracy = evaluate_mc_sharded(

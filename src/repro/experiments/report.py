@@ -369,6 +369,72 @@ def _sharding_section(events: List[Dict], counters: Dict[str, float]) -> List[st
     return lines
 
 
+def _export_section(events: List[Dict], counters: Dict[str, float]) -> List[str]:
+    """Hardware-deploy export activity: tiling, closed-loop verification.
+
+    Summarizes ``export.tile`` / ``export.verify`` spans, the deploy
+    counters, and per-design ``export.deploy`` events (tile count,
+    utilization, area/power estimates, model-load vs invoke timing
+    split).  Runs without export activity produce no section.
+    """
+    tile_spans = [e for e in events
+                  if e.get("kind") == "span" and e.get("name") == "export.tile"]
+    verify_spans = [e for e in events
+                    if e.get("kind") == "span" and e.get("name") == "export.verify"]
+    deploys = [e for e in events
+               if e.get("kind") == "event" and e.get("name") == "export.deploy"]
+    verifies = [e for e in events
+                if e.get("kind") == "event" and e.get("name") == "export.verify"]
+    tiles = int(counters.get("export.tiles", 0))
+    if not tile_spans and not verify_spans and not deploys:
+        return []
+    devices = int(counters.get("export.devices", 0))
+    failures = int(counters.get("export.verify_failures", 0))
+    skipped = int(counters.get("export.skipped_devices", 0))
+    load_bearing = int(counters.get("export.load_bearing_skips", 0))
+    lanes = int(counters.get("export.verify_lanes", 0))
+    lines = [
+        f"export: {len(tile_spans)} tilings ({tiles} tiles, {devices} devices), "
+        f"{len(verify_spans)} closed-loop verifications ({lanes} operating points)",
+    ]
+    if skipped or load_bearing:
+        lines.append(
+            f"        skipped devices: {skipped} ({load_bearing} load-bearing)"
+        )
+    lines.append(
+        f"        verification failures: {failures}"
+        + ("" if failures == 0 else " — deploy gate would FAIL")
+    )
+    if verifies:
+        worst = max(
+            float(e["attrs"].get("max_output_divergence", 0.0)) for e in verifies
+        )
+        load_s = sum(float(e["attrs"].get("model_load_s", 0.0)) for e in verifies)
+        invoke_s = sum(float(e["attrs"].get("invoke_s", 0.0)) for e in verifies)
+        lines.append(
+            f"        worst output divergence: {worst:.3g} V, "
+            f"model load {load_s:.2f}s vs invoke {invoke_s:.2f}s"
+        )
+    if deploys:
+        rows = []
+        for event in deploys:
+            a = event["attrs"]
+            rows.append([
+                "-".join(str(s) for s in a.get("topology", [])),
+                str(a.get("spec")),
+                str(a.get("tiles")),
+                f"{float(a.get('utilization', 0.0)):.0%}",
+                f"{float(a.get('area_mm2', 0.0)):.0f}",
+                f"{float(a.get('static_power_uw', 0.0)):.0f}",
+                "pass" if a.get("passed") else "FAIL",
+            ])
+        lines.extend(_rows_to_table(
+            ["topology", "tiles", "n", "util", "area_mm2", "power_uw", "verify"],
+            rows,
+        ))
+    return lines
+
+
 def render_telemetry_report(
     directory: Union[str, os.PathLike], top: int = 10
 ) -> str:
@@ -412,6 +478,7 @@ def render_telemetry_report(
         _backend_section(events, counters),
         _sharding_section(events, counters),
         _scenario_section(events, counters),
+        _export_section(events, counters),
     ):
         if section:
             lines.extend(section)

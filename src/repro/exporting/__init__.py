@@ -6,11 +6,50 @@ inputs pass through negative-weight circuits, and the learned 𝔴 are the
 component values of the bespoke nonlinear circuits.  This package turns a
 trained network into:
 
-- a bill of printable components (:mod:`~repro.exporting.report`), and
-- a SPICE-style netlist text (:mod:`~repro.exporting.netlist_export`).
+- a bill of printable components (:mod:`~repro.exporting.report`),
+- a placement onto fixed-size physical crossbar arrays
+  (:mod:`~repro.exporting.tiling`),
+- a SPICE-style netlist text (:mod:`~repro.exporting.netlist_export`), and
+- a closed-loop deployment verification that re-simulates the tiled
+  design through the batched SPICE engine
+  (:mod:`~repro.exporting.deploy`).
 """
 
 from repro.exporting.report import DesignReport, design_report
-from repro.exporting.netlist_export import export_netlist_text
+from repro.exporting.tiling import (
+    TileSpec,
+    Tile,
+    TiledLayer,
+    TiledDesign,
+    TilingError,
+    compile_tiling,
+)
+from repro.exporting.netlist_export import (
+    export_netlist_text,
+    export_tiled_netlist_text,
+)
+from repro.exporting.deploy import (
+    DeployReport,
+    DeployVerification,
+    ScenarioVerification,
+    deploy_report,
+    verify_deployment,
+)
 
-__all__ = ["DesignReport", "design_report", "export_netlist_text"]
+__all__ = [
+    "DesignReport",
+    "design_report",
+    "TileSpec",
+    "Tile",
+    "TiledLayer",
+    "TiledDesign",
+    "TilingError",
+    "compile_tiling",
+    "export_netlist_text",
+    "export_tiled_netlist_text",
+    "DeployReport",
+    "DeployVerification",
+    "ScenarioVerification",
+    "deploy_report",
+    "verify_deployment",
+]

@@ -32,10 +32,22 @@ class LayerReport:
     negated_inputs: np.ndarray         # boolean mask, same shape
     activation_omega: np.ndarray       # (n_circuits, 7)
     negation_omega: np.ndarray         # (n_circuits, 7)
+    #: Devices with non-finite resistance that carry *zero* conductance
+    #: (θ == 0) — genuinely unprinted, skipping them is exact.
+    skipped_zero: int = 0
+    #: Devices with non-finite resistance whose θ is *nonzero* (NaN θ, or a
+    #: magnitude so small the physical resistance overflows).  Skipping
+    #: these drops real conductance: the exported circuit diverges from the
+    #: trained model, so `verify_deployment` refuses such designs.
+    skipped_load_bearing: int = 0
 
     @property
     def printed_resistor_count(self) -> int:
         return int(np.isfinite(self.crossbar_resistances).sum())
+
+    @property
+    def skipped_device_count(self) -> int:
+        return self.skipped_zero + self.skipped_load_bearing
 
 
 @dataclass
@@ -49,11 +61,24 @@ class DesignReport:
     def total_printed_resistors(self) -> int:
         return sum(layer.printed_resistor_count for layer in self.layers)
 
+    @property
+    def total_skipped_devices(self) -> int:
+        return sum(layer.skipped_device_count for layer in self.layers)
+
+    @property
+    def total_load_bearing_skips(self) -> int:
+        return sum(layer.skipped_load_bearing for layer in self.layers)
+
     def summary(self) -> str:
         lines = [
             f"pNN design: topology {'-'.join(str(s) for s in self.layer_sizes)}",
             f"printed crossbar resistors: {self.total_printed_resistors}",
         ]
+        if self.total_skipped_devices:
+            lines.append(
+                f"skipped devices: {self.total_skipped_devices} "
+                f"({self.total_load_bearing_skips} load-bearing)"
+            )
         for layer in self.layers:
             finite = layer.crossbar_resistances[np.isfinite(layer.crossbar_resistances)]
             lines.append(
@@ -89,6 +114,8 @@ def design_report(design: Union[PrintedNeuralNetwork, PNNParams]) -> DesignRepor
         conductance = magnitude * PHYSICAL_SCALE
         with np.errstate(divide="ignore"):
             resistance = np.where(magnitude > 0, 1.0 / conductance, np.inf)
+        skipped = ~np.isfinite(resistance)
+        benign = skipped & (theta == 0)
         report.layers.append(
             LayerReport(
                 index=index,
@@ -96,6 +123,8 @@ def design_report(design: Union[PrintedNeuralNetwork, PNNParams]) -> DesignRepor
                 negated_inputs=theta < 0,
                 activation_omega=np.asarray(layer.act_omega),
                 negation_omega=np.asarray(layer.neg_omega),
+                skipped_zero=int(benign.sum()),
+                skipped_load_bearing=int((skipped & ~benign).sum()),
             )
         )
     return report
